@@ -1,0 +1,80 @@
+"""Ablation — CSP solving: backtracking vs. decomposition-guided.
+
+The paper's closing future-work item is "to assess the usefulness of
+decompositions in solving related problems".  This bench does so on the CSP
+side: unsatisfiable odd-cycle colouring instances (hypertree width 2) under
+an adversarial variable order, where chronological backtracking thrashes
+exponentially while the Yannakakis-style solver refutes in linear time.
+"""
+
+import time
+
+from repro.csp.model import Constraint, CSPInstance
+from repro.csp.solver import solve_backtracking, solve_with_decomposition
+from repro.utils.tables import render_table
+
+
+def odd_cycle_instance(length: int) -> CSPInstance:
+    """2-colouring an odd cycle, with names that trap static orderings."""
+    assert length % 2 == 1
+    names = {
+        i: (f"a{i:03d}" if i % 2 == 0 else f"b{i:03d}") for i in range(length)
+    }
+    return CSPInstance(
+        f"odd{length}",
+        {names[i]: (0, 1) for i in range(length)},
+        [
+            Constraint(
+                f"neq{i}",
+                (names[i], names[(i + 1) % length]),
+                frozenset({(0, 1), (1, 0)}),
+            )
+            for i in range(length)
+        ],
+    )
+
+
+def test_csp_solving_ablation(benchmark):
+    instance = odd_cycle_instance(21)
+    result = benchmark.pedantic(
+        lambda: solve_with_decomposition(instance, max_width=2),
+        rounds=1,
+        iterations=1,
+    )
+    assert result is None  # odd cycles are not 2-colourable
+
+    rows = []
+    for length in (15, 19, 23):
+        inst = odd_cycle_instance(length)
+        # Precompute the HD so the timing isolates the solving itself (the
+        # decomposition is reusable across queries in practice).
+        from repro.csp.convert import csp_to_hypergraph
+        from repro.decomp.detkdecomp import check_hd
+
+        hd = check_hd(csp_to_hypergraph(inst, dedupe=False), 2)
+        start = time.perf_counter()
+        bt = solve_backtracking(inst)
+        bt_time = time.perf_counter() - start
+        start = time.perf_counter()
+        dec = solve_with_decomposition(inst, decomposition=hd)
+        dec_time = time.perf_counter() - start
+        assert bt is None and dec is None
+        rows.append(
+            [
+                length,
+                round(bt_time * 1000, 1),
+                round(dec_time * 1000, 1),
+                round(bt_time / max(dec_time, 1e-9), 1),
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["cycle length", "backtracking (ms)", "decomposition (ms)", "speedup"],
+            rows,
+            title="Ablation: CSP refutation, backtracking vs decomposition",
+        )
+    )
+    # Shape: the decomposition solver wins clearly on the largest instance
+    # (backtracking is exponential here, the semi-join passes are linear).
+    assert rows[-1][3] > 2.0

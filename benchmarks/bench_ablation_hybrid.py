@@ -1,0 +1,63 @@
+"""Ablation — the hybrid algorithm's switch depth (paper future work, §7).
+
+The paper proposes running the balanced-separator recursion "only down to a
+certain recursion depth (say depth 2 or 3)" before switching to the
+subedge-based search.  This bench times ``Check(GHD, k)`` for switch depths
+0 (pure inner search), 2 (the proposal), and a large depth (pure BalSep) on
+representative instances, and checks the verdicts agree.
+"""
+
+import time
+
+import pytest
+
+from repro.benchmark.generators.other_csp import pebbling_grid
+from repro.decomp.hybrid import check_ghd_hybrid
+from repro.utils.tables import render_table
+from tests.conftest import clique_hypergraph, cycle_hypergraph
+
+INSTANCES = {
+    "cycle8": (cycle_hypergraph(8), 2),
+    "K5": (clique_hypergraph(5), 2),       # negative at k = 2
+    "pebbling3x4": (pebbling_grid(3, 4), 2),
+}
+
+DEPTHS = (0, 2, 99)
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_hybrid_depth_kernel(benchmark, depth):
+    h, k = INSTANCES["K5"]
+    result = benchmark.pedantic(
+        lambda: check_ghd_hybrid(h, k, switch_depth=depth), rounds=1, iterations=1
+    )
+    assert result is None  # K5 has ghw 3
+    if depth == DEPTHS[-1]:
+        _print_depth_table()
+
+
+def _print_depth_table():
+    rows = []
+    for name, (h, k) in INSTANCES.items():
+        verdicts = []
+        times = []
+        for depth in DEPTHS:
+            start = time.perf_counter()
+            result = check_ghd_hybrid(h, k, switch_depth=depth)
+            times.append(time.perf_counter() - start)
+            verdicts.append(result is not None)
+            if result is not None:
+                result.validate("GHD")
+        assert len(set(verdicts)) == 1, f"depth changes the verdict on {name}"
+        rows.append(
+            [name, h.num_edges, "yes" if verdicts[0] else "no"]
+            + [round(t, 3) for t in times]
+        )
+    print()
+    print(
+        render_table(
+            ["instance", "edges", "verdict"] + [f"d={d} (s)" for d in DEPTHS],
+            rows,
+            title="Ablation: hybrid switch depth (Check(GHD, 2))",
+        )
+    )

@@ -1,0 +1,27 @@
+"""Figure 3 — hypergraph size distributions (vertices / edges / arity).
+
+Times the bucketing pass and prints the regenerated distribution table.
+"""
+
+from repro.analysis.experiments import figure3_sizes
+
+
+def test_figure3_size_distributions(benchmark, study):
+    result = benchmark(figure3_sizes, study.repository)
+    print()
+    print(result.rendered)
+
+    rows = result.rows
+    # Shape: CQ Application instances are the smallest (most have <= 10
+    # edges), and arity > 20 appears nowhere at benchmark scale.
+    cq_app_edges = [
+        r for r in rows if r[0] == "CQ Application" and r[1] == "edges"
+    ]
+    small = sum(r[3] for r in cq_app_edges if r[2] == "1-10")
+    total = sum(r[3] for r in cq_app_edges)
+    assert small >= total * 0.5
+
+    # Shape: more than 50% of all hypergraphs have arity < 5 (paper, §5.6).
+    arity_rows = [r for r in rows if r[1] == "arity"]
+    low = sum(r[3] for r in arity_rows if r[2] == "1-5")
+    assert low >= sum(r[3] for r in arity_rows) * 0.5

@@ -1,0 +1,35 @@
+"""Figure 4 — the hw analysis: yes/no/timeout counts per class and k.
+
+Times one full Figure 4 sweep on a freshly built benchmark (single round —
+this is the expensive experiment) and prints the table from the shared study.
+"""
+
+from repro.analysis.experiments import figure4_hw
+from repro.analysis.hw_analysis import run_hw_analysis
+from repro.benchmark.build import build_default_benchmark
+
+
+def test_figure4_hw_analysis(benchmark, study):
+    def sweep():
+        fresh = build_default_benchmark(scale=0.08, seed=123)
+        return run_hw_analysis(fresh, max_k=5, timeout=0.5)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    result = figure4_hw(study.hw)
+    print()
+    print(result.rendered)
+
+    rows = result.rows
+    # Shape: every CQ Application instance resolves by k = 3 (paper: all
+    # non-random CQs have hw <= 3).
+    cq_app = [r for r in rows if r[0] == "CQ Application"]
+    assert max(r[1] for r in cq_app) <= 3
+
+    # Shape: CSP classes need larger k than the CQ classes.
+    csp_ks = [r[1] for r in rows if r[0].startswith("CSP")]
+    assert max(csp_ks) >= 3
+
+    # Shape: CSP Random gets no yes-answer at k = 1 (all cyclic).
+    csp_random_k1 = [r for r in rows if r[0] == "CSP Random" and r[1] == 1]
+    assert csp_random_k1 and csp_random_k1[0][2] == 0

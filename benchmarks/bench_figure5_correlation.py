@@ -1,0 +1,26 @@
+"""Figure 5 — pairwise correlation of the nine hypergraph metrics.
+
+Times the correlation computation and prints the regenerated matrix.
+"""
+
+from repro.analysis.correlation import METRICS, correlation_matrix
+from repro.analysis.experiments import figure5_correlation
+
+
+def test_figure5_correlations(benchmark, study):
+    matrix = benchmark(correlation_matrix, study.repository)
+
+    result = figure5_correlation(study.repository)
+    print()
+    print(result.rendered)
+
+    # Shape: the multi-intersection metrics are highly correlated with each
+    # other (the paper: "of course, the different intersection sizes ... are
+    # highly correlated").
+    bip = METRICS.index("bip")
+    bmip3 = METRICS.index("3-BMIP")
+    assert matrix[bip, bmip3] >= 0.5
+
+    # The matrix is a valid correlation matrix.
+    assert (abs(matrix) <= 1.0 + 1e-9).all()
+    assert all(matrix[i, i] == 1.0 for i in range(len(METRICS)))

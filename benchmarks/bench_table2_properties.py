@@ -1,0 +1,35 @@
+"""Table 2 — hypergraph properties (Deg, BIP, 3/4-BMIP, VC-dim) per class.
+
+Times the full property computation over the benchmark and prints the
+regenerated histogram table.
+"""
+
+from repro.analysis.experiments import table2_properties
+from repro.benchmark.build import build_default_benchmark
+from repro.core.properties import compute_statistics
+
+
+def test_table2_property_computation(benchmark, study):
+    # Time the metric pipeline on a fresh copy (the shared study has cached
+    # statistics, which would make the timing meaningless).
+    fresh = build_default_benchmark(scale=0.1, seed=99)
+
+    def compute_all():
+        return [compute_statistics(e.hypergraph) for e in fresh]
+
+    benchmark(compute_all)
+
+    result = table2_properties(study.repository)
+    print()
+    print(result.rendered)
+
+    # Shape (Table 2): application classes have intersection size <= 2 for
+    # (nearly) all instances, i.e. the BIP rows concentrate on i <= 2.
+    app_rows = [r for r in result.rows if r[0] == "CSP Application"]
+    low_bip = sum(r[3] for r in app_rows if r[1] in ("0", "1", "2"))
+    total_bip = sum(r[3] for r in app_rows)
+    assert low_bip == total_bip
+
+    # Shape: random CSPs have high degree (> 5 dominates).
+    rand_rows = {r[1]: r[2] for r in result.rows if r[0] == "CSP Random"}
+    assert rand_rows[">5"] >= sum(rand_rows.values()) / 2

@@ -1,0 +1,48 @@
+"""Table 3 — comparison of the three Check(GHD, k) algorithms.
+
+Times each algorithm on a representative cyclic instance and prints the
+regenerated per-algorithm table from the shared study.
+"""
+
+import pytest
+
+from repro.analysis.experiments import table3_ghw_algorithms
+from repro.decomp.balsep import check_ghd_balsep
+from repro.decomp.globalbip import check_ghd_global_bip
+from repro.decomp.localbip import check_ghd_local_bip
+from tests.conftest import clique_hypergraph
+
+#: A definite negative instance: K5 has ghw = 3, so Check(GHD, 2) forces
+#: every algorithm to exhaust its search space — the regime Table 3 probes.
+GRID = clique_hypergraph(5)
+
+ALGORITHMS = {
+    "GlobalBIP": check_ghd_global_bip,
+    "LocalBIP": check_ghd_local_bip,
+    "BalSep": check_ghd_balsep,
+}
+
+
+@pytest.mark.parametrize("name", list(ALGORITHMS))
+def test_table3_algorithm_kernel(benchmark, name, study):
+    check = ALGORITHMS[name]
+    result = benchmark.pedantic(
+        lambda: check(GRID, 2), rounds=1, iterations=1
+    )
+    assert result is None  # definite "no" for all three
+
+    if name == "BalSep":  # print the table once
+        table = table3_ghw_algorithms(study.ghw)
+        print()
+        print(table.rendered)
+
+        # Shape (paper): BalSep answers the most "no"-instances of the three.
+        no_counts = {}
+        for algorithm in ALGORITHMS:
+            no_counts[algorithm] = sum(
+                cell.no
+                for (alg, _k), cell in study.ghw.algorithm_cells.items()
+                if alg == algorithm
+            )
+        assert no_counts["BalSep"] >= no_counts["GlobalBIP"]
+        assert no_counts["BalSep"] >= no_counts["LocalBIP"]

@@ -1,0 +1,42 @@
+"""Table 4 — the parallel portfolio over the three GHD algorithms.
+
+Times a portfolio invocation on a representative instance and prints the
+regenerated Table 4.
+"""
+
+from repro.analysis.experiments import table4_ghw_portfolio
+from repro.decomp.driver import NO, ghd_portfolio
+from tests.conftest import clique_hypergraph
+
+
+def test_table4_portfolio(benchmark, study):
+    k5 = clique_hypergraph(5)  # hw = ghw = 3
+
+    def portfolio():
+        best, _ = ghd_portfolio(k5, 2, timeout=5.0)
+        return best
+
+    best = benchmark.pedantic(portfolio, rounds=1, iterations=1)
+    assert best.verdict == NO
+
+    table = table4_ghw_portfolio(study.ghw)
+    print()
+    print(table.rendered)
+
+    # Shape (paper, Section 6.4): in the vast majority of *solved* cases no
+    # width improvement is possible — "no" dominates "yes".
+    total_yes = sum(c.yes for c in study.ghw.portfolio_cells.values())
+    total_no = sum(c.no for c in study.ghw.portfolio_cells.values())
+    if total_yes + total_no:
+        assert total_no >= total_yes
+
+    # Shape: the portfolio solves at least as many instances as any single
+    # algorithm (it answers whenever anyone answers).
+    for algorithm in ("GlobalBIP", "LocalBIP", "BalSep"):
+        solo = sum(
+            cell.yes + cell.no
+            for (alg, _k), cell in study.ghw.algorithm_cells.items()
+            if alg == algorithm
+        )
+        combined = total_yes + total_no
+        assert combined >= solo

@@ -1,0 +1,43 @@
+"""Table 6 — the FracImproveHD study: best fractional width over all HDs.
+
+Times one full bisection search on the triangle family and prints the
+regenerated bucket table.
+"""
+
+import pytest
+
+from repro.analysis.experiments import table6_frac_improve
+from repro.analysis.fractional_analysis import BUCKETS
+from repro.decomp.fractional import best_fractional_improvement
+from tests.conftest import clique_hypergraph
+
+
+def test_table6_frac_improve(benchmark, study):
+    k5 = clique_hypergraph(5)  # hw = 3, fhw = 2.5
+
+    best = benchmark.pedantic(
+        lambda: best_fractional_improvement(k5, 3, precision=0.1),
+        rounds=1,
+        iterations=1,
+    )
+    assert best is not None
+    assert best.width == pytest.approx(2.5, abs=0.11)
+
+    table = table6_frac_improve(study.fractional)
+    print()
+    print(table.rendered)
+
+    # Shape (paper): FracImproveHD finds at least as many improvements of
+    # >= 0.5 as ImproveHD does, at the price of timeouts.
+    def improved_count(cells):
+        return sum(
+            cell.counts[">=1"] + cell.counts["[0.5,1)"] for cell in cells.values()
+        )
+
+    assert improved_count(study.fractional.frac_improve) + sum(
+        cell.counts["timeout"] for cell in study.fractional.frac_improve.values()
+    ) >= improved_count(study.fractional.improve_hd)
+
+    # All buckets accounted for: every analysed instance lands in a column.
+    for cell in study.fractional.frac_improve.values():
+        assert sum(cell.counts[b] for b in BUCKETS) >= 1

@@ -1,0 +1,105 @@
+"""Decomposition-guided CSP solving vs plain backtracking.
+
+Parses an XCSP-style instance, converts it to a hypergraph (Section 5.5),
+computes a hypertree decomposition, and solves the instance both by plain
+backtracking and by Yannakakis evaluation along the decomposition —
+demonstrating why the paper's widths matter: the structured instance has a
+huge search space but tiny width.
+
+Run with::
+
+    python examples/csp_solving.py
+"""
+
+import time
+
+from repro.csp import (
+    csp_to_hypergraph,
+    parse_xcsp,
+    solve_backtracking,
+    solve_with_decomposition,
+)
+from repro.csp.model import Constraint, CSPInstance
+from repro.decomp import check_hd, exact_width
+
+
+def make_odd_cycle_instance(length: int) -> CSPInstance:
+    """2-colouring an odd cycle: unsatisfiable, but of hypertree width 2.
+
+    The variable *names* are chosen adversarially: every static ordering by
+    degree/name assigns all even cycle positions first, which are mutually
+    unconstrained — chronological backtracking only discovers the parity
+    contradiction after enumerating exponentially many even-position
+    assignments, while the decomposition solver's semi-join passes refute
+    the instance in linear time.
+    """
+    assert length % 2 == 1
+    names = {}
+    for position in range(length):
+        if position % 2 == 0:
+            names[position] = f"a{position:03d}"  # sorted first
+        else:
+            names[position] = f"b{position:03d}"
+    variables = {names[i]: (0, 1) for i in range(length)}
+    constraints = [
+        Constraint(
+            f"neq{i}",
+            (names[i], names[(i + 1) % length]),
+            frozenset({(0, 1), (1, 0)}),
+        )
+        for i in range(length)
+    ]
+    return CSPInstance("odd-cycle", variables, constraints)
+
+
+XCSP_EXAMPLE = """
+<instance format="XCSP3" type="CSP">
+  <variables>
+    <var id="a"> 0..2 </var>
+    <var id="b"> 0..2 </var>
+    <var id="c"> 0..2 </var>
+    <var id="d"> 0..2 </var>
+  </variables>
+  <constraints>
+    <extension id="ab"><list>a b</list><conflicts>(0,0)(1,1)(2,2)</conflicts></extension>
+    <extension id="bc"><list>b c</list><conflicts>(0,0)(1,1)(2,2)</conflicts></extension>
+    <extension id="cd"><list>c d</list><conflicts>(0,0)(1,1)(2,2)</conflicts></extension>
+    <extension id="da"><list>d a</list><conflicts>(0,0)(1,1)(2,2)</conflicts></extension>
+  </constraints>
+</instance>
+"""
+
+
+def main() -> None:
+    # --- An XCSP instance end to end ---------------------------------------
+    print("== XCSP: 3-colouring a 4-cycle")
+    instance = parse_xcsp(XCSP_EXAMPLE, name="c4-colouring")
+    h = csp_to_hypergraph(instance)
+    width = exact_width(check_hd, h, max_k=3).value
+    print(f"  hypergraph: {h.num_vertices} variables, {h.num_edges} constraints, hw = {width}")
+
+    solution = solve_with_decomposition(instance)
+    print(f"  decomposition solver: {solution}")
+    assert instance.check(solution)
+    assert solve_backtracking(instance) is not None
+
+    # --- Structured instance: decomposition wins ---------------------------
+    print("\n== Odd cycle: backtracking vs decomposition-guided refutation")
+    instance = make_odd_cycle_instance(length=29)
+
+    start = time.perf_counter()
+    bt = solve_backtracking(instance)
+    bt_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    dec = solve_with_decomposition(instance, max_width=2)
+    dec_time = time.perf_counter() - start
+
+    assert bt is None and dec is None, "an odd cycle is not 2-colourable"
+    print(f"  backtracking:    {bt_time * 1000:8.1f} ms")
+    print(f"  decomposition:   {dec_time * 1000:8.1f} ms")
+    print(f"  speedup:         {bt_time / dec_time:8.1f}x")
+
+
+if __name__ == "__main__":
+    main()

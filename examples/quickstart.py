@@ -1,0 +1,74 @@
+"""Quickstart: hypergraphs, widths, and decompositions in five minutes.
+
+Builds a few hypergraphs, computes hw / ghw / fractionally improved widths
+with all the algorithms of the paper, validates every result, and prints the
+decomposition trees.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    Hypergraph,
+    best_fractional_improvement,
+    check_ghd_balsep,
+    check_hd,
+    compute_statistics,
+    exact_width,
+    improve_hd,
+)
+
+
+def print_tree(node, indent: int = 0) -> None:
+    label = ", ".join(sorted(node.lambda_label()))
+    bag = ", ".join(sorted(node.bag))
+    print(f"{'  ' * indent}- bag {{{bag}}}  λ {{{label}}}")
+    for child in node.children:
+        print_tree(child, indent + 1)
+
+
+def main() -> None:
+    # 1. The triangle query R(x,y) ⋈ S(y,z) ⋈ T(z,x): the smallest cyclic CQ.
+    triangle = Hypergraph(
+        {"R": ["x", "y"], "S": ["y", "z"], "T": ["z", "x"]}, name="triangle"
+    )
+    print(f"== {triangle!r}")
+    stats = compute_statistics(triangle)
+    print(f"degree={stats.degree}  intersection size={stats.bip}  VC-dim={stats.vc_dim}")
+
+    assert check_hd(triangle, 1) is None, "the triangle is cyclic"
+    hd = check_hd(triangle, 2)
+    hd.validate("HD")
+    print("\nA hypertree decomposition of width 2:")
+    print_tree(hd.root)
+
+    # A GHD via balanced separators gives the same width here.
+    ghd = check_ghd_balsep(triangle, 2)
+    ghd.validate("GHD")
+    print(f"\nBalSep agrees: ghw <= {ghd.integral_width}")
+
+    # Fractional improvement: the triangle famously has fhw = 1.5.
+    fhd = improve_hd(hd)
+    print(f"ImproveHD: fractional width {fhd.width:.2f} (from integral 2)")
+    best = best_fractional_improvement(triangle, 2, precision=0.05)
+    print(f"FracImproveHD: best fractional width {best.width:.2f}")
+
+    # 2. A larger example: exact width by iterating k (the Figure 4 protocol).
+    grid = Hypergraph(
+        {
+            f"g{r}{c}": [f"p{r}{c}", f"p{r}{c + 1}", f"p{r + 1}{c}"]
+            for r in range(3)
+            for c in range(3)
+        },
+        name="grid",
+    )
+    result = exact_width(check_hd, grid, max_k=4)
+    print(f"\n== {grid!r}")
+    print(f"hw({grid.name}) = {result.value} "
+          f"(refuted k < {result.value}, found an HD at k = {result.value})")
+    result.decomposition.validate("HD")
+
+
+if __name__ == "__main__":
+    main()

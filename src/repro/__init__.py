@@ -1,0 +1,82 @@
+"""repro — a reproduction of *HyperBench: A Benchmark and Tool for
+Hypergraphs and Empirical Findings* (Fischl, Gottlob, Longo, Pichler).
+
+The package provides:
+
+* :mod:`repro.core` — hypergraphs, components/separators, (fractional) edge
+  covers, subedge sets, structural properties, decomposition objects;
+* :mod:`repro.decomp` — ``DetKDecomp`` (Check(HD,k)), ``GlobalBIP``,
+  ``LocalBIP``, ``BalSep`` (Check(GHD,k)), and the fractional improvements;
+* :mod:`repro.cq`, :mod:`repro.sql`, :mod:`repro.csp` — the three input
+  pipelines that turn queries and constraint networks into hypergraphs;
+* :mod:`repro.relational` — Yannakakis-style evaluation along decompositions;
+* :mod:`repro.benchmark` — the synthetic HyperBench benchmark + repository;
+* :mod:`repro.analysis` — the paper's empirical study (all tables/figures).
+
+Quickstart::
+
+    from repro import Hypergraph, check_hd, check_ghd_balsep
+
+    h = Hypergraph({"r": ["x", "y"], "s": ["y", "z"], "t": ["z", "x"]})
+    hd = check_hd(h, 2)          # an HD of width <= 2
+    assert check_hd(h, 1) is None  # the triangle is cyclic
+"""
+
+from repro.core import (
+    Decomposition,
+    DecompositionNode,
+    Hypergraph,
+    compute_statistics,
+    fractional_cover,
+    fractional_cover_number,
+)
+from repro.decomp import (
+    best_fractional_improvement,
+    check_frac_improved,
+    check_ghd_balsep,
+    check_ghd_global_bip,
+    check_ghd_local_bip,
+    check_hd,
+    exact_width,
+    ghd_portfolio,
+    improve_hd,
+)
+from repro.errors import (
+    DeadlineExceeded,
+    HypergraphError,
+    ParseError,
+    ReproError,
+    SolverError,
+    SubedgeLimitError,
+    ValidationError,
+)
+from repro.utils.deadline import Deadline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Hypergraph",
+    "Decomposition",
+    "DecompositionNode",
+    "compute_statistics",
+    "fractional_cover",
+    "fractional_cover_number",
+    "check_hd",
+    "check_ghd_global_bip",
+    "check_ghd_local_bip",
+    "check_ghd_balsep",
+    "improve_hd",
+    "check_frac_improved",
+    "best_fractional_improvement",
+    "exact_width",
+    "ghd_portfolio",
+    "Deadline",
+    "ReproError",
+    "DeadlineExceeded",
+    "HypergraphError",
+    "ValidationError",
+    "SubedgeLimitError",
+    "ParseError",
+    "SolverError",
+    "__version__",
+]

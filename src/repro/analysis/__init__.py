@@ -1,0 +1,27 @@
+"""The empirical study (Section 6) as reusable analysis drivers.
+
+* :mod:`repro.analysis.hw_analysis` — the Figure 4 protocol;
+* :mod:`repro.analysis.ghw_analysis` — Tables 3 and 4;
+* :mod:`repro.analysis.fractional_analysis` — Tables 5 and 6;
+* :mod:`repro.analysis.correlation` — Figure 5;
+* :mod:`repro.analysis.experiments` — one entry point per paper artefact,
+  each returning structured rows plus a rendered ASCII table.
+"""
+
+from repro.analysis.correlation import correlation_matrix
+from repro.analysis.hw_analysis import HwAnalysis, run_hw_analysis
+from repro.analysis.ghw_analysis import GhwAnalysis, run_ghw_analysis
+from repro.analysis.fractional_analysis import (
+    FractionalAnalysis,
+    run_fractional_analysis,
+)
+
+__all__ = [
+    "HwAnalysis",
+    "run_hw_analysis",
+    "GhwAnalysis",
+    "run_ghw_analysis",
+    "FractionalAnalysis",
+    "run_fractional_analysis",
+    "correlation_matrix",
+]

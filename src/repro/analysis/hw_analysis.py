@@ -1,0 +1,110 @@
+"""The hypertree-width analysis of Figure 4.
+
+Protocol (Section 6.2): for every hypergraph, try ``Check(HD, k)`` for
+k = 1; instances answering "no" or timing out are retried with k = 2, and so
+on up to ``max_k``.  For every class and k we record how many instances
+answered yes / no / timed out and the average runtime of the yes- and
+no-answers — exactly the bars and labels of Figure 4.
+
+As a side effect the repository's hw bounds are updated: a yes at k gives
+``hw <= k`` (exact when all smaller k produced definite no-answers), a no at
+k gives ``hw > k``.  The found HDs are stashed in ``entry.extra["hd"]`` for
+the fractional-improvement study (Tables 5/6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.benchmark.classes import BenchmarkClass
+from repro.benchmark.repository import BenchmarkEntry, HyperBenchRepository
+from repro.decomp.detkdecomp import check_hd
+from repro.decomp.driver import NO, TIMEOUT, YES, timed_check
+
+__all__ = ["HwCell", "HwAnalysis", "run_hw_analysis"]
+
+
+@dataclass
+class HwCell:
+    """One (class, k) cell of Figure 4."""
+
+    yes: int = 0
+    no: int = 0
+    timeout: int = 0
+    yes_seconds: float = 0.0
+    no_seconds: float = 0.0
+
+    @property
+    def yes_avg(self) -> float:
+        return self.yes_seconds / self.yes if self.yes else 0.0
+
+    @property
+    def no_avg(self) -> float:
+        return self.no_seconds / self.no if self.no else 0.0
+
+
+@dataclass
+class HwAnalysis:
+    """Full result of the Figure 4 sweep."""
+
+    max_k: int
+    timeout: float | None
+    cells: dict[tuple[BenchmarkClass, int], HwCell] = field(default_factory=dict)
+    #: instances that still had no yes-answer after ``max_k``
+    unresolved: list[str] = field(default_factory=list)
+
+    def cell(self, benchmark_class: BenchmarkClass, k: int) -> HwCell:
+        key = (benchmark_class, k)
+        if key not in self.cells:
+            self.cells[key] = HwCell()
+        return self.cells[key]
+
+    def ks_for(self, benchmark_class: BenchmarkClass) -> list[int]:
+        return sorted(k for cls, k in self.cells if cls == benchmark_class)
+
+
+def run_hw_analysis(
+    repository: HyperBenchRepository,
+    max_k: int = 6,
+    timeout: float | None = 2.0,
+) -> HwAnalysis:
+    """Run the Figure 4 protocol over a repository (updates its hw bounds)."""
+    analysis = HwAnalysis(max_k, timeout)
+    pending: list[BenchmarkEntry] = list(repository)
+    clean_no: dict[str, bool] = {entry.name: True for entry in pending}
+
+    for k in range(1, max_k + 1):
+        still_pending: list[BenchmarkEntry] = []
+        for entry in pending:
+            outcome = timed_check(check_hd, entry.hypergraph, k, timeout)
+            cell = analysis.cell(entry.benchmark_class, k)
+            if outcome.verdict == YES:
+                cell.yes += 1
+                cell.yes_seconds += outcome.seconds
+                entry.hw_high = k
+                if clean_no[entry.name]:
+                    entry.hw_low = k
+                elif entry.hw_low is None:
+                    entry.hw_low = 1
+                entry.ghw_high = k  # ghw <= hw
+                if entry.ghw_low is None:
+                    entry.ghw_low = 1
+                entry.extra["hd"] = outcome.decomposition
+            elif outcome.verdict == NO:
+                cell.no += 1
+                cell.no_seconds += outcome.seconds
+                if clean_no[entry.name]:
+                    entry.hw_low = k + 1
+                still_pending.append(entry)
+            else:
+                cell.timeout += 1
+                clean_no[entry.name] = False
+                still_pending.append(entry)
+        pending = still_pending
+        if not pending:
+            break
+    analysis.unresolved = [entry.name for entry in pending]
+    for entry in pending:
+        if entry.hw_low is None:
+            entry.hw_low = 1
+    return analysis

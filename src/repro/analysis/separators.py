@@ -1,0 +1,64 @@
+"""Counting balanced vs. arbitrary separators (Section 7, future work).
+
+    "The empirical results obtained for our new GHD algorithm via balanced
+    separators suggest that the number of balanced separators is often
+    drastically smaller than the number of arbitrary separators.  We want to
+    determine a realistic upper bound on the number of balanced separators
+    in terms of n (the number of edges) and k."
+
+This module measures exactly that ratio: for a hypergraph and a width k it
+enumerates all ≤k-subsets of edges and reports how many of them are balanced
+separators (Definition 7).  The ablation bench uses it to quantify why
+``BalSep`` refutes quickly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.components import components
+from repro.core.hypergraph import Hypergraph
+from repro.utils.deadline import Deadline
+
+__all__ = ["SeparatorCensus", "count_balanced_separators"]
+
+
+@dataclass(frozen=True)
+class SeparatorCensus:
+    """Counts of candidate λ-labels for one (hypergraph, k) pair."""
+
+    total: int
+    balanced: int
+
+    @property
+    def ratio(self) -> float:
+        """Fraction of ≤k edge subsets that are balanced separators."""
+        return self.balanced / self.total if self.total else 0.0
+
+
+def count_balanced_separators(
+    hypergraph: Hypergraph,
+    k: int,
+    deadline: Deadline | None = None,
+) -> SeparatorCensus:
+    """Census of all non-empty ≤k-subsets of edges.
+
+    A subset counts as *balanced* when every [B(λ)]-component of the full
+    hypergraph contains at most half of the edges.  The enumeration is
+    exponential in k (like the search it models); use small k.
+    """
+    deadline = deadline or Deadline.unlimited()
+    family = hypergraph.edges
+    names = sorted(family)
+    limit = len(family) / 2
+    total = 0
+    balanced = 0
+    for size in range(1, k + 1):
+        for combo in itertools.combinations(names, size):
+            deadline.check()
+            total += 1
+            bag = frozenset().union(*(family[n] for n in combo))
+            if all(len(c) <= limit for c in components(family, bag)):
+                balanced += 1
+    return SeparatorCensus(total, balanced)

@@ -1,0 +1,21 @@
+"""The HyperBench benchmark: generators, repository, and report tooling.
+
+The paper collects 3,648 hypergraphs from CQ and CSP sources in five classes
+(CQ Application, CQ Random, CSP Application, CSP Random, CSP Other).  The
+original corpora (SPARQL/Wikidata logs, TPC-H/DS, SQLShare, xcsp.org, DBAI)
+are not redistributable offline, so this package generates seeded synthetic
+instances per class reproducing the size/arity/property distributions of the
+paper's Figure 3 and Table 2; see DESIGN.md for the substitution rationale.
+"""
+
+from repro.benchmark.classes import CLASS_NAMES, BenchmarkClass
+from repro.benchmark.repository import BenchmarkEntry, HyperBenchRepository
+from repro.benchmark.build import build_default_benchmark
+
+__all__ = [
+    "BenchmarkClass",
+    "CLASS_NAMES",
+    "HyperBenchRepository",
+    "BenchmarkEntry",
+    "build_default_benchmark",
+]

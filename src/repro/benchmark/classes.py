@@ -1,0 +1,30 @@
+"""The five benchmark classes of the paper's evaluation."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["BenchmarkClass", "CLASS_NAMES"]
+
+
+class BenchmarkClass(str, Enum):
+    """Instance classes, as used throughout Section 6."""
+
+    CQ_APPLICATION = "CQ Application"
+    CQ_RANDOM = "CQ Random"
+    CSP_APPLICATION = "CSP Application"
+    CSP_RANDOM = "CSP Random"
+    CSP_OTHER = "CSP Other"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Display order used by the paper's figures.
+CLASS_NAMES = [
+    BenchmarkClass.CQ_APPLICATION,
+    BenchmarkClass.CQ_RANDOM,
+    BenchmarkClass.CSP_APPLICATION,
+    BenchmarkClass.CSP_RANDOM,
+    BenchmarkClass.CSP_OTHER,
+]

@@ -1,0 +1,29 @@
+"""Seeded hypergraph generators for the five benchmark classes."""
+
+from repro.benchmark.generators.application_cq import generate_application_cqs
+from repro.benchmark.generators.random_cq import (
+    random_query_hypergraph,
+    generate_random_cqs,
+)
+from repro.benchmark.generators.application_csp import generate_application_csps
+from repro.benchmark.generators.random_csp import (
+    generate_random_csps,
+    random_csp_instance,
+)
+from repro.benchmark.generators.other_csp import (
+    circuit_hypergraph,
+    generate_other_csps,
+    pebbling_grid,
+)
+
+__all__ = [
+    "generate_application_cqs",
+    "generate_random_cqs",
+    "random_query_hypergraph",
+    "generate_application_csps",
+    "generate_random_csps",
+    "random_csp_instance",
+    "generate_other_csps",
+    "pebbling_grid",
+    "circuit_hypergraph",
+]

@@ -1,0 +1,106 @@
+"""CQ Application generator.
+
+The paper's CQ Application class (SPARQL, Wikidata, LUBM, iBench, Doctors,
+Deep, JOB, TPC-H, TPC-DS, SQLShare) is dominated by small queries: most have
+at most 10 atoms, low arity, and are acyclic or have hw = 2 — all non-random
+CQs in the paper have hw ≤ 3.  We emit a deterministic mix of the shapes
+those workloads contain:
+
+* **chain** joins (foreign-key walks — LUBM/Deep style), acyclic;
+* **star** joins (fact table + dimensions — TPC-H/DS style), acyclic;
+* **snowflake** joins (stars whose dimensions have their own satellites);
+* **cycles** of length 3–6 (graph-pattern SPARQL queries), hw = 2;
+* **chorded cycles** and **theta-sprockets** (JOB-style), hw 2–3;
+* **triangle fans** sharing a hub, hw = 2.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.hypergraph import Hypergraph
+
+__all__ = ["generate_application_cqs"]
+
+
+def _chain(length: int, arity: int, name: str) -> Hypergraph:
+    """A chain query: consecutive atoms overlap in one variable."""
+    edges = {}
+    v = 0
+    for i in range(length):
+        edges[f"r{i}"] = [f"x{v + j}" for j in range(arity)]
+        v += arity - 1
+    return Hypergraph(edges, name=name)
+
+
+def _star(points: int, arity: int, name: str) -> Hypergraph:
+    """A star query: dimension atoms share one variable with the fact atom."""
+    fact = [f"x{j}" for j in range(max(points, arity))]
+    edges = {"fact": fact[: max(arity, points)]}
+    for i in range(points):
+        edges[f"dim{i}"] = [fact[i]] + [f"d{i}_{j}" for j in range(arity - 1)]
+    return Hypergraph(edges, name=name)
+
+
+def _snowflake(points: int, satellites: int, name: str) -> Hypergraph:
+    """A star whose dimensions each have further satellite atoms."""
+    edges = {"fact": [f"k{i}" for i in range(points)]}
+    for i in range(points):
+        edges[f"dim{i}"] = [f"k{i}", f"a{i}", f"b{i}"]
+        for j in range(satellites):
+            edges[f"sat{i}_{j}"] = [f"a{i}" if j % 2 == 0 else f"b{i}", f"s{i}_{j}"]
+    return Hypergraph(edges, name=name)
+
+
+def _cycle(length: int, name: str, arity: int = 2) -> Hypergraph:
+    """A cycle query of the given length: hw = ghw = 2."""
+    edges = {}
+    for i in range(length):
+        extra = [f"e{i}_{j}" for j in range(arity - 2)]
+        edges[f"c{i}"] = [f"x{i}", f"x{(i + 1) % length}"] + extra
+    return Hypergraph(edges, name=name)
+
+
+def _chorded_cycle(length: int, chords: int, name: str) -> Hypergraph:
+    """A cycle with chords (JOB-style dense join graphs)."""
+    edges = {f"c{i}": [f"x{i}", f"x{(i + 1) % length}"] for i in range(length)}
+    for j in range(chords):
+        a = j % length
+        b = (a + length // 2) % length
+        if a != b:
+            edges[f"ch{j}"] = [f"x{a}", f"x{b}"]
+    return Hypergraph(edges, name=name)
+
+
+def _triangle_fan(triangles: int, name: str) -> Hypergraph:
+    """Triangles sharing a hub vertex: cyclic, hw = 2."""
+    edges = {}
+    for i in range(triangles):
+        edges[f"t{i}a"] = ["hub", f"u{i}"]
+        edges[f"t{i}b"] = [f"u{i}", f"v{i}"]
+        edges[f"t{i}c"] = [f"v{i}", "hub"]
+    return Hypergraph(edges, name=name)
+
+
+def generate_application_cqs(count: int, seed: int = 0) -> list[Hypergraph]:
+    """Generate ``count`` CQ Application hypergraphs (deterministic in seed)."""
+    rng = random.Random(seed)
+    shapes = []
+    i = 0
+    while len(shapes) < count:
+        kind = i % 10
+        name = f"cq_app_{i:04d}"
+        if kind in (0, 1, 2):  # acyclic chains dominate real workloads
+            shapes.append(_chain(rng.randint(3, 8), rng.randint(2, 4), name))
+        elif kind in (3, 4):
+            shapes.append(_star(rng.randint(3, 6), rng.randint(2, 4), name))
+        elif kind == 5:
+            shapes.append(_snowflake(rng.randint(3, 4), rng.randint(1, 2), name))
+        elif kind in (6, 7):
+            shapes.append(_cycle(rng.randint(3, 6), name, arity=rng.choice((2, 2, 3))))
+        elif kind == 8:
+            shapes.append(_chorded_cycle(rng.randint(5, 8), rng.randint(1, 2), name))
+        else:
+            shapes.append(_triangle_fan(rng.randint(2, 3), name))
+        i += 1
+    return shapes

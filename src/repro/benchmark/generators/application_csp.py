@@ -1,0 +1,91 @@
+"""CSP Application generator.
+
+The paper's CSP Application class (xcsp.org instances from concrete
+applications) is characterised in Table 2 by *high degree* (46% have degree
+> 5) but *tiny intersections* (BIP ≤ 2 for nearly all) and VC-dimension ≈ 2;
+widths spread from small to large (about 60% have hw ≤ 5).  Real application
+instances are built from repeating structured sub-patterns, which is what we
+emit:
+
+* **ladder networks** — two rails of variables with rung constraints
+  (series-parallel, small width);
+* **wheel networks** — a hub constrained with every rim segment (high
+  degree, small intersections);
+* **composed blocks** — cliques of ternary scopes chained through small
+  interfaces (width grows with block size);
+* **grid patterns** — row/column scopes over a variable matrix (the classic
+  source of moderate-width CSPs).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.hypergraph import Hypergraph
+
+__all__ = ["generate_application_csps"]
+
+
+def _ladder(length: int, name: str) -> Hypergraph:
+    edges = {}
+    for i in range(length):
+        edges[f"rail_a{i}"] = [f"a{i}", f"a{i + 1}"]
+        edges[f"rail_b{i}"] = [f"b{i}", f"b{i + 1}"]
+        edges[f"rung{i}"] = [f"a{i}", f"b{i}"]
+    edges[f"rung{length}"] = [f"a{length}", f"b{length}"]
+    return Hypergraph(edges, name=name)
+
+
+def _wheel(spokes: int, name: str) -> Hypergraph:
+    edges = {}
+    for i in range(spokes):
+        edges[f"spoke{i}"] = ["hub", f"r{i}"]
+        edges[f"rim{i}"] = [f"r{i}", f"r{(i + 1) % spokes}"]
+    return Hypergraph(edges, name=name)
+
+
+def _blocks(blocks: int, block_size: int, name: str) -> Hypergraph:
+    """Chained blocks: each block is a clique of ternary scopes; blocks
+    overlap in one shared interface variable."""
+    edges = {}
+    for b in range(blocks):
+        variables = [f"x{b}_{i}" for i in range(block_size)]
+        if b > 0:
+            variables[0] = f"x{b - 1}_{block_size - 1}"  # interface
+        for i in range(block_size - 2):
+            edges[f"blk{b}_c{i}"] = variables[i : i + 3]
+    return Hypergraph(edges, name=name)
+
+
+def _grid_pattern(rows: int, cols: int, scope: int, name: str) -> Hypergraph:
+    """Sliding row/column scopes over a rows × cols variable matrix."""
+    edges = {}
+    for r in range(rows):
+        for c in range(cols - scope + 1):
+            edges[f"row{r}_{c}"] = [f"m{r}_{c + j}" for j in range(scope)]
+    for c in range(cols):
+        for r in range(rows - scope + 1):
+            edges[f"col{c}_{r}"] = [f"m{r + j}_{c}" for j in range(scope)]
+    return Hypergraph(edges, name=name)
+
+
+def generate_application_csps(count: int, seed: int = 0) -> list[Hypergraph]:
+    """Generate ``count`` CSP Application hypergraphs (deterministic)."""
+    rng = random.Random(seed)
+    result: list[Hypergraph] = []
+    i = 0
+    while len(result) < count:
+        kind = i % 4
+        name = f"csp_app_{i:04d}"
+        if kind == 0:
+            result.append(_ladder(rng.randint(3, 8), name))
+        elif kind == 1:
+            result.append(_wheel(rng.randint(4, 10), name))
+        elif kind == 2:
+            result.append(_blocks(rng.randint(2, 4), rng.randint(4, 6), name))
+        else:
+            rows = rng.randint(3, 5)
+            cols = rng.randint(3, 5)
+            result.append(_grid_pattern(rows, cols, min(3, cols), name))
+        i += 1
+    return result

@@ -1,0 +1,83 @@
+"""CSP Other generator: pebbling grids and ISCAS-style circuits.
+
+The paper's CSP Other class comes from the DBAI hypertree-decomposition
+project: DaimlerChrysler configuration instances, ISCAS circuit
+translations, and grids from pebbling problems.  The class contains the
+hardest instances of the benchmark ("difficult to decompose", Section 6.2).
+
+* :func:`pebbling_grid` — an n×m grid where each interior cell forms a
+  hyperedge with its right and lower neighbours (the pebbling-move scopes);
+  widths grow with ``min(n, m)``, giving the class its hard instances.
+* :func:`circuit_hypergraph` — a layered random circuit: each gate is a
+  hyperedge over its output and its (2–3) inputs drawn from earlier layers,
+  like the ISCAS benchmark translations.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.hypergraph import Hypergraph
+
+__all__ = ["pebbling_grid", "circuit_hypergraph", "generate_other_csps"]
+
+
+def pebbling_grid(rows: int, cols: int, name: str = "") -> Hypergraph:
+    """The pebbling-grid hypergraph: cell + right + down neighbour scopes."""
+    edges = {}
+    for r in range(rows):
+        for c in range(cols):
+            scope = [f"p{r}_{c}"]
+            if c + 1 < cols:
+                scope.append(f"p{r}_{c + 1}")
+            if r + 1 < rows:
+                scope.append(f"p{r + 1}_{c}")
+            if len(scope) > 1:
+                edges[f"g{r}_{c}"] = scope
+    return Hypergraph(edges, name=name or f"pebbling_{rows}x{cols}")
+
+
+def circuit_hypergraph(
+    num_inputs: int,
+    num_gates: int,
+    seed: int = 0,
+    name: str = "",
+    fan_in: tuple[int, int] = (2, 3),
+) -> Hypergraph:
+    """A layered random circuit: one hyperedge per gate (output + inputs)."""
+    rng = random.Random(seed)
+    signals = [f"in{i}" for i in range(num_inputs)]
+    edges = {}
+    for g in range(num_gates):
+        inputs = rng.sample(signals, min(rng.randint(*fan_in), len(signals)))
+        output = f"n{g}"
+        edges[f"gate{g}"] = inputs + [output]
+        signals.append(output)
+        # Old signals slowly leave the pool, keeping the circuit layered.
+        if len(signals) > max(6, num_inputs):
+            signals.pop(0)
+    return Hypergraph(edges, name=name or f"circuit_{num_inputs}_{num_gates}_{seed}")
+
+
+def generate_other_csps(count: int, seed: int = 0) -> list[Hypergraph]:
+    """Generate ``count`` CSP Other hypergraphs: grids and circuits mixed."""
+    rng = random.Random(seed)
+    result: list[Hypergraph] = []
+    i = 0
+    while len(result) < count:
+        name = f"csp_other_{i:04d}"
+        if i % 2 == 0:
+            rows = rng.randint(3, 5)
+            cols = rng.randint(3, 6)
+            result.append(pebbling_grid(rows, cols, name=name))
+        else:
+            result.append(
+                circuit_hypergraph(
+                    rng.randint(3, 5),
+                    rng.randint(8, 20),
+                    seed=rng.randint(0, 10**6),
+                    name=name,
+                )
+            )
+        i += 1
+    return result

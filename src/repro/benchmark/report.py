@@ -1,0 +1,110 @@
+"""Static HTML report — the offline stand-in for the HyperBench web tool.
+
+The paper exposes the benchmark at hyperbench.dbai.tuwien.ac.at, where users
+browse hypergraphs and their analysis results.  :func:`render_html_report`
+renders a repository (with whatever bounds/statistics have been computed)
+into a single self-contained HTML page with per-class summaries and a
+sortable instance table; :func:`write_html_report` saves it to disk.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+
+from repro.benchmark.classes import CLASS_NAMES
+from repro.benchmark.repository import HyperBenchRepository
+
+__all__ = ["render_html_report", "write_html_report"]
+
+_STYLE = """
+body { font-family: sans-serif; margin: 2em; color: #222; }
+h1 { border-bottom: 2px solid #444; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #999; padding: 0.3em 0.7em; text-align: right; }
+th { background: #eee; }
+td.name, th.name { text-align: left; }
+caption { font-weight: bold; margin-bottom: 0.4em; text-align: left; }
+"""
+
+
+def _format(value: object) -> str:
+    if value is None:
+        return "?"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return html.escape(str(value))
+
+
+def render_html_report(repository: HyperBenchRepository, title: str = "HyperBench") -> str:
+    """Render the repository as a single self-contained HTML document."""
+    parts: list[str] = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f"<p>{len(repository)} hypergraphs in {len(repository.classes())} classes.</p>",
+    ]
+
+    parts.append("<table><caption>Class summary</caption>")
+    parts.append(
+        "<tr><th class='name'>Class</th><th>Instances</th><th>hw &ge; 2</th>"
+        "<th>max edges</th><th>max arity</th></tr>"
+    )
+    for benchmark_class in CLASS_NAMES:
+        entries = repository.entries(benchmark_class)
+        if not entries:
+            continue
+        cyclic = sum(1 for e in entries if e.is_cyclic)
+        parts.append(
+            "<tr>"
+            f"<td class='name'>{html.escape(str(benchmark_class))}</td>"
+            f"<td>{len(entries)}</td><td>{cyclic}</td>"
+            f"<td>{max(e.hypergraph.num_edges for e in entries)}</td>"
+            f"<td>{max(e.hypergraph.arity for e in entries)}</td>"
+            "</tr>"
+        )
+    parts.append("</table>")
+
+    parts.append("<table><caption>Instances</caption>")
+    header = (
+        "name",
+        "class",
+        "vertices",
+        "edges",
+        "arity",
+        "degree",
+        "bip",
+        "bmip3",
+        "bmip4",
+        "vc_dim",
+        "hw_low",
+        "hw_high",
+        "ghw_low",
+        "ghw_high",
+        "fhw_high",
+    )
+    parts.append(
+        "<tr>" + "".join(
+            f"<th class='name'>{h}</th>" if h in ("name", "class") else f"<th>{h}</th>"
+            for h in header
+        ) + "</tr>"
+    )
+    for entry in repository:
+        record = entry.as_record()
+        cells = []
+        for column in header:
+            css = " class='name'" if column in ("name", "class") else ""
+            cells.append(f"<td{css}>{_format(record[column])}</td>")
+        parts.append("<tr>" + "".join(cells) + "</tr>")
+    parts.append("</table></body></html>")
+    return "".join(parts)
+
+
+def write_html_report(
+    repository: HyperBenchRepository, path: str | Path, title: str = "HyperBench"
+) -> Path:
+    """Write the HTML report; returns the path written."""
+    path = Path(path)
+    path.write_text(render_html_report(repository, title=title), encoding="utf-8")
+    return path

@@ -1,0 +1,234 @@
+"""Command-line interface — the offline counterpart of the HyperBench tool.
+
+Subcommands::
+
+    python -m repro analyze FILE.hg              # Table 2 metrics of one file
+    python -m repro width FILE.hg --max-k 6      # exact hw (and optionally ghw)
+    python -m repro decompose FILE.hg -k 3       # print / export a decomposition
+    python -m repro benchmark --scale 0.2 DIR    # build benchmark + CSV + HTML
+    python -m repro convert --cq "ans(X):-r(X,Y),s(Y,Z)."   # to .hg format
+    python -m repro convert --xcsp FILE.xml
+    python -m repro convert --sql FILE.sql --schema SCHEMA.json
+
+All commands read the detkdecomp text format (``name(v1,v2),... .``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.benchmark.build import build_default_benchmark
+from repro.benchmark.report import write_html_report
+from repro.core.properties import compute_statistics
+from repro.decomp.balsep import check_ghd_balsep
+from repro.decomp.detkdecomp import check_hd
+from repro.decomp.driver import exact_width, timed_check
+from repro.decomp.fractional import best_fractional_improvement
+from repro.decomp.globalbip import check_ghd_global_bip
+from repro.decomp.hybrid import check_ghd_hybrid
+from repro.decomp.localbip import check_ghd_local_bip
+from repro.errors import ReproError
+from repro.io.hg_format import format_hypergraph, read_hypergraph
+from repro.io.json_io import decomposition_to_json
+
+__all__ = ["main", "build_parser"]
+
+ALGORITHMS = {
+    "hd": check_hd,
+    "globalbip": check_ghd_global_bip,
+    "localbip": check_ghd_local_bip,
+    "balsep": check_ghd_balsep,
+    "hybrid": check_ghd_hybrid,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HyperBench reproduction: hypergraph decompositions and analysis",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="structural properties of a hypergraph")
+    analyze.add_argument("file", type=Path)
+
+    width = sub.add_parser("width", help="exact hypertree width by iterating k")
+    width.add_argument("file", type=Path)
+    width.add_argument("--max-k", type=int, default=6)
+    width.add_argument("--timeout", type=float, default=None)
+    width.add_argument("--ghw", action="store_true", help="also bound the ghw")
+
+    decompose = sub.add_parser("decompose", help="compute one decomposition")
+    decompose.add_argument("file", type=Path)
+    decompose.add_argument("-k", type=int, required=True)
+    decompose.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="hd"
+    )
+    decompose.add_argument("--timeout", type=float, default=None)
+    decompose.add_argument("--json", action="store_true", help="emit JSON")
+    decompose.add_argument(
+        "--improve", action="store_true",
+        help="also report the best fractional improvement",
+    )
+
+    benchmark = sub.add_parser("benchmark", help="build the synthetic benchmark")
+    benchmark.add_argument("out_dir", type=Path)
+    benchmark.add_argument("--scale", type=float, default=0.2)
+    benchmark.add_argument("--seed", type=int, default=42)
+
+    convert = sub.add_parser("convert", help="convert CQ/XCSP/SQL to hypergraphs")
+    source = convert.add_mutually_exclusive_group(required=True)
+    source.add_argument("--cq", help="a datalog-style conjunctive query")
+    source.add_argument("--xcsp", type=Path, help="an XCSP XML file")
+    source.add_argument("--sql", type=Path, help="an SQL file (needs --schema)")
+    convert.add_argument(
+        "--schema", type=Path,
+        help='JSON schema file: {"relations": {"name": ["attr", ...]}}',
+    )
+    return parser
+
+
+def _cmd_analyze(args) -> int:
+    h = read_hypergraph(args.file)
+    stats = compute_statistics(h)
+    print(f"instance     {h.name}")
+    print(f"vertices     {stats.num_vertices}")
+    print(f"edges        {stats.num_edges}")
+    print(f"arity        {stats.arity}")
+    print(f"degree       {stats.degree}")
+    print(f"BIP          {stats.bip}")
+    print(f"3-BMIP       {stats.bmip3}")
+    print(f"4-BMIP       {stats.bmip4}")
+    print(f"VC-dim       {stats.vc_dim}")
+    return 0
+
+
+def _cmd_width(args) -> int:
+    h = read_hypergraph(args.file)
+    result = exact_width(check_hd, h, args.max_k, timeout=args.timeout)
+    if result.exact:
+        print(f"hw({h.name}) = {result.value}")
+    elif result.upper is not None:
+        print(f"{result.lower} <= hw({h.name}) <= {result.upper}")
+    else:
+        print(f"hw({h.name}) > {result.lower - 1} (no upper bound within k <= {args.max_k})")
+    if args.ghw and result.upper is not None and result.upper >= 2:
+        outcome = timed_check(check_ghd_balsep, h, result.upper - 1, args.timeout)
+        if outcome.verdict == "yes":
+            print(f"ghw({h.name}) <= {result.upper - 1}")
+        elif outcome.verdict == "no":
+            print(f"ghw({h.name}) = hw({h.name}) = {result.upper}")
+        else:
+            print(f"ghw({h.name}) <= {result.upper} (Check(GHD,{result.upper - 1}) timed out)")
+    return 0
+
+
+def _cmd_decompose(args) -> int:
+    h = read_hypergraph(args.file)
+    check = ALGORITHMS[args.algorithm]
+    outcome = timed_check(check, h, args.k, args.timeout)
+    if outcome.verdict == "timeout":
+        print(f"timeout after {outcome.seconds:.1f}s", file=sys.stderr)
+        return 2
+    if outcome.verdict == "no":
+        kind = "HD" if args.algorithm == "hd" else "GHD"
+        print(f"no {kind} of width <= {args.k} exists")
+        return 1
+    decomposition = outcome.decomposition
+    decomposition.validate()
+    if args.json:
+        print(decomposition_to_json(decomposition, indent=2))
+    else:
+        print(f"{decomposition.kind} of width {decomposition.integral_width} "
+              f"({len(decomposition)} nodes, {outcome.seconds:.3f}s)")
+        _print_tree(decomposition.root)
+    if args.improve:
+        best = best_fractional_improvement(h, args.k)
+        if best is not None:
+            print(f"best fractional improvement: width {best.width:.3f}")
+    return 0
+
+
+def _print_tree(node, indent: int = 0) -> None:
+    bag = ",".join(sorted(node.bag))
+    cover = ",".join(sorted(node.lambda_label()))
+    print(f"{'  ' * indent}- bag {{{bag}}} λ {{{cover}}}")
+    for child in node.children:
+        _print_tree(child, indent + 1)
+
+
+def _cmd_benchmark(args) -> int:
+    repo = build_default_benchmark(scale=args.scale, seed=args.seed)
+    repo.compute_all_statistics()
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    (args.out_dir / "hyperbench.csv").write_text(repo.to_csv(), encoding="utf-8")
+    (args.out_dir / "hyperbench.json").write_text(repo.to_json(indent=2), encoding="utf-8")
+    write_html_report(repo, args.out_dir / "hyperbench.html")
+    hg_dir = args.out_dir / "hypergraphs"
+    hg_dir.mkdir(exist_ok=True)
+    for entry in repo:
+        (hg_dir / f"{entry.name}.hg").write_text(
+            format_hypergraph(entry.hypergraph), encoding="utf-8"
+        )
+    print(f"{len(repo)} instances written to {args.out_dir}")
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    if args.cq is not None:
+        from repro.cq import cq_to_hypergraph, parse_cq
+
+        h = cq_to_hypergraph(parse_cq(args.cq, name="cq"))
+        print(format_hypergraph(h), end="")
+        return 0
+    if args.xcsp is not None:
+        from repro.csp import csp_to_hypergraph, parse_xcsp
+
+        instance = parse_xcsp(args.xcsp.read_text(encoding="utf-8"), name=args.xcsp.stem)
+        print(format_hypergraph(csp_to_hypergraph(instance)), end="")
+        return 0
+    # SQL
+    if args.schema is None:
+        print("--sql requires --schema", file=sys.stderr)
+        return 2
+    from repro.sql import Schema, sql_to_hypergraphs
+
+    payload = json.loads(args.schema.read_text(encoding="utf-8"))
+    schema = Schema(payload["relations"] if "relations" in payload else payload)
+    sql_text = args.sql.read_text(encoding="utf-8")
+    produced = 0
+    for statement in filter(None, (s.strip() for s in sql_text.split(";"))):
+        for h in sql_to_hypergraphs(statement + ";", schema, name=f"q{produced}"):
+            print(f"% {h.name}")
+            print(format_hypergraph(h), end="")
+            produced += 1
+    if not produced:
+        print("no hypergraphs extracted", file=sys.stderr)
+        return 1
+    return 0
+
+
+_COMMANDS = {
+    "analyze": _cmd_analyze,
+    "width": _cmd_width,
+    "decompose": _cmd_decompose,
+    "benchmark": _cmd_benchmark,
+    "convert": _cmd_convert,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Core hypergraph machinery: the paper's Section 3 as code.
+
+``Hypergraph`` is the central data structure; ``components`` implements
+[U]-components and balanced separators; ``covers`` the (fractional) edge
+cover LP; ``subedges`` the ``f(H,k)`` sets of the tractable GHD algorithm;
+``properties`` the structural invariants of Table 2; ``decomposition`` the
+decomposition objects with independent validators.
+"""
+
+from repro.core.components import (
+    components,
+    connected_components,
+    is_balanced_separator,
+    separate,
+    vertices_of,
+)
+from repro.core.covers import (
+    FractionalCover,
+    fractional_cover,
+    fractional_cover_number,
+    minimum_integral_cover,
+)
+from repro.core.decomposition import Decomposition, DecompositionNode
+from repro.core.hypergraph import Hypergraph
+from repro.core.properties import (
+    HypergraphStatistics,
+    compute_statistics,
+    degree,
+    intersection_size,
+    multi_intersection_size,
+    vc_dimension,
+)
+from repro.core.simplify import SimplificationTrace, lift_decomposition, simplify
+from repro.core.subedges import augment_with_subedges, subedge_family
+from repro.core.treewidth import (
+    primal_graph,
+    tree_decomposition_min_fill,
+    treewidth_exact,
+    treewidth_upper_bound,
+)
+
+__all__ = [
+    "Hypergraph",
+    "Decomposition",
+    "DecompositionNode",
+    "components",
+    "connected_components",
+    "separate",
+    "is_balanced_separator",
+    "vertices_of",
+    "FractionalCover",
+    "fractional_cover",
+    "fractional_cover_number",
+    "minimum_integral_cover",
+    "HypergraphStatistics",
+    "compute_statistics",
+    "degree",
+    "intersection_size",
+    "multi_intersection_size",
+    "vc_dimension",
+    "augment_with_subedges",
+    "subedge_family",
+    "SimplificationTrace",
+    "simplify",
+    "lift_decomposition",
+    "primal_graph",
+    "tree_decomposition_min_fill",
+    "treewidth_exact",
+    "treewidth_upper_bound",
+]

@@ -1,0 +1,108 @@
+"""[U]-components, separators and balanced separators (Section 3.3).
+
+All functions here work on *edge families*: mappings ``{name: frozenset}``
+rather than :class:`~repro.core.hypergraph.Hypergraph` objects, because the
+``BalSep`` algorithm needs components of *extended subhypergraphs* whose
+members mix real edges and special edges (Definition 6).  A hypergraph's edge
+mapping plugs in directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+__all__ = [
+    "connected_components",
+    "components",
+    "separate",
+    "is_balanced_separator",
+    "vertices_of",
+]
+
+EdgeFamily = Mapping[str, frozenset[str]]
+
+
+def vertices_of(family: EdgeFamily, names: Iterable[str] | None = None) -> frozenset[str]:
+    """Union of the vertex sets of ``names`` (all edges when omitted)."""
+    if names is None:
+        names = family.keys()
+    result: set[str] = set()
+    for name in names:
+        result.update(family[name])
+    return frozenset(result)
+
+
+def components(family: EdgeFamily, separator: frozenset[str]) -> list[frozenset[str]]:
+    """The [U]-components of an edge family w.r.t. vertex set ``separator``.
+
+    Two edges are [U]-adjacent when ``(e1 & e2) - U`` is non-empty;
+    [U]-components are the maximal [U]-connected edge subsets.  Edges fully
+    contained in ``U`` belong to no component (they form the ``C0`` part of
+    Definition 6 and are "absorbed" by the separator's bag).
+
+    Returns a list of frozensets of edge *names*, in deterministic order
+    (sorted by the smallest first-seen edge).
+    """
+    # Build vertex -> incident-edge index restricted to vertices outside U.
+    incidence: dict[str, list[str]] = {}
+    active: list[str] = []
+    for name, edge in family.items():
+        outside = edge - separator
+        if not outside:
+            continue  # absorbed by the separator bag
+        active.append(name)
+        for v in outside:
+            incidence.setdefault(v, []).append(name)
+
+    seen: set[str] = set()
+    result: list[frozenset[str]] = []
+    for start in active:
+        if start in seen:
+            continue
+        stack = [start]
+        seen.add(start)
+        comp: list[str] = []
+        while stack:
+            name = stack.pop()
+            comp.append(name)
+            for v in family[name] - separator:
+                for neighbour in incidence[v]:
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        stack.append(neighbour)
+        result.append(frozenset(comp))
+    return result
+
+
+def connected_components(family: EdgeFamily) -> list[frozenset[str]]:
+    """Connected components of an edge family (i.e. [∅]-components)."""
+    return components(family, frozenset())
+
+
+def separate(
+    family: EdgeFamily, separator: frozenset[str]
+) -> tuple[list[frozenset[str]], frozenset[str]]:
+    """Like :func:`components` but also report the absorbed edges ``C0``.
+
+    Returns ``(component_list, absorbed)`` where ``absorbed`` holds the names
+    of edges fully contained in the separator.
+    """
+    comps = components(family, separator)
+    in_component = set().union(*comps) if comps else set()
+    absorbed = frozenset(name for name in family if name not in in_component)
+    return comps, absorbed
+
+
+def is_balanced_separator(
+    family: EdgeFamily, separator: frozenset[str], total: int | None = None
+) -> bool:
+    """Whether ``separator`` is a *balanced separator* of the family.
+
+    Per Definition 7, every [U]-component must contain at most half of the
+    (possibly special) edges of the family.  ``total`` overrides the family
+    size (it defaults to ``len(family)``).
+    """
+    if total is None:
+        total = len(family)
+    limit = total / 2
+    return all(len(c) <= limit for c in components(family, separator))

@@ -1,0 +1,226 @@
+"""The hypergraph data structure.
+
+Following Section 3.1 of the paper, a hypergraph ``H = (V(H), E(H))`` is a set
+of vertices and a set of non-empty hyperedges, with no isolated vertices, so a
+hypergraph is identified with its set of edges.  We additionally keep a stable
+*name* for every edge (mirroring the DBAI file format ``e1(a,b,c)``) because
+decompositions refer to edges by name in their λ-labels.
+
+The class is immutable: every mutating operation returns a new hypergraph.
+This makes hypergraphs hashable, safe to share between algorithms, and easy to
+memoise on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping
+
+from repro.errors import HypergraphError
+
+__all__ = ["Hypergraph"]
+
+
+def _freeze_edges(
+    edges: Mapping[str, Iterable[str]] | Iterable[Iterable[str]],
+) -> dict[str, frozenset[str]]:
+    """Normalise the accepted edge inputs into ``{name: frozenset(vertices)}``."""
+    frozen: dict[str, frozenset[str]] = {}
+    if isinstance(edges, Mapping):
+        named = edges.items()
+    else:
+        named = ((f"e{i + 1}", vs) for i, vs in enumerate(edges))
+    for name, vertices in named:
+        if not isinstance(name, str) or not name:
+            raise HypergraphError(f"edge names must be non-empty strings, got {name!r}")
+        vertex_set = frozenset(str(v) for v in vertices)
+        if not vertex_set:
+            raise HypergraphError(f"edge {name!r} is empty; hyperedges must be non-empty")
+        if name in frozen:
+            raise HypergraphError(f"duplicate edge name {name!r}")
+        frozen[name] = vertex_set
+    return frozen
+
+
+class Hypergraph:
+    """An immutable hypergraph with named edges.
+
+    Parameters
+    ----------
+    edges:
+        Either a mapping from edge name to an iterable of vertex names, or an
+        iterable of vertex iterables (edges are then named ``e1, e2, ...`` in
+        order).
+    name:
+        Optional identifier, used by the benchmark repository.
+
+    Examples
+    --------
+    >>> h = Hypergraph({"r": ["x", "y"], "s": ["y", "z"]})
+    >>> sorted(h.vertices)
+    ['x', 'y', 'z']
+    >>> h.arity
+    2
+    """
+
+    __slots__ = ("_edges", "_incidence", "_vertices", "name", "_hash")
+
+    def __init__(
+        self,
+        edges: Mapping[str, Iterable[str]] | Iterable[Iterable[str]],
+        name: str = "",
+    ):
+        self._edges = _freeze_edges(edges)
+        self.name = name
+        vertices: set[str] = set()
+        incidence: dict[str, list[str]] = {}
+        for edge_name, vertex_set in self._edges.items():
+            vertices.update(vertex_set)
+            for v in vertex_set:
+                incidence.setdefault(v, []).append(edge_name)
+        self._vertices = frozenset(vertices)
+        self._incidence = {v: tuple(names) for v, names in incidence.items()}
+        self._hash: int | None = None
+
+    # ------------------------------------------------------------------ basic
+
+    @property
+    def vertices(self) -> frozenset[str]:
+        """The vertex set ``V(H)`` (the union of all edges)."""
+        return self._vertices
+
+    @property
+    def edges(self) -> Mapping[str, frozenset[str]]:
+        """Read-only view of the edge mapping ``{name: vertices}``."""
+        return dict(self._edges)
+
+    @property
+    def edge_names(self) -> tuple[str, ...]:
+        """Edge names in insertion order."""
+        return tuple(self._edges)
+
+    def edge(self, name: str) -> frozenset[str]:
+        """The vertex set of edge ``name``."""
+        try:
+            return self._edges[name]
+        except KeyError:
+            raise HypergraphError(f"no edge named {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._edges
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._edges)
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vertices)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def arity(self) -> int:
+        """Maximum edge size (the paper calls this the arity of the instance)."""
+        if not self._edges:
+            return 0
+        return max(len(e) for e in self._edges.values())
+
+    def incident_edges(self, vertex: str) -> tuple[str, ...]:
+        """Names of the edges containing ``vertex`` (empty if unknown)."""
+        return self._incidence.get(vertex, ())
+
+    def degree_of(self, vertex: str) -> int:
+        """Number of edges containing ``vertex``."""
+        return len(self._incidence.get(vertex, ()))
+
+    # ------------------------------------------------------------- derivation
+
+    def restrict(self, edge_names: Iterable[str], name: str = "") -> "Hypergraph":
+        """The subhypergraph consisting of the given edges.
+
+        Per Section 3.1 a subhypergraph is simply a subset of the edges; its
+        vertex set is the union of the retained edges.
+        """
+        names = list(edge_names)
+        return Hypergraph({n: self.edge(n) for n in names}, name=name or self.name)
+
+    def with_edges(
+        self, extra: Mapping[str, Iterable[str]], name: str = ""
+    ) -> "Hypergraph":
+        """A new hypergraph with ``extra`` edges added (names must be fresh)."""
+        merged: dict[str, Iterable[str]] = dict(self._edges)
+        for edge_name, vertices in extra.items():
+            if edge_name in merged:
+                raise HypergraphError(f"edge name {edge_name!r} already present")
+            merged[edge_name] = vertices
+        return Hypergraph(merged, name=name or self.name)
+
+    def dedupe(self, name: str = "") -> "Hypergraph":
+        """Drop edges whose vertex set duplicates an earlier edge.
+
+        The paper removes duplicates both on the query level and on the
+        hypergraph level (Section 5.6); the first name for each distinct
+        vertex set is kept.
+        """
+        seen: set[frozenset[str]] = set()
+        kept: dict[str, frozenset[str]] = {}
+        for edge_name, vertex_set in self._edges.items():
+            if vertex_set in seen:
+                continue
+            seen.add(vertex_set)
+            kept[edge_name] = vertex_set
+        return Hypergraph(kept, name=name or self.name)
+
+    def remove_covered_edges(self, name: str = "") -> "Hypergraph":
+        """Drop edges strictly contained in another edge.
+
+        This is a standard, width-preserving simplification for all three
+        decomposition notions: any bag covering the superset edge covers the
+        subset edge.  Used by the generators and available as preprocessing.
+        """
+        names = list(self._edges)
+        kept: dict[str, frozenset[str]] = {}
+        for i, edge_name in enumerate(names):
+            vertex_set = self._edges[edge_name]
+            contained = False
+            for j, other_name in enumerate(names):
+                if i == j:
+                    continue
+                other = self._edges[other_name]
+                if vertex_set < other or (vertex_set == other and j < i):
+                    contained = True
+                    break
+            if not contained:
+                kept[edge_name] = vertex_set
+        return Hypergraph(kept, name=name or self.name)
+
+    # ------------------------------------------------------------- comparison
+
+    def edge_sets(self) -> frozenset[frozenset[str]]:
+        """The set of distinct edge vertex-sets (ignores names)."""
+        return frozenset(self._edges.values())
+
+    def is_isomorphic_signature(self, other: "Hypergraph") -> bool:
+        """Cheap equality up to edge names (*not* vertex renaming)."""
+        return self.edge_sets() == other.edge_sets()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hypergraph):
+            return NotImplemented
+        return self._edges == other._edges
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(frozenset(self._edges.items()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<Hypergraph{label}: {self.num_vertices} vertices, "
+            f"{self.num_edges} edges, arity {self.arity}>"
+        )

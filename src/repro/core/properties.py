@@ -1,0 +1,207 @@
+"""Structural hypergraph invariants (Section 3.5, analysed in Table 2).
+
+Implemented here:
+
+* ``degree`` — maximum number of edges a vertex occurs in (Definition 4);
+* ``intersection_size`` (BIP) — maximum ``|e1 ∩ e2|`` over edge pairs;
+* ``multi_intersection_size`` (c-BMIP) — maximum ``|e1 ∩ ... ∩ ec|`` over
+  c-subsets of edges (Definition 2), computed by a pruned depth-first search
+  rather than brute-force ``C(m, c)`` enumeration;
+* ``vc_dimension`` — largest shattered vertex set (Definition 5), computed by
+  a branch-and-bound over candidate sets with the standard ``log2(m)`` upper
+  bound; exact for the benchmark-scale instances, cooperative w.r.t.
+  deadlines for larger ones (the paper also reports VC-dim timeouts).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+from repro.core.hypergraph import Hypergraph
+from repro.utils.deadline import Deadline
+
+__all__ = [
+    "degree",
+    "intersection_size",
+    "multi_intersection_size",
+    "is_shattered",
+    "vc_dimension",
+    "HypergraphStatistics",
+    "compute_statistics",
+]
+
+
+def degree(h: Hypergraph) -> int:
+    """The degree ``deg(H)``: maximum number of edges sharing a vertex."""
+    if h.num_vertices == 0:
+        return 0
+    return max(h.degree_of(v) for v in h.vertices)
+
+
+def intersection_size(h: Hypergraph) -> int:
+    """The intersection size (BIP parameter ``d`` for ``c = 2``)."""
+    return multi_intersection_size(h, 2)
+
+
+def multi_intersection_size(
+    h: Hypergraph, c: int, deadline: Deadline | None = None
+) -> int:
+    """The c-multi-intersection size: ``max |⋂ E'|`` over ``E' ⊆ E, |E'| = c``.
+
+    A depth-first search over edges ordered by decreasing size carries the
+    running intersection and prunes branches whose intersection is already
+    no larger than the best found — on benchmark-like instances this visits
+    a tiny fraction of the ``C(m, c)`` subsets.
+    """
+    if c < 1:
+        raise ValueError("c must be >= 1")
+    deadline = deadline or Deadline.unlimited()
+    edges = sorted(h.edges.values(), key=len, reverse=True)
+    if len(edges) < c:
+        return 0
+    if c == 1:
+        return h.arity
+
+    best = 0
+
+    def search(start: int, depth: int, current: frozenset[str]) -> None:
+        nonlocal best
+        deadline.check()
+        if depth == c:
+            if len(current) > best:
+                best = len(current)
+            return
+        remaining = c - depth
+        for i in range(start, len(edges) - remaining + 1):
+            nxt = current & edges[i]
+            # Prune: the intersection only shrinks below.
+            if len(nxt) <= best:
+                continue
+            search(i + 1, depth + 1, nxt)
+
+    for i in range(len(edges) - c + 1):
+        if len(edges[i]) <= best:
+            break  # edges sorted by size: no later start can beat `best`
+        search(i + 1, 1, edges[i])
+    return best
+
+
+def is_shattered(h: Hypergraph, vertex_set: frozenset[str]) -> bool:
+    """Whether ``vertex_set`` is shattered: ``E(H)|X = 2^X`` (Definition 5)."""
+    target = 2 ** len(vertex_set)
+    traces = {vertex_set & e for e in h.edges.values()}
+    return len(traces) >= target and all(
+        frozenset(sub) in traces
+        for size in range(len(vertex_set) + 1)
+        for sub in itertools.combinations(sorted(vertex_set), size)
+    )
+
+
+def vc_dimension(h: Hypergraph, deadline: Deadline | None = None) -> int:
+    """The VC-dimension of ``H``: the largest cardinality of a shattered set.
+
+    Uses the Sauer–Shelah bound ``VC(H) <= log2(|distinct edges|)`` plus a
+    candidate filter: a vertex can participate in a shattered set of size
+    ``>= 1`` only if it lies in some edge and outside some edge, and any pair
+    in a shattered set must appear together and separated.  The remaining
+    search enumerates candidate sets in increasing size, reusing shattered
+    sets of size ``s`` as seeds for size ``s + 1`` (every subset of a
+    shattered set is shattered).
+    """
+    deadline = deadline or Deadline.unlimited()
+    edges = list(h.edge_sets())
+    if not edges:
+        return 0
+    upper = int(math.floor(math.log2(len(edges) + 1)))  # +1: empty trace via any X - e
+    upper = max(upper, 1)
+
+    vertices = sorted(h.vertices)
+    # Size-1 shattered sets: v in some edge and (v missing from some edge or
+    # the empty trace achievable). X={v}: traces must include {} and {v}.
+    level: list[frozenset[str]] = []
+    for v in vertices:
+        traces = {frozenset([v]) & e for e in edges}
+        if len(traces) == 2:
+            level.append(frozenset([v]))
+    if not level:
+        return 0
+
+    best = 1
+    while best < upper and level:
+        deadline.check()
+        next_level: set[frozenset[str]] = set()
+        for base in level:
+            anchor = max(base)
+            for v in vertices:
+                if v <= anchor or v in base:
+                    continue
+                candidate = base | {v}
+                deadline.check()
+                if is_shattered(h, candidate):
+                    next_level.add(candidate)
+        if not next_level:
+            break
+        best += 1
+        level = sorted(next_level, key=sorted)
+    return best
+
+
+@dataclass(frozen=True)
+class HypergraphStatistics:
+    """All structural metrics the HyperBench web tool exposes per instance."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    arity: int
+    degree: int
+    bip: int
+    bmip3: int
+    bmip4: int
+    vc_dim: int
+
+    def as_row(self) -> tuple[object, ...]:
+        """Row form used by the experiment tables."""
+        return (
+            self.name,
+            self.num_vertices,
+            self.num_edges,
+            self.arity,
+            self.degree,
+            self.bip,
+            self.bmip3,
+            self.bmip4,
+            self.vc_dim,
+        )
+
+    #: Metric columns as exported by :meth:`as_row` (after the name).
+    METRICS = (
+        "vertices",
+        "edges",
+        "arity",
+        "degree",
+        "bip",
+        "3-BMIP",
+        "4-BMIP",
+        "VC-dim",
+    )
+
+
+def compute_statistics(
+    h: Hypergraph, deadline: Deadline | None = None
+) -> HypergraphStatistics:
+    """Compute the full metric record for one hypergraph."""
+    deadline = deadline or Deadline.unlimited()
+    return HypergraphStatistics(
+        name=h.name,
+        num_vertices=h.num_vertices,
+        num_edges=h.num_edges,
+        arity=h.arity,
+        degree=degree(h),
+        bip=intersection_size(h),
+        bmip3=multi_intersection_size(h, 3, deadline),
+        bmip4=multi_intersection_size(h, 4, deadline),
+        vc_dim=vc_dimension(h, deadline),
+    )

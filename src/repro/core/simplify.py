@@ -1,0 +1,173 @@
+"""Width-preserving hypergraph simplifications.
+
+The follow-up work on fast GHD computation (Gottlob, Okulmus & Pichler,
+IJCAI 2020 — reference [29] of the paper) proposes "new methods to simplify
+the input hypergraph" before searching.  This module implements the standard
+width-preserving reductions; each is safe for hw, ghw and fhw:
+
+* **duplicate edges** — only one copy of an edge's vertex set matters;
+* **covered edges** — an edge contained in another edge is covered by any
+  bag covering the larger one;
+* **degree-one vertices** — a vertex occurring in exactly one edge of the
+  *original* hypergraph can be removed for the width computation, as long as
+  the edge does not become empty or a duplicate.  For width >= 1 this never
+  changes ghw/fhw (and never the value of hw, though lifted HDs may lose the
+  special condition and are reported as GHDs).
+
+:func:`simplify` applies one sound round of the reductions and returns the
+reduced hypergraph plus a :class:`SimplificationTrace`;
+:func:`lift_decomposition` turns a decomposition of the reduced hypergraph
+back into a valid decomposition of the original one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.decomposition import Decomposition, DecompositionNode
+from repro.core.hypergraph import Hypergraph
+
+__all__ = ["SimplificationTrace", "simplify", "lift_decomposition"]
+
+
+@dataclass
+class SimplificationTrace:
+    """Everything needed to lift a decomposition back to the original."""
+
+    original: Hypergraph
+    reduced: Hypergraph
+    #: edges dropped as duplicates/covered: name -> surviving edge name
+    dropped_edges: dict[str, str] = field(default_factory=dict)
+    #: degree-one vertices removed: vertex -> the edge (original name) it was in
+    dropped_vertices: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def nontrivial(self) -> bool:
+        return bool(self.dropped_edges or self.dropped_vertices)
+
+
+def _drop_duplicates_and_covered(
+    edges: dict[str, frozenset[str]], trace: SimplificationTrace
+) -> dict[str, frozenset[str]]:
+    names = list(edges)
+    kept: dict[str, frozenset[str]] = {}
+    for i, name in enumerate(names):
+        edge = edges[name]
+        survivor: str | None = None
+        for j, other_name in enumerate(names):
+            if i == j or other_name in trace.dropped_edges:
+                continue
+            other = edges[other_name]
+            if edge < other or (edge == other and j < i):
+                survivor = other_name
+                break
+        if survivor is None:
+            kept[name] = edge
+        else:
+            trace.dropped_edges[name] = survivor
+    return kept
+
+
+def _drop_degree_one_vertices(
+    edges: dict[str, frozenset[str]],
+    original_degree: dict[str, int],
+    trace: SimplificationTrace,
+) -> dict[str, frozenset[str]]:
+    """Remove vertices that are degree-1 *in the original hypergraph*.
+
+    Using original degrees (not degrees after edge dropping) keeps the lift
+    sound: a removed vertex provably occurs in exactly one original edge, so
+    re-adding it in a single fresh leaf cannot break connectedness.
+    """
+    result = dict(edges)
+    for name, edge in edges.items():
+        removable = {v for v in edge if original_degree[v] == 1}
+        if removable == edge:
+            removable = removable - {min(edge)}  # never empty an edge
+        if not removable:
+            continue
+        shrunk = edge - removable
+        if any(shrunk == other for n, other in result.items() if n != name):
+            continue  # would create a duplicate edge; skip
+        result[name] = frozenset(shrunk)
+        for v in removable:
+            trace.dropped_vertices[v] = name
+    return result
+
+
+def simplify(hypergraph: Hypergraph) -> SimplificationTrace:
+    """One sound round of reductions.
+
+    First duplicate/covered edges are dropped (each dropped edge is a subset
+    of its *original* survivor), then vertices of original degree 1 are
+    removed from the surviving edges.  The reduced hypergraph has the same
+    ghw/fhw as the input (and the same hw for hw >= 1); it is never larger.
+    """
+    trace = SimplificationTrace(hypergraph, hypergraph)
+    edges = dict(hypergraph.edges)
+    original_degree = {
+        v: hypergraph.degree_of(v) for v in hypergraph.vertices
+    }
+    edges = _drop_duplicates_and_covered(edges, trace)
+    edges = _drop_degree_one_vertices(edges, original_degree, trace)
+    # Resolve dropped-edge survivor chains (a -> b -> c becomes a -> c).
+    for name in list(trace.dropped_edges):
+        target = trace.dropped_edges[name]
+        while target in trace.dropped_edges:
+            target = trace.dropped_edges[target]
+        trace.dropped_edges[name] = target
+    trace.reduced = Hypergraph(edges, name=hypergraph.name)
+    return trace
+
+
+def lift_decomposition(
+    trace: SimplificationTrace, decomposition: Decomposition
+) -> Decomposition:
+    """Lift a decomposition of the reduced hypergraph to the original.
+
+    For every surviving edge that lost degree-one vertices, a fresh width-1
+    leaf carrying the *full original* edge is hung below a node that covers
+    the shrunk edge; the leaf also covers every duplicate/covered edge that
+    was dropped in favour of this survivor.  Removed vertices occur in
+    exactly one original edge, so the single leaf keeps them connected.
+    """
+    if decomposition.hypergraph != trace.reduced:
+        raise ValueError("decomposition does not belong to the reduced hypergraph")
+
+    # Group lost vertices by owning (surviving) edge name.
+    lost_by_edge: dict[str, set[str]] = {}
+    for v, owner in trace.dropped_vertices.items():
+        lost_by_edge.setdefault(owner, set()).add(v)
+
+    def rebuild(node: DecompositionNode) -> DecompositionNode:
+        new_children = [rebuild(c) for c in node.children]
+        return DecompositionNode(node.bag, dict(node.cover), new_children)
+
+    root = rebuild(decomposition.root)
+    # Lifting preserves GHD/FHD validity; an HD may lose the special
+    # condition (the original edges in λ-labels are larger than the reduced
+    # ones), so HDs are downgraded to GHDs.
+    kind = "GHD" if decomposition.kind == "HD" and trace.dropped_vertices else decomposition.kind
+    lifted = Decomposition(trace.original, root, kind=kind)
+
+    reduced_edges = trace.reduced.edges
+    for owner, lost in lost_by_edge.items():
+        shrunk = reduced_edges[owner]
+        target: DecompositionNode | None = None
+        for node in lifted.nodes():
+            if shrunk <= node.bag and owner in node.cover:
+                target = node
+                break
+        if target is None:
+            for node in lifted.nodes():
+                if shrunk <= node.bag:
+                    target = node
+                    break
+        if target is None:  # pragma: no cover - coverage guarantees a bag
+            raise ValueError(f"no bag covers reduced edge {owner!r}")
+        # Hang a fresh leaf covering the full original edge below the target;
+        # this keeps the target's width unchanged and adds a width-1 node.
+        full_edge = trace.original.edge(owner)
+        leaf = DecompositionNode(full_edge | (target.bag & full_edge), {owner: 1.0})
+        target.children.append(leaf)
+    return lifted

@@ -1,0 +1,187 @@
+"""The subedge sets ``f(H, k)`` and ``f_u(H, k)`` (Equations 1 and 2).
+
+The tractable ``Check(GHD, k)`` algorithm of Fischl, Gottlob & Pichler reduces
+the GHD check to an HD check on the hypergraph ``H' = (V(H), E(H) ∪ f(H,k))``
+where ``f(H,k)`` contains, for each edge ``e``, all subsets of intersections
+of ``e`` with unions of up to ``k`` other edges:
+
+    f(H,k) = ⋃_e ⋃_{e1..ej, j<=k} 2^(e ∩ (e1 ∪ ... ∪ ej))            (Eq. 1)
+
+Because ``e ∩ (e1 ∪ ... ∪ ej) = (e ∩ e1) ∪ ... ∪ (e ∩ ej)``, the candidate
+sets are exactly unions of at most ``k`` pairwise intersections of ``e`` with
+other edges, so we enumerate the (deduplicated) pairwise intersections and
+their ≤k-unions, then expand subsets of the *maximal* unions only.
+
+For bounded intersection size ``d`` this is polynomial, but the constant
+``2^(d·k)`` bites in practice — the paper reports exactly this as the source
+of ``GlobalBIP`` timeouts.  We therefore enforce a configurable budget and
+raise :class:`~repro.errors.SubedgeLimitError` when it is exceeded; the
+analysis harness treats that as a timeout.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Mapping
+
+from repro.errors import SubedgeLimitError
+from repro.utils.deadline import Deadline
+
+__all__ = [
+    "pairwise_intersections",
+    "subedges_for_edge",
+    "subedge_family",
+    "augment_with_subedges",
+    "DEFAULT_SUBEDGE_BUDGET",
+]
+
+EdgeFamily = Mapping[str, frozenset[str]]
+
+#: Default cap on the number of generated subedge vertex-sets per hypergraph.
+DEFAULT_SUBEDGE_BUDGET = 50_000
+
+
+def pairwise_intersections(
+    edge: frozenset[str], others: Iterable[frozenset[str]]
+) -> list[frozenset[str]]:
+    """Distinct non-empty intersections of ``edge`` with each of ``others``.
+
+    Intersections subsumed by another intersection are dropped (their subsets
+    are generated anyway), which keeps the union enumeration small.
+    """
+    distinct: set[frozenset[str]] = set()
+    for other in others:
+        common = edge & other
+        if common and common != edge:
+            distinct.add(common)
+    # Keep only maximal intersections.
+    maximal = [
+        s for s in distinct if not any(s < t for t in distinct)
+    ]
+    maximal.sort(key=lambda s: (-len(s), sorted(s)))
+    return maximal
+
+
+def _max_unions(
+    intersections: list[frozenset[str]], k: int, budget: int, deadline: Deadline
+) -> set[frozenset[str]]:
+    """All maximal unions of at most ``k`` of the given intersections."""
+    unions: set[frozenset[str]] = set()
+    for size in range(1, min(k, len(intersections)) + 1):
+        for combo in itertools.combinations(intersections, size):
+            deadline.check()
+            unions.add(frozenset().union(*combo))
+            if len(unions) > budget:
+                raise SubedgeLimitError(
+                    f"more than {budget} candidate unions while building f(H,k)"
+                )
+    return {u for u in unions if not any(u < w for w in unions)}
+
+
+def subedges_for_edge(
+    edge: frozenset[str],
+    others: Iterable[frozenset[str]],
+    k: int,
+    budget: int = DEFAULT_SUBEDGE_BUDGET,
+    deadline: Deadline | None = None,
+) -> set[frozenset[str]]:
+    """All proper subedges of ``edge`` contributed to ``f(H, k)``.
+
+    Returns non-empty vertex sets strictly contained in ``edge`` (the empty
+    set and ``edge`` itself are useless as λ-label members: the former covers
+    nothing, the latter is already an edge).
+    """
+    deadline = deadline or Deadline.unlimited()
+    intersections = pairwise_intersections(edge, others)
+    result: set[frozenset[str]] = set()
+    for union in _max_unions(intersections, k, budget, deadline):
+        members = sorted(union)
+        if 2 ** len(members) > 4 * budget:
+            raise SubedgeLimitError(
+                f"subedge base of size {len(members)} would expand past the budget"
+            )
+        for size in range(1, len(members) + 1):
+            for combo in itertools.combinations(members, size):
+                result.add(frozenset(combo))
+                if len(result) > budget:
+                    raise SubedgeLimitError(
+                        f"more than {budget} subedges for a single edge"
+                    )
+        deadline.check()
+    result.discard(edge)
+    return result
+
+
+def subedge_family(
+    family: EdgeFamily,
+    k: int,
+    restrict_to: Iterable[str] | None = None,
+    budget: int = DEFAULT_SUBEDGE_BUDGET,
+    deadline: Deadline | None = None,
+) -> list[frozenset[str]]:
+    """The full subedge set of Equation 1 (or Equation 2 when restricted).
+
+    Parameters
+    ----------
+    family:
+        The hypergraph's edges ``{name: vertices}``.
+    k:
+        The width parameter: unions of up to ``k`` other edges are considered.
+    restrict_to:
+        Edge names of the current component ``H_u``; when given, only
+        intersections with *component* edges are taken (Equation 2's
+        ``f_u(H, k)``), while subedges are still generated for every edge of
+        ``H`` (any edge may appear in a λ-label).
+    budget:
+        Global cap on the number of produced subedges.
+
+    Returns
+    -------
+    list of frozensets, deduplicated against the original edges and sorted
+    deterministically (larger subedges first — better λ-label candidates).
+    """
+    deadline = deadline or Deadline.unlimited()
+    original = set(family.values())
+    if restrict_to is None:
+        other_pool: list[tuple[str, frozenset[str]]] = list(family.items())
+    else:
+        restrict = set(restrict_to)
+        other_pool = [(n, vs) for n, vs in family.items() if n in restrict]
+
+    produced: set[frozenset[str]] = set()
+    for name, edge in family.items():
+        deadline.check()
+        others = [vs for n, vs in other_pool if n != name]
+        for sub in subedges_for_edge(edge, others, k, budget=budget, deadline=deadline):
+            if sub not in original:
+                produced.add(sub)
+                if len(produced) > budget:
+                    raise SubedgeLimitError(
+                        f"f(H,{k}) exceeded the budget of {budget} subedges"
+                    )
+    ordered = sorted(produced, key=lambda s: (-len(s), sorted(s)))
+    return ordered
+
+
+def augment_with_subedges(
+    family: EdgeFamily,
+    k: int,
+    budget: int = DEFAULT_SUBEDGE_BUDGET,
+    deadline: Deadline | None = None,
+) -> tuple[dict[str, frozenset[str]], dict[str, str]]:
+    """Build the edge family of ``H' = (V(H), E(H) ∪ f(H,k))``.
+
+    Returns ``(augmented_family, parent_map)`` where ``parent_map`` maps each
+    generated subedge name to the name of *one* original edge containing it —
+    the "fixing" step of Algorithm 1 (lines 6–10) uses it to swap subedges
+    back to full edges in the final GHD.
+    """
+    subs = subedge_family(family, k, budget=budget, deadline=deadline)
+    augmented: dict[str, frozenset[str]] = dict(family)
+    parent_map: dict[str, str] = {}
+    for i, sub in enumerate(subs):
+        sub_name = f"__sub{i}"
+        parent = next(name for name, e in family.items() if sub <= e)
+        augmented[sub_name] = sub
+        parent_map[sub_name] = parent
+    return augmented, parent_map

@@ -1,0 +1,7 @@
+"""Conjunctive queries: model, datalog-style parser, hypergraph conversion."""
+
+from repro.cq.model import Atom, ConjunctiveQuery
+from repro.cq.parser import parse_cq
+from repro.cq.convert import cq_to_hypergraph
+
+__all__ = ["Atom", "ConjunctiveQuery", "parse_cq", "cq_to_hypergraph"]

@@ -1,0 +1,33 @@
+"""CQ → hypergraph conversion (Section 3.1).
+
+The hypergraph ``H_φ`` of a CQ φ has the query variables as vertices and,
+for each atom, the edge consisting of the atom's variables.  Constants do not
+produce vertices; atoms whose variable sets are empty produce no edge (they
+cannot affect any width).  Repeated atoms over the same variable set are
+deduplicated on the hypergraph level, as in the paper's pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.core.hypergraph import Hypergraph
+from repro.cq.model import ConjunctiveQuery
+
+__all__ = ["cq_to_hypergraph"]
+
+
+def cq_to_hypergraph(query: ConjunctiveQuery, dedupe: bool = True) -> Hypergraph:
+    """The hypergraph underlying a conjunctive query.
+
+    Edge names are ``{relation}#{i}`` with the atom's position, which keeps
+    them unique for self-joins while staying readable.
+    """
+    edges: dict[str, frozenset[str]] = {}
+    for i, atom in enumerate(query.atoms):
+        variables = frozenset(atom.variables())
+        if not variables:
+            continue
+        edges[f"{atom.relation}#{i}"] = variables
+    h = Hypergraph(edges, name=query.name)
+    if dedupe:
+        h = h.dedupe()
+    return h

@@ -1,0 +1,96 @@
+"""The conjunctive query model.
+
+A CQ is treated as a first-order formula using only {∃, ∧} (Section 3.1):
+a set of relational atoms over variables and constants, plus a head listing
+the answer variables.  Only the *structure* matters for decompositions, but
+the model keeps constants so the relational engine can evaluate queries.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Atom:
+    """One relational atom ``relation(term_1, ..., term_n)``.
+
+    Terms starting with an upper-case letter or ``_`` are variables (datalog
+    convention); everything else — including quoted or numeric terms — is a
+    constant.
+    """
+
+    relation: str
+    terms: tuple[str, ...]
+
+    def __post_init__(self):
+        object.__setattr__(self, "terms", tuple(self.terms))
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> tuple[str, ...]:
+        """The distinct variables of the atom, in order of first occurrence."""
+        seen: list[str] = []
+        for term in self.terms:
+            if is_variable(term) and term not in seen:
+                seen.append(term)
+        return tuple(seen)
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(self.terms)})"
+
+
+def is_variable(term: str) -> bool:
+    """Datalog convention: variables start with an upper-case letter or '_'."""
+    return bool(term) and (term[0].isupper() or term[0] == "_")
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query ``head(X, ...) :- atom_1, ..., atom_m``."""
+
+    head: tuple[str, ...]
+    atoms: tuple[Atom, ...]
+    name: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "head", tuple(self.head))
+        object.__setattr__(self, "atoms", tuple(self.atoms))
+
+    def variables(self) -> tuple[str, ...]:
+        """All distinct variables, in order of first occurrence in the body."""
+        seen: list[str] = []
+        for atom in self.atoms:
+            for v in atom.variables():
+                if v not in seen:
+                    seen.append(v)
+        return tuple(seen)
+
+    @property
+    def arity(self) -> int:
+        """Maximum atom arity — the paper's notion of the arity of a CQ."""
+        return max((a.arity for a in self.atoms), default=0)
+
+    def is_boolean(self) -> bool:
+        return not self.head
+
+    def __str__(self) -> str:
+        head = f"ans({', '.join(self.head)})"
+        body = ", ".join(str(a) for a in self.atoms)
+        return f"{head} :- {body}."
+
+
+def make_query(
+    atoms: Iterable[tuple[str, Sequence[str]]],
+    head: Sequence[str] = (),
+    name: str = "",
+) -> ConjunctiveQuery:
+    """Convenience constructor from ``(relation, terms)`` pairs."""
+    return ConjunctiveQuery(
+        head=tuple(head),
+        atoms=tuple(Atom(rel, tuple(terms)) for rel, terms in atoms),
+        name=name,
+    )

@@ -1,0 +1,87 @@
+"""A datalog-style parser for conjunctive queries.
+
+Grammar (whitespace-insensitive)::
+
+    query  :=  head ":-" body "."?
+    head   :=  name "(" terms? ")"
+    body   :=  atom ("," atom)*
+    atom   :=  name "(" terms ")"
+    terms  :=  term ("," term)*
+    term   :=  /[A-Za-z0-9_.'\"-]+/
+
+Variables follow the datalog convention (leading upper-case or ``_``);
+all other terms are constants.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.cq.model import Atom, ConjunctiveQuery
+from repro.errors import ParseError
+
+__all__ = ["parse_cq"]
+
+_ATOM_RE = re.compile(
+    r"\s*([A-Za-z0-9_.\-]+)\s*\(\s*([^()]*)\s*\)\s*"
+)
+
+
+def _parse_atom(text: str, what: str) -> tuple[str, tuple[str, ...]]:
+    match = _ATOM_RE.fullmatch(text)
+    if match is None:
+        raise ParseError(f"malformed {what}: {text.strip()!r}")
+    name = match.group(1)
+    raw_terms = match.group(2).strip()
+    if not raw_terms:
+        return name, ()
+    terms = tuple(t.strip().strip("'\"") for t in raw_terms.split(","))
+    if any(not t for t in terms):
+        raise ParseError(f"empty term in {what}: {text.strip()!r}")
+    return name, terms
+
+
+def _split_atoms(body: str) -> list[str]:
+    """Split the body on commas that are not nested inside parentheses."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in body:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise ParseError("unbalanced parentheses in query body")
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise ParseError("unbalanced parentheses in query body")
+    parts.append("".join(current))
+    return parts
+
+
+def parse_cq(text: str, name: str = "") -> ConjunctiveQuery:
+    """Parse ``ans(X, Y) :- r(X, Z), s(Z, Y).`` into a :class:`ConjunctiveQuery`."""
+    text = text.strip()
+    if text.endswith("."):
+        text = text[:-1]
+    if ":-" not in text:
+        raise ParseError("a conjunctive query needs a ':-' separator")
+    head_text, body_text = text.split(":-", 1)
+    _, head_terms = _parse_atom(head_text, "head")
+    body_text = body_text.strip()
+    if not body_text:
+        raise ParseError("conjunctive query has an empty body")
+    atoms = []
+    for part in _split_atoms(body_text):
+        if not part.strip():
+            raise ParseError("empty atom in query body")
+        relation, terms = _parse_atom(part, "atom")
+        if not terms:
+            raise ParseError(f"atom {relation!r} has no terms")
+        atoms.append(Atom(relation, terms))
+    return ConjunctiveQuery(head=head_terms, atoms=tuple(atoms), name=name)

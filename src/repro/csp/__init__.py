@@ -1,0 +1,24 @@
+"""Constraint satisfaction problems: model, XCSP parser, and solvers.
+
+CQ answering and CSP solving are the same problem (Section 1); this package
+provides the CSP side of the benchmark — extensional constraint networks, a
+parser for the XCSP-style XML exchange format (Section 5.5), a plain
+backtracking solver and a decomposition-guided solver that evaluates the
+constraint network along a (G)HD with semi-join reductions, demonstrating
+why bounded width matters.
+"""
+
+from repro.csp.model import Constraint, CSPInstance
+from repro.csp.xcsp import parse_xcsp, format_xcsp
+from repro.csp.convert import csp_to_hypergraph
+from repro.csp.solver import solve_backtracking, solve_with_decomposition
+
+__all__ = [
+    "Constraint",
+    "CSPInstance",
+    "parse_xcsp",
+    "format_xcsp",
+    "csp_to_hypergraph",
+    "solve_backtracking",
+    "solve_with_decomposition",
+]

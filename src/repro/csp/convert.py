@@ -1,0 +1,26 @@
+"""CSP → hypergraph conversion (Section 5.5).
+
+Whenever the parser reads a variable it adds a vertex; whenever it reads a
+constraint it adds an edge containing the vertices of the constraint's scope.
+Variables occurring in no constraint are dropped (our hypergraphs have no
+isolated vertices), and duplicate scopes are deduplicated.
+"""
+
+from __future__ import annotations
+
+from repro.core.hypergraph import Hypergraph
+from repro.csp.model import CSPInstance
+
+__all__ = ["csp_to_hypergraph"]
+
+
+def csp_to_hypergraph(instance: CSPInstance, dedupe: bool = True) -> Hypergraph:
+    """The hypergraph underlying a CSP instance."""
+    edges = {
+        constraint.name: frozenset(constraint.scope)
+        for constraint in instance.constraints
+    }
+    h = Hypergraph(edges, name=instance.name)
+    if dedupe:
+        h = h.dedupe()
+    return h

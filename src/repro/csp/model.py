@@ -1,0 +1,124 @@
+"""The CSP model: variables with finite domains plus extensional constraints.
+
+The paper's benchmark selects XCSP instances in which *all constraints are
+extensional* (given by explicit tuple lists), so that is the only constraint
+kind modelled here.  A constraint may be *positive* (``supports``: the listed
+tuples are the allowed ones) or *negative* (``conflicts``: the listed tuples
+are forbidden).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import SolverError
+
+__all__ = ["Constraint", "CSPInstance"]
+
+Value = object
+Tuple_ = tuple[Value, ...]
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One extensional constraint over an ordered variable scope."""
+
+    name: str
+    scope: tuple[str, ...]
+    tuples: frozenset[Tuple_]
+    positive: bool = True
+
+    def __post_init__(self):
+        object.__setattr__(self, "scope", tuple(self.scope))
+        normalised = frozenset(tuple(t) for t in self.tuples)
+        object.__setattr__(self, "tuples", normalised)
+        for t in normalised:
+            if len(t) != len(self.scope):
+                raise SolverError(
+                    f"constraint {self.name!r}: tuple {t!r} does not match "
+                    f"scope arity {len(self.scope)}"
+                )
+
+    @property
+    def arity(self) -> int:
+        return len(self.scope)
+
+    def allows(self, assignment: Mapping[str, Value]) -> bool:
+        """Whether a *full-scope* assignment satisfies the constraint."""
+        candidate = tuple(assignment[v] for v in self.scope)
+        return (candidate in self.tuples) == self.positive
+
+    def consistent(self, assignment: Mapping[str, Value]) -> bool:
+        """Whether a partial assignment can still be extended to satisfy it.
+
+        Positive constraints prune as soon as no support tuple matches the
+        assigned prefix of the scope; negative constraints can only be
+        checked once the scope is fully assigned.
+        """
+        assigned = [v for v in self.scope if v in assignment]
+        if len(assigned) < len(self.scope):
+            if not self.positive:
+                return True
+            return any(
+                all(
+                    t[i] == assignment[v]
+                    for i, v in enumerate(self.scope)
+                    if v in assignment
+                )
+                for t in self.tuples
+            )
+        return self.allows(assignment)
+
+
+@dataclass
+class CSPInstance:
+    """A CSP: named variables with finite domains and extensional constraints."""
+
+    name: str
+    domains: dict[str, tuple[Value, ...]]
+    constraints: list[Constraint] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.domains = {v: tuple(d) for v, d in self.domains.items()}
+        for constraint in self.constraints:
+            missing = [v for v in constraint.scope if v not in self.domains]
+            if missing:
+                raise SolverError(
+                    f"constraint {constraint.name!r} uses undeclared variables {missing}"
+                )
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return tuple(self.domains)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self.constraints)
+
+    def constraints_on(self, variable: str) -> list[Constraint]:
+        return [c for c in self.constraints if variable in c.scope]
+
+    def check(self, assignment: Mapping[str, Value]) -> bool:
+        """Whether a full assignment satisfies every constraint."""
+        if set(assignment) != set(self.domains):
+            raise SolverError("assignment does not cover all variables")
+        return all(c.allows(assignment) for c in self.constraints)
+
+
+def all_different_constraint(
+    name: str, scope: Sequence[str], domain: Iterable[Value]
+) -> Constraint:
+    """Convenience: an extensional all-different over a shared domain."""
+    values = tuple(domain)
+    scope = tuple(scope)
+
+    def distinct_tuples(prefix: Tuple_) -> Iterable[Tuple_]:
+        if len(prefix) == len(scope):
+            yield prefix
+            return
+        for v in values:
+            if v not in prefix:
+                yield from distinct_tuples(prefix + (v,))
+
+    return Constraint(name, scope, frozenset(distinct_tuples(())))

@@ -1,0 +1,153 @@
+"""CSP solvers: plain backtracking and decomposition-guided evaluation.
+
+Two solvers over the same :class:`~repro.csp.model.CSPInstance`:
+
+* :func:`solve_backtracking` — chronological backtracking with forward
+  pruning on positive constraints (the baseline every CSP paper assumes);
+* :func:`solve_with_decomposition` — evaluates the constraint network along
+  a (G)HD of its hypergraph with the Yannakakis machinery: polynomial in the
+  instance size for bounded width, which is exactly why the paper's widths
+  matter.  Works for instances whose constraints are all positive
+  (extensional ``supports``); negative constraints are applied as
+  anti-filters on the node where their scope is covered.
+
+Both return a satisfying assignment or ``None``; differential tests check
+that they always agree.
+"""
+
+from __future__ import annotations
+
+from repro.core.decomposition import Decomposition
+from repro.csp.convert import csp_to_hypergraph
+from repro.csp.model import Constraint, CSPInstance
+from repro.decomp.detkdecomp import check_hd
+from repro.errors import SolverError
+from repro.relational.relation import Relation
+from repro.relational.yannakakis import DecompositionEvaluator
+from repro.utils.deadline import Deadline
+
+__all__ = ["solve_backtracking", "solve_with_decomposition"]
+
+Assignment = dict[str, object]
+
+
+def solve_backtracking(
+    instance: CSPInstance, deadline: Deadline | None = None
+) -> Assignment | None:
+    """Chronological backtracking with constraint-based pruning.
+
+    Variables are ordered by decreasing constraint degree (a classic static
+    heuristic); after each assignment every constraint touching the variable
+    is checked for extensibility.
+    """
+    deadline = deadline or Deadline.unlimited()
+    variables = sorted(
+        instance.variables,
+        key=lambda v: (-len(instance.constraints_on(v)), v),
+    )
+    watch: dict[str, list[Constraint]] = {
+        v: instance.constraints_on(v) for v in variables
+    }
+    assignment: Assignment = {}
+
+    def extend(index: int) -> bool:
+        deadline.check()
+        if index == len(variables):
+            return True
+        variable = variables[index]
+        for value in instance.domains[variable]:
+            assignment[variable] = value
+            if all(c.consistent(assignment) for c in watch[variable]):
+                if extend(index + 1):
+                    return True
+            del assignment[variable]
+        return False
+
+    if extend(0):
+        return dict(assignment)
+    return None
+
+
+def _constraint_relation(constraint: Constraint, instance: CSPInstance) -> Relation:
+    """The allowed-tuple relation of a constraint, restricted to the domains.
+
+    Negative constraints are complemented against the domain product of
+    their scope — exponential in the constraint *arity* only, which the
+    benchmark instances keep small.
+    """
+    if len(set(constraint.scope)) != len(constraint.scope):
+        raise SolverError(
+            f"constraint {constraint.name!r} repeats a variable in its scope"
+        )
+    if constraint.positive:
+        rows = {
+            t
+            for t in constraint.tuples
+            if all(
+                value in instance.domains[variable]
+                for variable, value in zip(constraint.scope, t)
+            )
+        }
+        return Relation(constraint.scope, rows)
+    product: list[tuple[object, ...]] = [()]
+    for variable in constraint.scope:
+        product = [
+            prefix + (value,)
+            for prefix in product
+            for value in instance.domains[variable]
+        ]
+    return Relation(
+        constraint.scope, {t for t in product if t not in constraint.tuples}
+    )
+
+
+def solve_with_decomposition(
+    instance: CSPInstance,
+    decomposition: Decomposition | None = None,
+    max_width: int = 4,
+    deadline: Deadline | None = None,
+) -> Assignment | None:
+    """Solve a CSP by Yannakakis evaluation along a decomposition.
+
+    When no decomposition is supplied, ``Check(HD, k)`` is attempted for
+    k = 1..max_width; a :class:`SolverError` is raised when the hypergraph's
+    width exceeds ``max_width`` (the instance is not tractably structured).
+
+    Negative constraints are anti-filtered at a node covering their scope.
+    Variables occurring in no constraint get an arbitrary domain value (an
+    empty domain makes the instance unsatisfiable).
+    """
+    deadline = deadline or Deadline.unlimited()
+    for variable, domain in instance.domains.items():
+        if not domain:
+            return None
+
+    if not instance.constraints:
+        return {v: d[0] for v, d in instance.domains.items()}
+
+    hypergraph = csp_to_hypergraph(instance, dedupe=False)
+    if decomposition is None:
+        for k in range(1, max_width + 1):
+            decomposition = check_hd(hypergraph, k, deadline=deadline)
+            if decomposition is not None:
+                break
+        else:
+            raise SolverError(
+                f"no HD of width <= {max_width}; raise max_width or pass a "
+                "decomposition explicitly"
+            )
+    elif decomposition.hypergraph != hypergraph:
+        raise SolverError("decomposition does not match the instance's hypergraph")
+
+    edge_relations = {
+        constraint.name: _constraint_relation(constraint, instance)
+        for constraint in instance.constraints
+    }
+    evaluator = DecompositionEvaluator(decomposition, edge_relations)
+    assignment = evaluator.one_solution()
+    if assignment is None:
+        return None
+    for variable, domain in instance.domains.items():
+        if variable not in assignment:
+            assignment[variable] = domain[0]
+    return assignment

@@ -1,0 +1,158 @@
+"""Parser and writer for the XCSP-style XML exchange format (Section 5.5).
+
+The benchmark's CSP instances come from xcsp.org; the paper converts them to
+hypergraphs by creating a vertex per variable and an edge per constraint
+scope.  We support the extensional fragment the paper selects::
+
+    <instance format="XCSP3" type="CSP">
+      <variables>
+        <var id="x"> 0 1 2 </var>
+        <array id="y" size="[3]"> 0..4 </array>
+      </variables>
+      <constraints>
+        <extension>
+          <list> x y[0] y[1] </list>
+          <supports> (0,1,2)(1,2,3) </supports>
+        </extension>
+      </constraints>
+    </instance>
+
+``<conflicts>`` bodies define negative tables.  Domains may mix plain values
+and ``lo..hi`` integer ranges.
+"""
+
+from __future__ import annotations
+
+import re
+import xml.etree.ElementTree as ET
+
+from repro.csp.model import Constraint, CSPInstance
+from repro.errors import ParseError
+
+__all__ = ["parse_xcsp", "format_xcsp"]
+
+_RANGE_RE = re.compile(r"^(-?\d+)\.\.(-?\d+)$")
+_TUPLE_RE = re.compile(r"\(([^()]*)\)")
+
+
+def _parse_domain(text: str) -> tuple[object, ...]:
+    values: list[object] = []
+    for token in (text or "").split():
+        match = _RANGE_RE.match(token)
+        if match:
+            low, high = int(match.group(1)), int(match.group(2))
+            if high < low:
+                raise ParseError(f"empty domain range {token!r}")
+            values.extend(range(low, high + 1))
+        else:
+            try:
+                values.append(int(token))
+            except ValueError:
+                values.append(token)
+    return tuple(values)
+
+
+def _parse_value(token: str) -> object:
+    token = token.strip()
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def _parse_tuples(text: str, arity: int) -> frozenset[tuple[object, ...]]:
+    tuples: set[tuple[object, ...]] = set()
+    for group in _TUPLE_RE.findall(text or ""):
+        items = tuple(_parse_value(v) for v in group.split(","))
+        if len(items) != arity:
+            raise ParseError(
+                f"tuple {group!r} has arity {len(items)}, scope expects {arity}"
+            )
+        tuples.add(items)
+    if not tuples and arity == 1:
+        # Unary extension bodies may list bare values.
+        for token in (text or "").split():
+            tuples.add((_parse_value(token),))
+    return frozenset(tuples)
+
+
+def parse_xcsp(text: str, name: str = "") -> CSPInstance:
+    """Parse an XCSP-style document into a :class:`CSPInstance`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ParseError(f"invalid XML: {exc}") from exc
+    if root.tag != "instance":
+        raise ParseError(f"expected <instance>, found <{root.tag}>")
+
+    domains: dict[str, tuple[object, ...]] = {}
+    variables_el = root.find("variables")
+    if variables_el is None:
+        raise ParseError("missing <variables> section")
+    for element in variables_el:
+        if element.tag == "var":
+            var_id = element.get("id")
+            if not var_id:
+                raise ParseError("<var> without an id attribute")
+            domains[var_id] = _parse_domain(element.text or "")
+        elif element.tag == "array":
+            array_id = element.get("id")
+            size_attr = element.get("size", "")
+            match = re.fullmatch(r"\[(\d+)\]", size_attr.strip())
+            if not array_id or match is None:
+                raise ParseError("<array> needs an id and a size of the form [n]")
+            domain = _parse_domain(element.text or "")
+            for i in range(int(match.group(1))):
+                domains[f"{array_id}[{i}]"] = domain
+        else:
+            raise ParseError(f"unsupported variables element <{element.tag}>")
+
+    constraints: list[Constraint] = []
+    constraints_el = root.find("constraints")
+    if constraints_el is not None:
+        for index, element in enumerate(constraints_el):
+            if element.tag != "extension":
+                raise ParseError(
+                    f"unsupported constraint <{element.tag}>; the benchmark "
+                    "uses extensional constraints only"
+                )
+            list_el = element.find("list")
+            if list_el is None or not (list_el.text or "").strip():
+                raise ParseError("<extension> without a <list> scope")
+            scope = tuple((list_el.text or "").split())
+            supports_el = element.find("supports")
+            conflicts_el = element.find("conflicts")
+            if supports_el is not None:
+                tuples = _parse_tuples(supports_el.text or "", len(scope))
+                positive = True
+            elif conflicts_el is not None:
+                tuples = _parse_tuples(conflicts_el.text or "", len(scope))
+                positive = False
+            else:
+                raise ParseError("<extension> needs <supports> or <conflicts>")
+            constraint_name = element.get("id") or f"c{index}"
+            constraints.append(Constraint(constraint_name, scope, tuples, positive))
+
+    instance_name = name or root.get("id") or ""
+    return CSPInstance(instance_name, domains, constraints)
+
+
+def format_xcsp(instance: CSPInstance) -> str:
+    """Render a CSP instance back into the XCSP-style XML format."""
+    root = ET.Element("instance", {"format": "XCSP3", "type": "CSP"})
+    variables_el = ET.SubElement(root, "variables")
+    for variable, domain in instance.domains.items():
+        var_el = ET.SubElement(variables_el, "var", {"id": variable})
+        var_el.text = " ".join(str(v) for v in domain)
+    constraints_el = ET.SubElement(root, "constraints")
+    for constraint in instance.constraints:
+        ext_el = ET.SubElement(constraints_el, "extension", {"id": constraint.name})
+        list_el = ET.SubElement(ext_el, "list")
+        list_el.text = " ".join(constraint.scope)
+        body_tag = "supports" if constraint.positive else "conflicts"
+        body_el = ET.SubElement(ext_el, body_tag)
+        body_el.text = "".join(
+            "(" + ",".join(str(v) for v in t) + ")"
+            for t in sorted(constraint.tuples, key=repr)
+        )
+    return ET.tostring(root, encoding="unicode")

@@ -1,0 +1,57 @@
+"""Decomposition algorithms: the paper's Section 4 and 6.5 as code.
+
+* :func:`check_hd` / :class:`DetKDecomp` — ``Check(HD, k)``;
+* :func:`check_ghd_global_bip` — ``GlobalBIP`` (Algorithm 1);
+* :func:`check_ghd_local_bip` — ``LocalBIP`` (Section 4.3);
+* :func:`check_ghd_balsep` — ``BalSep`` (Algorithm 2);
+* :func:`improve_hd`, :func:`check_frac_improved`,
+  :func:`best_fractional_improvement` — fractional improvements (Section 6.5);
+* :func:`exact_width`, :func:`timed_check`, :func:`ghd_portfolio` — the
+  evaluation drivers behind Figures 4 and Tables 3–6.
+"""
+
+from repro.decomp.balsep import BalSep, check_ghd_balsep
+from repro.decomp.detkdecomp import DetKDecomp, check_hd
+from repro.decomp.driver import (
+    GHD_ALGORITHMS,
+    NO,
+    TIMEOUT,
+    YES,
+    CheckOutcome,
+    WidthResult,
+    exact_width,
+    ghd_portfolio,
+    timed_check,
+)
+from repro.decomp.fractional import (
+    best_fractional_improvement,
+    check_frac_improved,
+    improve_hd,
+)
+from repro.decomp.globalbip import check_ghd_global_bip
+from repro.decomp.hybrid import HybridBalSep, check_ghd_hybrid
+from repro.decomp.localbip import LocalBIP, check_ghd_local_bip
+
+__all__ = [
+    "DetKDecomp",
+    "check_hd",
+    "check_ghd_global_bip",
+    "LocalBIP",
+    "check_ghd_local_bip",
+    "BalSep",
+    "check_ghd_balsep",
+    "HybridBalSep",
+    "check_ghd_hybrid",
+    "improve_hd",
+    "check_frac_improved",
+    "best_fractional_improvement",
+    "CheckOutcome",
+    "WidthResult",
+    "exact_width",
+    "timed_check",
+    "ghd_portfolio",
+    "GHD_ALGORITHMS",
+    "YES",
+    "NO",
+    "TIMEOUT",
+]

@@ -1,0 +1,334 @@
+"""``BalSep`` — ``Check(GHD, k)`` via balanced separators (Section 4.4).
+
+The algorithm decomposes *extended subhypergraphs* ``H' ∪ Sp``: a subset of
+real edges plus a set of *special edges* (vertex sets standing for bags
+created higher up, which keep the recursion connected — Definition 6).  At
+every step it picks a λ-label whose covered vertex set is a **balanced
+separator** of ``H' ∪ Sp`` (every [B(λ)]-component contains at most half the
+edges, Definition 7); Lemma 1 guarantees a GHD of width ≤ k can always be
+rooted at such a separator, so exhausting all balanced separators proves a
+"no" answer (Theorem 2).
+
+Balancedness halves the instance at every level, which is why the paper
+finds ``BalSep`` particularly fast at *refuting* ``ghw ≤ k`` — there are far
+fewer balanced separators than arbitrary ones.
+
+Like the BIP variants, the separator iterator first tries combinations of
+full edges of ``H`` and falls back to combinations containing subedges from
+``f(H, k)`` (restricted to the edges that can matter for the current
+subhypergraph).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.components import components, vertices_of
+from repro.core.decomposition import Decomposition, DecompositionNode
+from repro.core.hypergraph import Hypergraph
+from repro.core.subedges import DEFAULT_SUBEDGE_BUDGET, subedge_family
+from repro.decomp.detkdecomp import covering_combinations
+from repro.errors import ValidationError
+from repro.utils.deadline import Deadline
+
+__all__ = ["BalSep", "check_ghd_balsep"]
+
+
+class BalSep:
+    """Recursive balanced-separator search for ``Check(GHD, k)``."""
+
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        k: int,
+        deadline: Deadline | None = None,
+        subedge_budget: int = DEFAULT_SUBEDGE_BUDGET,
+    ):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.hypergraph = hypergraph
+        self.k = k
+        self.deadline = deadline or Deadline.unlimited()
+        self.subedge_budget = subedge_budget
+        self._family = dict(hypergraph.edges)
+        # Special edges: canonical name per distinct vertex set.
+        self._special_vertices: dict[str, frozenset[str]] = {}
+        self._special_ids: dict[frozenset[str], str] = {}
+        # Subedges used inside λ-labels, mapped back to a parent real edge.
+        self._subedge_vertices: dict[str, frozenset[str]] = {}
+        self._subedge_parent: dict[str, str] = {}
+        self._subedge_pool: list[str] | None = None
+        self._failures: set[tuple[frozenset[str], frozenset[str]]] = set()
+
+    # ------------------------------------------------------------------- API
+
+    def decompose(self) -> Decomposition | None:
+        """Return a GHD of width ≤ k, or ``None`` when ``ghw(H) > k``."""
+        if not self._family:
+            return Decomposition(
+                self.hypergraph, DecompositionNode(frozenset(), {}), kind="GHD"
+            )
+        root = self._decompose(frozenset(self._family), frozenset())
+        if root is None:
+            return None
+        self._fix_covers(root)
+        return Decomposition(self.hypergraph, root, kind="GHD")
+
+    # ------------------------------------------------------------- plumbing
+
+    def _special_name(self, vertices: frozenset[str]) -> str:
+        name = self._special_ids.get(vertices)
+        if name is None:
+            name = f"__sp{len(self._special_ids)}"
+            self._special_ids[vertices] = name
+            self._special_vertices[name] = vertices
+        return name
+
+    def _lookup(self, name: str) -> frozenset[str]:
+        if name in self._family:
+            return self._family[name]
+        if name in self._special_vertices:
+            return self._special_vertices[name]
+        return self._subedge_vertices[name]
+
+    def _member_family(
+        self, real: frozenset[str], special: frozenset[str]
+    ) -> dict[str, frozenset[str]]:
+        family = {name: self._family[name] for name in real}
+        family.update({name: self._special_vertices[name] for name in special})
+        return family
+
+    # ---------------------------------------------------------------- search
+
+    def _decompose(
+        self, real: frozenset[str], special: frozenset[str]
+    ) -> DecompositionNode | None:
+        """Decompose the extended subhypergraph ``real ∪ special``."""
+        self.deadline.check()
+        key = (real, special)
+        if key in self._failures:
+            return None
+        members = self._member_family(real, special)
+
+        # Base cases (Algorithm 2, lines 5–12).
+        if len(members) == 1:
+            (name, vertices), = members.items()
+            return DecompositionNode(vertices, {name: 1.0})
+        if len(members) == 2:
+            (n1, v1), (n2, v2) = members.items()
+            child = DecompositionNode(v2, {n2: 1.0})
+            return DecompositionNode(v1, {n1: 1.0}, [child])
+
+        total = len(members)
+        seen_bags: set[frozenset[str]] = set()
+        scope = vertices_of(members)
+
+        for separator in self._balanced_separators(members, scope, total):
+            self.deadline.check()
+            # Restrict the bag to the current scope: λ-edges are global and
+            # may contain vertices foreign to this extended subhypergraph;
+            # keeping them would break connectedness across sibling subtrees.
+            bag = frozenset().union(*(self._lookup(n) for n in separator)) & scope
+            if bag in seen_bags:
+                continue
+            seen_bags.add(bag)
+
+            child_states = components(members, bag)
+            new_special = self._special_name(bag)
+            sub_decomps: list[DecompositionNode] = []
+            success = True
+            for comp in child_states:
+                comp_real = frozenset(n for n in comp if n in self._family)
+                comp_special = frozenset(
+                    n for n in comp if n not in self._family
+                ) | {new_special}
+                child = self._decompose(comp_real, comp_special)
+                if child is None:
+                    success = False
+                    break
+                sub_decomps.append(child)
+            if not success:
+                continue
+            cover = {name: 1.0 for name in separator}
+            return self._build_ghd(bag, cover, sub_decomps, new_special)
+
+        self._failures.add(key)
+        return None
+
+    # ----------------------------------------------------------- enumeration
+
+    def _subedges(self) -> list[str]:
+        """Global ``f(H, k)`` subedge names, generated once on demand."""
+        if self._subedge_pool is None:
+            pool: list[str] = []
+            for i, vertices in enumerate(
+                subedge_family(
+                    self._family,
+                    self.k,
+                    budget=self.subedge_budget,
+                    deadline=self.deadline,
+                )
+            ):
+                name = f"__bsub{i}"
+                parent = next(
+                    e_name for e_name, e in self._family.items() if vertices <= e
+                )
+                self._subedge_vertices[name] = vertices
+                self._subedge_parent[name] = parent
+                pool.append(name)
+            self._subedge_pool = pool
+        return self._subedge_pool
+
+    def _balanced_separators(
+        self,
+        members: dict[str, frozenset[str]],
+        scope: frozenset[str],
+        total: int,
+    ) -> Iterator[tuple[str, ...]]:
+        """All λ-candidates (≤ k edges of ``H`` / subedges) that balance."""
+        full = sorted(
+            (name for name, edge in self._family.items() if edge & scope),
+            key=lambda n: (-len(self._family[n] & scope), n),
+        )
+        lookup = dict(self._family)
+        limit = total / 2
+
+        def balanced(candidate: tuple[str, ...]) -> bool:
+            bag = frozenset().union(*(lookup[n] for n in candidate))
+            return all(len(c) <= limit for c in components(members, bag))
+
+        for candidate in covering_combinations(
+            lookup, full, [], frozenset(), self.k, self.deadline,
+            require_primary=False,
+        ):
+            if balanced(candidate):
+                yield candidate
+
+        sub_names = [
+            name for name in self._subedges()
+            if self._subedge_vertices[name] & scope
+        ]
+        if not sub_names:
+            return
+        lookup.update({name: self._subedge_vertices[name] for name in sub_names})
+        for candidate in covering_combinations(
+            lookup, sub_names, full, frozenset(), self.k, self.deadline,
+            require_primary=True,
+        ):
+            if balanced(candidate):
+                yield candidate
+
+    # ------------------------------------------------------------- assembly
+
+    def _build_ghd(
+        self,
+        bag: frozenset[str],
+        cover: dict[str, float],
+        sub_decomps: list[DecompositionNode],
+        special_name: str,
+    ) -> DecompositionNode:
+        """Function ``BuildGHD``: merge the child GHDs below a new root.
+
+        Each child decomposition covers the special edge ``bag`` somewhere
+        (condition 3 of Definition 8).  We re-root the child at that node;
+        if it is the dedicated special leaf (λ = {special}), its children are
+        attached to the new root directly, otherwise the re-rooted node
+        itself is attached (its bag contains the special edge, which keeps
+        all shared vertices connected through the new root).
+        """
+        node = DecompositionNode(bag, cover)
+        special_set = self._special_vertices[special_name]
+        for child in sub_decomps:
+            target = _find_special_leaf(child, special_name)
+            if target is not None:
+                rerooted = _reroot(child, target)
+                node.children.extend(rerooted.children)
+                continue
+            target = _find_covering_node(child, special_set)
+            if target is None:  # pragma: no cover - contract of Decompose
+                raise ValidationError(
+                    "child decomposition does not cover its connecting special edge"
+                )
+            node.children.append(_reroot(child, target))
+        return node
+
+    def _fix_covers(self, root: DecompositionNode) -> None:
+        """Swap subedges in λ-labels for their original parent edges."""
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            fixed: dict[str, float] = {}
+            for name, weight in node.cover.items():
+                if name in self._subedge_parent:
+                    name = self._subedge_parent[name]
+                elif name.startswith("__sp"):  # pragma: no cover - invariant
+                    raise ValidationError("special edge survived into the final GHD")
+                fixed[name] = max(fixed.get(name, 0.0), weight)
+            node.cover = fixed
+            stack.extend(node.children)
+
+
+# ---------------------------------------------------------------- tree utils
+
+
+def _find_special_leaf(
+    root: DecompositionNode, special_name: str
+) -> DecompositionNode | None:
+    """The unique node with λ = {special_name}, if it exists."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if set(node.cover) == {special_name}:
+            return node
+        stack.extend(node.children)
+    return None
+
+
+def _find_covering_node(
+    root: DecompositionNode, vertices: frozenset[str]
+) -> DecompositionNode | None:
+    """Any node whose bag contains ``vertices``."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if vertices <= node.bag:
+            return node
+        stack.extend(node.children)
+    return None
+
+
+def _reroot(root: DecompositionNode, target: DecompositionNode) -> DecompositionNode:
+    """Re-root the tree at ``target`` (nodes are reused, children rewritten)."""
+    if target is root:
+        return root
+    parents: dict[int, DecompositionNode | None] = {id(root): None}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        for child in node.children:
+            parents[id(child)] = node
+            stack.append(child)
+    # Walk from target to root, flipping parent links.
+    node: DecompositionNode | None = target
+    prev: DecompositionNode | None = None
+    while node is not None:
+        parent = parents[id(node)]
+        if prev is not None:
+            node.children = [c for c in node.children if c is not prev]
+        if parent is not None:
+            node.children = list(node.children) + [parent]
+        node, prev = parent, node
+    # After flipping, `parent` chains now point downwards from target.
+    return target
+
+
+def check_ghd_balsep(
+    hypergraph: Hypergraph,
+    k: int,
+    deadline: Deadline | None = None,
+    subedge_budget: int = DEFAULT_SUBEDGE_BUDGET,
+) -> Decomposition | None:
+    """Solve ``Check(GHD, k)`` with the balanced-separator algorithm."""
+    return BalSep(
+        hypergraph, k, deadline=deadline, subedge_budget=subedge_budget
+    ).decompose()

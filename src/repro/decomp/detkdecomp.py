@@ -1,0 +1,261 @@
+"""``DetKDecomp`` — the polynomial ``Check(HD, k)`` algorithm (Section 3.4).
+
+This is a Python re-implementation of the backtracking hypertree decomposition
+algorithm of Gottlob & Samer (the paper's ``NewDetKDecomp`` base layer).  For
+a fixed ``k`` it constructs an HD top-down:
+
+* the state of the search is a pair ``(component, connector)`` where
+  ``component`` is a set of edge names still to be decomposed and
+  ``connector`` the vertices shared with the parent bag;
+* at each node it guesses a separator ``λ ⊆ E(H)`` with ``|λ| ≤ k``
+  containing **at least one component edge** (this is the classical
+  progress/normal-form restriction) and covering the connector;
+* the bag is forced to ``B(λ) ∩ V(component)`` — the "special condition"
+  make-safe choice that guarantees polynomial time at the price of possibly
+  missing lower-width GHDs;
+* the ``[B_u]``-components of the current component become the child search
+  states, and failures are memoised on ``(component, connector)``.
+
+The optional ``bag_filter`` hook rejects candidate bags; ``FracImproveHD``
+(Section 6.5) uses it to only accept bags whose *fractional* cover weight
+stays below ``k'``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from repro.core.components import components, vertices_of
+from repro.core.decomposition import Decomposition, DecompositionNode
+from repro.core.hypergraph import Hypergraph
+from repro.utils.deadline import Deadline
+
+__all__ = ["DetKDecomp", "check_hd"]
+
+BagFilter = Callable[[frozenset[str]], bool]
+
+
+class DetKDecomp:
+    """Deterministic ``Check(HD, k)`` search for one hypergraph.
+
+    Parameters
+    ----------
+    hypergraph:
+        The input hypergraph ``H``.
+    k:
+        The width bound (``k >= 1``).
+    deadline:
+        Cooperative timeout; :class:`~repro.errors.DeadlineExceeded` is raised
+        from within the search when it expires.
+    bag_filter:
+        Optional predicate on candidate bags; bags failing it are skipped.
+        Must be monotone in the sense that rejecting a bag never hides the
+        *only* HD — used by ``FracImproveHD`` where this holds by design.
+    heuristic:
+        Separator candidate ordering (the paper adds such heuristics on top
+        of the basic algorithm): ``"coverage"`` (default) tries edges with
+        the largest overlap with the current component first, ``"degree"``
+        prefers edges with many high-degree vertices, ``"name"`` uses the
+        plain lexicographic order.  The verdict never depends on the
+        heuristic — only the time to find it does.
+    """
+
+    HEURISTICS = ("coverage", "degree", "name")
+
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        k: int,
+        deadline: Deadline | None = None,
+        bag_filter: BagFilter | None = None,
+        heuristic: str = "coverage",
+    ):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if heuristic not in self.HEURISTICS:
+            raise ValueError(f"unknown heuristic {heuristic!r}")
+        self.hypergraph = hypergraph
+        self.k = k
+        self.deadline = deadline or Deadline.unlimited()
+        self.bag_filter = bag_filter
+        self.heuristic = heuristic
+        self._family = dict(hypergraph.edges)
+        self._degree = {
+            v: len(hypergraph.incident_edges(v)) for v in hypergraph.vertices
+        }
+        self._failures: set[tuple[frozenset[str], frozenset[str]]] = set()
+
+    def _order_key(self, comp_vertices: frozenset[str]):
+        """The candidate ordering selected by ``self.heuristic``."""
+        if self.heuristic == "coverage":
+            return lambda n: (-len(self._family[n] & comp_vertices), n)
+        if self.heuristic == "degree":
+            return lambda n: (
+                -sum(self._degree[v] for v in self._family[n] & comp_vertices),
+                n,
+            )
+        return lambda n: n  # "name"
+
+    # ------------------------------------------------------------------- API
+
+    def decompose(self) -> Decomposition | None:
+        """Return an HD of width ≤ k, or ``None`` when none exists."""
+        if not self._family:
+            root = DecompositionNode(frozenset(), {})
+            return Decomposition(self.hypergraph, root, kind="HD")
+
+        roots: list[DecompositionNode] = []
+        for comp in components(self._family, frozenset()):
+            node = self._decompose(comp, frozenset())
+            if node is None:
+                return None
+            roots.append(node)
+
+        if len(roots) == 1:
+            root = roots[0]
+        else:
+            # Disconnected hypergraph: join the per-component HDs below an
+            # empty auxiliary root.  All conditions hold trivially because the
+            # components share no vertices.
+            root = DecompositionNode(frozenset(), {}, roots)
+        return Decomposition(self.hypergraph, root, kind="HD")
+
+    # ---------------------------------------------------------------- search
+
+    def _decompose(
+        self, comp: frozenset[str], conn: frozenset[str]
+    ) -> DecompositionNode | None:
+        """Decompose one ``(component, connector)`` state; ``None`` on failure."""
+        self.deadline.check()
+        key = (comp, conn)
+        if key in self._failures:
+            return None
+
+        comp_vertices = vertices_of(self._family, comp)
+
+        # Base case: the whole component fits in a single λ-label.
+        if len(comp) <= self.k:
+            bag = comp_vertices
+            if self.bag_filter is None or self.bag_filter(bag):
+                return DecompositionNode(bag, {name: 1.0 for name in comp})
+
+        for separator in self._separators(comp, conn):
+            self.deadline.check()
+            bag = vertices_of(self._family, separator) & comp_vertices
+            if not conn <= bag:
+                continue
+            if self.bag_filter is not None and not self.bag_filter(bag):
+                continue
+
+            sub_family = {name: self._family[name] for name in comp}
+            child_states = components(sub_family, bag)
+            children: list[DecompositionNode] = []
+            success = True
+            for child_comp in child_states:
+                child_conn = vertices_of(self._family, child_comp) & bag
+                child = self._decompose(child_comp, child_conn)
+                if child is None:
+                    success = False
+                    break
+                children.append(child)
+            if success:
+                return DecompositionNode(
+                    bag, {name: 1.0 for name in separator}, children
+                )
+
+        self._failures.add(key)
+        return None
+
+    # ----------------------------------------------------------- enumeration
+
+    def _separators(
+        self, comp: frozenset[str], conn: frozenset[str]
+    ) -> Iterator[tuple[str, ...]]:
+        """Enumerate candidate λ-labels for the current state.
+
+        Candidates contain at least one *inner* edge (an edge of the
+        component) plus up to ``k - 1`` further edges intersecting the
+        component, and must jointly cover the connector.  Edges are ordered
+        by decreasing overlap with the component — the paper's heuristic of
+        trying "promising" covers first.
+        """
+        comp_vertices = vertices_of(self._family, comp)
+        order_key = self._order_key(comp_vertices)
+        inner = sorted(comp, key=order_key)
+        outer = sorted(
+            (
+                name
+                for name, edge in self._family.items()
+                if name not in comp and edge & comp_vertices
+            ),
+            key=order_key,
+        )
+        yield from covering_combinations(
+            self._family, inner, outer, conn, self.k, self.deadline,
+            require_primary=True,
+        )
+
+
+def covering_combinations(
+    family: dict[str, frozenset[str]],
+    primary: list[str],
+    secondary: list[str],
+    conn: frozenset[str],
+    k: int,
+    deadline: Deadline,
+    require_primary: bool = True,
+) -> Iterator[tuple[str, ...]]:
+    """Yield all ≤k-subsets of ``primary + secondary`` whose union covers ``conn``.
+
+    With ``require_primary`` the subsets must contain at least one primary
+    edge — ``DetKDecomp`` uses this for the "≥1 component edge" progress rule
+    and ``LocalBIP``/``BalSep`` for their "≥1 subedge" second phase.  The
+    enumeration walks the candidate list recursively, tracking the still
+    uncovered connector vertices, and prunes branches that cannot cover the
+    remainder with the slots left.
+    """
+    candidates = primary + secondary
+    n_primary = len(primary)
+    if not candidates or (require_primary and not primary):
+        return
+    max_gain = [len(family[name] & conn) for name in candidates]
+    # suffix_max[i] = max coverage gain of any candidate at index >= i
+    suffix_max = [0] * (len(candidates) + 1)
+    for i in range(len(candidates) - 1, -1, -1):
+        suffix_max[i] = max(suffix_max[i + 1], max_gain[i])
+
+    chosen: list[str] = []
+
+    def recurse(
+        start: int, uncovered: frozenset[str], has_primary: bool
+    ) -> Iterator[tuple[str, ...]]:
+        deadline.check()
+        if chosen and has_primary and not uncovered:
+            yield tuple(chosen)
+        if len(chosen) == k:
+            return
+        slots = k - len(chosen)
+        for i in range(start, len(candidates)):
+            if not has_primary and i >= n_primary:
+                return  # no primary edge can be added any more
+            # Prune: remaining slots cannot cover the connector remainder.
+            if uncovered and suffix_max[i] * slots < len(uncovered):
+                continue
+            name = candidates[i]
+            chosen.append(name)
+            yield from recurse(
+                i + 1, uncovered - family[name], has_primary or i < n_primary
+            )
+            chosen.pop()
+
+    yield from recurse(0, conn, not require_primary)
+
+
+def check_hd(
+    hypergraph: Hypergraph, k: int, deadline: Deadline | None = None
+) -> Decomposition | None:
+    """Solve ``Check(HD, k)``: an HD of width ≤ k, or ``None``.
+
+    Convenience wrapper around :class:`DetKDecomp`.
+    """
+    return DetKDecomp(hypergraph, k, deadline=deadline).decompose()

@@ -1,0 +1,163 @@
+"""High-level drivers: exact widths, timed checks, and the algorithm portfolio.
+
+The paper's evaluation protocol (Sections 6.2 and 6.4) runs
+``Check(decomposition, k)`` attempts under a wall-clock timeout, records
+yes / no / timeout verdicts, determines exact widths by iterating k, and — for
+Table 4 — runs all three GHD algorithms "in parallel", stopping at the first
+answer.  This module provides those building blocks for the analysis layer.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.decomposition import Decomposition
+from repro.core.hypergraph import Hypergraph
+from repro.decomp.balsep import check_ghd_balsep
+from repro.decomp.detkdecomp import check_hd
+from repro.decomp.globalbip import check_ghd_global_bip
+from repro.decomp.localbip import check_ghd_local_bip
+from repro.errors import DeadlineExceeded, SubedgeLimitError
+from repro.utils.deadline import Deadline
+
+__all__ = [
+    "CheckOutcome",
+    "YES",
+    "NO",
+    "TIMEOUT",
+    "timed_check",
+    "exact_width",
+    "WidthResult",
+    "GHD_ALGORITHMS",
+    "ghd_portfolio",
+]
+
+#: Verdict labels, matching the paper's figures.
+YES = "yes"
+NO = "no"
+TIMEOUT = "timeout"
+
+CheckFunction = Callable[[Hypergraph, int, Deadline | None], "Decomposition | None"]
+
+
+@dataclass
+class CheckOutcome:
+    """Result of one timed ``Check(decomposition, k)`` attempt."""
+
+    verdict: str  # YES, NO or TIMEOUT
+    seconds: float
+    decomposition: Decomposition | None = None
+
+    @property
+    def answered(self) -> bool:
+        return self.verdict in (YES, NO)
+
+
+def timed_check(
+    check: CheckFunction,
+    hypergraph: Hypergraph,
+    k: int,
+    timeout: float | None = None,
+) -> CheckOutcome:
+    """Run one check attempt under a timeout and record the verdict.
+
+    Subedge-budget exhaustion is treated like a timeout, mirroring the
+    paper's handling of ``GlobalBIP`` blow-ups.
+    """
+    deadline = Deadline(timeout)
+    start = time.perf_counter()
+    try:
+        decomposition = check(hypergraph, k, deadline)
+    except (DeadlineExceeded, SubedgeLimitError):
+        return CheckOutcome(TIMEOUT, time.perf_counter() - start)
+    elapsed = time.perf_counter() - start
+    if decomposition is None:
+        return CheckOutcome(NO, elapsed)
+    return CheckOutcome(YES, elapsed, decomposition)
+
+
+@dataclass
+class WidthResult:
+    """Outcome of an exact-width computation by iterating k.
+
+    ``value`` is the exact width when ``exact`` is true; otherwise only the
+    bounds are known (``lower`` may be 1 when nothing was refuted, ``upper``
+    may be ``None`` when not even the largest k yielded a yes).
+    """
+
+    lower: int
+    upper: int | None
+    decomposition: Decomposition | None
+    timings: dict[int, CheckOutcome]
+
+    @property
+    def exact(self) -> bool:
+        return self.upper is not None and self.lower == self.upper
+
+    @property
+    def value(self) -> int | None:
+        return self.upper if self.exact else None
+
+
+def exact_width(
+    check: CheckFunction,
+    hypergraph: Hypergraph,
+    max_k: int,
+    timeout: float | None = None,
+) -> WidthResult:
+    """Iterate ``Check(·, k)`` for k = 1..max_k (the Figure 4 protocol).
+
+    Stops at the first yes-answer; the width is exact when every smaller k
+    produced a definite no (rather than a timeout).
+    """
+    timings: dict[int, CheckOutcome] = {}
+    refuted_up_to = 0
+    all_no_so_far = True
+    for k in range(1, max_k + 1):
+        outcome = timed_check(check, hypergraph, k, timeout)
+        timings[k] = outcome
+        if outcome.verdict == YES:
+            lower = refuted_up_to + 1 if all_no_so_far else 1
+            return WidthResult(lower, k, outcome.decomposition, timings)
+        if outcome.verdict == NO:
+            if all_no_so_far:
+                refuted_up_to = k
+        else:
+            all_no_so_far = False
+    lower = refuted_up_to + 1
+    return WidthResult(lower, None, None, timings)
+
+
+#: The three GHD algorithms of Section 4 in the order of Table 3.
+GHD_ALGORITHMS: dict[str, CheckFunction] = {
+    "GlobalBIP": check_ghd_global_bip,
+    "LocalBIP": check_ghd_local_bip,
+    "BalSep": check_ghd_balsep,
+}
+
+
+def ghd_portfolio(
+    hypergraph: Hypergraph,
+    k: int,
+    timeout: float | None = None,
+    algorithms: dict[str, CheckFunction] | None = None,
+) -> tuple[CheckOutcome, dict[str, CheckOutcome]]:
+    """Emulate the paper's parallel portfolio (Table 4 protocol).
+
+    Every algorithm runs with the full timeout; the portfolio verdict is the
+    fastest definite answer (which is what "run in parallel and stop at the
+    first answer" observes).  Returns ``(portfolio_outcome, per_algorithm)``.
+    """
+    algorithms = algorithms or GHD_ALGORITHMS
+    per_algorithm = {
+        name: timed_check(fn, hypergraph, k, timeout)
+        for name, fn in algorithms.items()
+    }
+    answered = [o for o in per_algorithm.values() if o.answered]
+    if answered:
+        best = min(answered, key=lambda o: o.seconds)
+        return best, per_algorithm
+    slowest = max(per_algorithm.values(), key=lambda o: o.seconds)
+    return slowest, per_algorithm

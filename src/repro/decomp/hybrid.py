@@ -1,0 +1,206 @@
+"""The hybrid GHD algorithm (the paper's future-work proposal, Section 7).
+
+    "one could try to apply our new 'balanced separator' algorithm
+    recursively only down to a certain recursion depth (say depth 2 or 3) to
+    split a big given hypergraph into smaller subhypergraphs and then
+    continue with the 'global' or 'local' computation from Section 4"
+
+— which is exactly what the follow-up work (Gottlob, Okulmus & Pichler,
+IJCAI 2020) turned into *BalancedGo*.  This module implements the sequential
+version: :class:`HybridBalSep` runs the balanced-separator recursion down to
+``switch_depth`` and then hands each remaining extended subhypergraph to a
+``LocalBIP``-style bounded search.
+
+The handoff must still respect the special edges of the extended
+subhypergraph, so the inner search is a GHD search over the component's
+*real* edges plus the inherited special edges treated as extra edges that
+only need covering (they may not be used in λ-labels).
+"""
+
+from __future__ import annotations
+
+from repro.core.components import components, vertices_of
+from repro.core.decomposition import Decomposition, DecompositionNode
+from repro.core.hypergraph import Hypergraph
+from repro.core.subedges import DEFAULT_SUBEDGE_BUDGET, subedge_family
+from repro.decomp.balsep import BalSep
+from repro.decomp.detkdecomp import covering_combinations
+from repro.utils.deadline import Deadline
+
+__all__ = ["HybridBalSep", "check_ghd_hybrid"]
+
+
+class _InnerGHDSearch:
+    """LocalBIP-style GHD search over an extended subhypergraph.
+
+    ``special`` members behave like edges of the instance (they must be
+    covered by some bag, they participate in components) but cannot appear
+    in λ-labels — λ-labels draw from the global hypergraph's edges and the
+    local subedge pool, exactly as in the outer ``BalSep`` search.
+    """
+
+    def __init__(self, balsep: "HybridBalSep"):
+        self.balsep = balsep
+        self.k = balsep.k
+        self.deadline = balsep.deadline
+        self._failures: set[tuple[frozenset[str], frozenset[str], frozenset[str]]] = set()
+
+    def decompose(
+        self, real: frozenset[str], special: frozenset[str], conn: frozenset[str]
+    ) -> DecompositionNode | None:
+        self.deadline.check()
+        key = (real, special, conn)
+        if key in self._failures:
+            return None
+        owner = self.balsep
+        members = owner.member_family(real, special)
+        member_vertices = vertices_of(members)
+
+        # Base case: few members and all specials coverable?  A single node
+        # whose λ consists of (at most k) real edges covering everything.
+        if len(real) <= self.k and all(
+            owner.special_vertices(s) <= member_vertices for s in special
+        ):
+            bag = member_vertices | conn
+            cover_pool = {
+                name: owner.family[name]
+                for name in owner.family
+                if owner.family[name] & bag
+            }
+            chosen = _greedy_cover(cover_pool, bag, self.k)
+            if chosen is not None:
+                return DecompositionNode(bag, {name: 1.0 for name in chosen})
+
+        for separator, lookup in self._separators(members, conn):
+            self.deadline.check()
+            bag = frozenset().union(*(lookup[n] for n in separator))
+            bag &= member_vertices | conn
+            if not conn <= bag:
+                continue
+            child_states = components(members, bag)
+            if any(state == frozenset(members) for state in child_states):
+                continue  # no progress
+            children: list[DecompositionNode] = []
+            success = True
+            for state in child_states:
+                child_real = frozenset(n for n in state if n in owner.family)
+                child_special = state - child_real
+                child_conn = vertices_of(members, state) & bag
+                child = self.decompose(child_real, child_special, child_conn)
+                if child is None:
+                    success = False
+                    break
+                children.append(child)
+            if success:
+                cover: dict[str, float] = {}
+                for name in separator:
+                    cover[owner.resolve_parent(name)] = 1.0
+                return DecompositionNode(bag, cover, children)
+
+        self._failures.add(key)
+        return None
+
+    def _separators(self, members, conn):
+        owner = self.balsep
+        scope = vertices_of(members) | conn
+        full = sorted(
+            (name for name, edge in owner.family.items() if edge & scope),
+            key=lambda n: (-len(owner.family[n] & scope), n),
+        )
+        lookup = dict(owner.family)
+        for combo in covering_combinations(
+            lookup, full, [], conn, self.k, self.deadline, require_primary=False
+        ):
+            yield combo, lookup
+
+        sub_names = [
+            name
+            for name in owner.subedge_pool()
+            if owner.subedge_vertices(name) & scope
+        ]
+        if not sub_names:
+            return
+        lookup = dict(lookup)
+        lookup.update({name: owner.subedge_vertices(name) for name in sub_names})
+        for combo in covering_combinations(
+            lookup, sub_names, full, conn, self.k, self.deadline, require_primary=True
+        ):
+            yield combo, lookup
+
+
+def _greedy_cover(
+    pool: dict[str, frozenset[str]], bag: frozenset[str], k: int
+) -> tuple[str, ...] | None:
+    """A ≤k integral cover of ``bag`` from ``pool``, or None (greedy+exact)."""
+    from repro.core.covers import minimum_integral_cover
+
+    cover = minimum_integral_cover(pool, bag, max_size=k)
+    return cover
+
+
+class HybridBalSep(BalSep):
+    """BalSep down to ``switch_depth``, then the LocalBIP-style inner search."""
+
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        k: int,
+        switch_depth: int = 2,
+        deadline: Deadline | None = None,
+        subedge_budget: int = DEFAULT_SUBEDGE_BUDGET,
+    ):
+        super().__init__(hypergraph, k, deadline=deadline, subedge_budget=subedge_budget)
+        self.switch_depth = switch_depth
+        self._depth = 0
+        self._inner = _InnerGHDSearch(self)
+
+    # ------------------------------------------------- accessors for inner
+
+    @property
+    def family(self) -> dict[str, frozenset[str]]:
+        return self._family
+
+    def member_family(self, real: frozenset[str], special: frozenset[str]):
+        return self._member_family(real, special)
+
+    def special_vertices(self, name: str) -> frozenset[str]:
+        return self._special_vertices[name]
+
+    def subedge_vertices(self, name: str) -> frozenset[str]:
+        return self._subedge_vertices[name]
+
+    def subedge_pool(self) -> list[str]:
+        return self._subedges()
+
+    def resolve_parent(self, name: str) -> str:
+        return self._subedge_parent.get(name, name)
+
+    # ------------------------------------------------------------ recursion
+
+    def _decompose(
+        self, real: frozenset[str], special: frozenset[str]
+    ) -> DecompositionNode | None:
+        if self._depth >= self.switch_depth and len(real) + len(special) > 2:
+            return self._inner.decompose(real, special, frozenset())
+        self._depth += 1
+        try:
+            return super()._decompose(real, special)
+        finally:
+            self._depth -= 1
+
+
+def check_ghd_hybrid(
+    hypergraph: Hypergraph,
+    k: int,
+    deadline: Deadline | None = None,
+    switch_depth: int = 2,
+    subedge_budget: int = DEFAULT_SUBEDGE_BUDGET,
+) -> Decomposition | None:
+    """Solve ``Check(GHD, k)`` with the hybrid BalSep → LocalBIP strategy."""
+    return HybridBalSep(
+        hypergraph,
+        k,
+        switch_depth=switch_depth,
+        deadline=deadline,
+        subedge_budget=subedge_budget,
+    ).decompose()

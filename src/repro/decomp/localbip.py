@@ -1,0 +1,194 @@
+"""``LocalBIP`` — ``Check(GHD, k)`` with per-component subedges (Section 4.3).
+
+``GlobalBIP``'s weakness is the size of the global subedge set.  ``LocalBIP``
+follows the same top-down search as ``DetKDecomp`` but generates subedges
+*locally*: for the component ``H_u`` under decomposition it only considers
+``f_u(H, k)`` (Equation 2) — intersections of edges with unions of up to
+``k`` **component** edges.  At every search node the algorithm first tries
+all ≤k-combinations of full edges; only if all of them fail does it fall back
+to combinations containing at least one subedge.
+
+This is a GHD search (no special condition), so the bag at a node is
+``B(λ) ∩ V(component)`` and completeness relies on a reduced normal form in
+which every child component is a *proper* subset of the current one; the
+search skips separators violating that, which also guarantees termination.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.components import components, vertices_of
+from repro.core.decomposition import Decomposition, DecompositionNode
+from repro.core.hypergraph import Hypergraph
+from repro.core.subedges import DEFAULT_SUBEDGE_BUDGET, subedge_family
+from repro.decomp.detkdecomp import covering_combinations
+from repro.utils.deadline import Deadline
+
+__all__ = ["LocalBIP", "check_ghd_local_bip"]
+
+
+class LocalBIP:
+    """Top-down ``Check(GHD, k)`` search with lazily generated subedges."""
+
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        k: int,
+        deadline: Deadline | None = None,
+        subedge_budget: int = DEFAULT_SUBEDGE_BUDGET,
+    ):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.hypergraph = hypergraph
+        self.k = k
+        self.deadline = deadline or Deadline.unlimited()
+        self.subedge_budget = subedge_budget
+        self._family = dict(hypergraph.edges)
+        self._failures: set[tuple[frozenset[str], frozenset[str]]] = set()
+        # Lazily generated subedge pools keyed by component; entries are
+        # (name, vertices, parent_edge_name) triples.
+        self._subedge_cache: dict[
+            frozenset[str], list[tuple[str, frozenset[str], str]]
+        ] = {}
+        self._subedge_vertices: dict[str, frozenset[str]] = {}
+        self._subedge_parent: dict[str, str] = {}
+        self._next_subedge_id = 0
+
+    # ------------------------------------------------------------------- API
+
+    def decompose(self) -> Decomposition | None:
+        """Return a GHD of width ≤ k, or ``None`` when none exists."""
+        if not self._family:
+            return Decomposition(
+                self.hypergraph, DecompositionNode(frozenset(), {}), kind="GHD"
+            )
+        roots: list[DecompositionNode] = []
+        for comp in components(self._family, frozenset()):
+            node = self._decompose(comp, frozenset())
+            if node is None:
+                return None
+            roots.append(node)
+        root = roots[0] if len(roots) == 1 else DecompositionNode(frozenset(), {}, roots)
+        return Decomposition(self.hypergraph, root, kind="GHD")
+
+    # ---------------------------------------------------------------- search
+
+    def _lookup(self, name: str) -> frozenset[str]:
+        if name in self._family:
+            return self._family[name]
+        return self._subedge_vertices[name]
+
+    def _decompose(
+        self, comp: frozenset[str], conn: frozenset[str]
+    ) -> DecompositionNode | None:
+        self.deadline.check()
+        key = (comp, conn)
+        if key in self._failures:
+            return None
+
+        comp_vertices = vertices_of(self._family, comp)
+
+        if len(comp) <= self.k:
+            return DecompositionNode(comp_vertices, {name: 1.0 for name in comp})
+
+        for separator in self._separators(comp, conn):
+            self.deadline.check()
+            bag = frozenset().union(*(self._lookup(n) for n in separator)) & comp_vertices
+            if not conn <= bag:
+                continue
+
+            sub_family = {name: self._family[name] for name in comp}
+            child_states = components(sub_family, bag)
+            if any(child == comp for child in child_states):
+                continue  # no progress: reduced normal form forbids this
+            children: list[DecompositionNode] = []
+            success = True
+            for child_comp in child_states:
+                child_conn = vertices_of(self._family, child_comp) & bag
+                child = self._decompose(child_comp, child_conn)
+                if child is None:
+                    success = False
+                    break
+                children.append(child)
+            if success:
+                cover: dict[str, float] = {}
+                for name in separator:
+                    real = self._subedge_parent.get(name, name)
+                    cover[real] = 1.0
+                return DecompositionNode(bag, cover, children)
+
+        self._failures.add(key)
+        return None
+
+    # ----------------------------------------------------------- enumeration
+
+    def _component_subedges(
+        self, comp: frozenset[str]
+    ) -> list[tuple[str, frozenset[str], str]]:
+        """``f_u(H, k)`` for the current component, generated once and cached."""
+        cached = self._subedge_cache.get(comp)
+        if cached is not None:
+            return cached
+        subs = subedge_family(
+            self._family,
+            self.k,
+            restrict_to=comp,
+            budget=self.subedge_budget,
+            deadline=self.deadline,
+        )
+        entries: list[tuple[str, frozenset[str], str]] = []
+        for vertices in subs:
+            name = f"__lsub{self._next_subedge_id}"
+            self._next_subedge_id += 1
+            parent = next(
+                e_name for e_name, e in self._family.items() if vertices <= e
+            )
+            self._subedge_vertices[name] = vertices
+            self._subedge_parent[name] = parent
+            entries.append((name, vertices, parent))
+        self._subedge_cache[comp] = entries
+        return entries
+
+    def _separators(
+        self, comp: frozenset[str], conn: frozenset[str]
+    ) -> Iterator[tuple[str, ...]]:
+        """Full-edge combinations first; subedge-containing ones afterwards."""
+        comp_vertices = vertices_of(self._family, comp)
+        full = sorted(
+            (
+                name
+                for name, edge in self._family.items()
+                if edge & comp_vertices
+            ),
+            key=lambda n: (-len(self._family[n] & comp_vertices), n),
+        )
+        lookup = dict(self._family)
+        yield from covering_combinations(
+            lookup, full, [], conn, self.k, self.deadline, require_primary=False
+        )
+
+        # Phase 2: at least one subedge per separator (pure full-edge
+        # combinations were exhausted above).
+        sub_entries = self._component_subedges(comp)
+        if not sub_entries:
+            return
+        sub_names = [name for name, vertices, _ in sub_entries
+                     if vertices & comp_vertices]
+        lookup.update({name: self._subedge_vertices[name] for name in sub_names})
+        yield from covering_combinations(
+            lookup, sub_names, full, conn, self.k, self.deadline,
+            require_primary=True,
+        )
+
+
+def check_ghd_local_bip(
+    hypergraph: Hypergraph,
+    k: int,
+    deadline: Deadline | None = None,
+    subedge_budget: int = DEFAULT_SUBEDGE_BUDGET,
+) -> Decomposition | None:
+    """Solve ``Check(GHD, k)`` with the LocalBIP strategy."""
+    return LocalBIP(
+        hypergraph, k, deadline=deadline, subedge_budget=subedge_budget
+    ).decompose()

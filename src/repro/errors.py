@@ -1,0 +1,64 @@
+"""Exception hierarchy shared by the whole library.
+
+Every error raised on purpose by :mod:`repro` derives from :class:`ReproError`
+so callers can catch library failures with a single ``except`` clause while
+letting genuine bugs (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the library."""
+
+
+class DeadlineExceeded(ReproError):
+    """A cooperative deadline expired while an algorithm was running.
+
+    The analysis harness converts this into a "timeout" verdict, mirroring
+    the 3600 s timeouts of the paper's cluster runs.
+    """
+
+
+class HypergraphError(ReproError):
+    """An invalid hypergraph was constructed or manipulated."""
+
+
+class ValidationError(ReproError):
+    """A decomposition violates one of its defining conditions."""
+
+
+class SubedgeLimitError(ReproError):
+    """The subedge set ``f(H, k)`` exceeded the configured size budget.
+
+    ``GlobalBIP`` materialises all of Equation 1; on hypergraphs with larger
+    intersections that set blows up (the paper reports the same behaviour as
+    frequent ``GlobalBIP`` timeouts).  Callers treat this like a timeout.
+    """
+
+
+class ParseError(ReproError):
+    """A textual artefact (SQL, CQ, XCSP, hypergraph file) failed to parse."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class UnsupportedSQLError(ParseError):
+    """The SQL construct is outside the conjunctive-core pipeline's dialect.
+
+    Section 5.2 of the paper discards such queries (e.g. correlated
+    subqueries referencing an outer table); we surface the reason instead of
+    silently dropping them.
+    """
+
+
+class SolverError(ReproError):
+    """A CSP/CQ evaluation failed (inconsistent input, missing relation...)."""

@@ -1,0 +1,19 @@
+"""Serialisation: the DBAI hypergraph text format and JSON export."""
+
+from repro.io.hg_format import (
+    parse_hypergraph,
+    read_hypergraph,
+    write_hypergraph,
+    format_hypergraph,
+)
+from repro.io.json_io import decomposition_to_json, hypergraph_from_json, hypergraph_to_json
+
+__all__ = [
+    "parse_hypergraph",
+    "read_hypergraph",
+    "write_hypergraph",
+    "format_hypergraph",
+    "hypergraph_to_json",
+    "hypergraph_from_json",
+    "decomposition_to_json",
+]

@@ -1,0 +1,96 @@
+"""The DBAI / detkdecomp hypergraph text format.
+
+HyperBench distributes hypergraphs in the format the original ``DetKDecomp``
+program consumes: one edge per statement, written ``name(v1,v2,...)``,
+statements separated by commas and the file terminated by a full stop, e.g.::
+
+    % a triangle
+    r(x,y),
+    s(y,z),
+    t(z,x).
+
+``%``-comments run to the end of the line.  Vertex and edge names may contain
+letters, digits, underscores, colons and dashes.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.core.hypergraph import Hypergraph
+from repro.errors import ParseError
+
+__all__ = [
+    "parse_hypergraph",
+    "read_hypergraph",
+    "format_hypergraph",
+    "write_hypergraph",
+]
+
+_NAME = r"[A-Za-z0-9_:\-.]+"
+_EDGE_RE = re.compile(rf"({_NAME})\s*\(\s*({_NAME}(?:\s*,\s*{_NAME})*)\s*\)")
+
+
+def _strip_comments(text: str) -> str:
+    return "\n".join(line.split("%", 1)[0] for line in text.splitlines())
+
+
+def parse_hypergraph(text: str, name: str = "") -> Hypergraph:
+    """Parse a hypergraph from the detkdecomp text format.
+
+    Raises :class:`~repro.errors.ParseError` on malformed input.
+    """
+    body = _strip_comments(text).strip()
+    if not body:
+        raise ParseError("empty hypergraph file")
+    if body.endswith("."):
+        body = body[:-1]
+    edges: dict[str, list[str]] = {}
+    position = 0
+    while position < len(body):
+        match = _EDGE_RE.match(body, position)
+        if match is None:
+            snippet = body[position : position + 30].strip()
+            line = body.count("\n", 0, position) + 1
+            raise ParseError(f"expected an edge, found {snippet!r}", line=line)
+        edge_name, vertex_list = match.group(1), match.group(2)
+        if edge_name in edges:
+            raise ParseError(f"duplicate edge name {edge_name!r}")
+        edges[edge_name] = [v.strip() for v in vertex_list.split(",")]
+        position = match.end()
+        rest = body[position:].lstrip()
+        if rest.startswith(","):
+            position = body.index(",", position) + 1
+        elif rest:
+            line = body.count("\n", 0, position) + 1
+            raise ParseError("expected ',' or '.' between edges", line=line)
+        else:
+            position = len(body)
+        while position < len(body) and body[position].isspace():
+            position += 1
+    return Hypergraph(edges, name=name)
+
+
+def read_hypergraph(path: str | Path) -> Hypergraph:
+    """Read a hypergraph file; the instance name defaults to the file stem."""
+    path = Path(path)
+    with open(path, encoding="utf-8") as handle:
+        return parse_hypergraph(handle.read(), name=path.stem)
+
+
+def format_hypergraph(hypergraph: Hypergraph) -> str:
+    """Render a hypergraph in the detkdecomp text format."""
+    lines = []
+    names = list(hypergraph.edge_names)
+    for i, edge_name in enumerate(names):
+        vertices = ",".join(sorted(hypergraph.edge(edge_name)))
+        terminator = "." if i == len(names) - 1 else ","
+        lines.append(f"{edge_name}({vertices}){terminator}")
+    return "\n".join(lines) + "\n"
+
+
+def write_hypergraph(hypergraph: Hypergraph, path: str | Path) -> None:
+    """Write a hypergraph file in the detkdecomp text format."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(format_hypergraph(hypergraph))

@@ -1,0 +1,44 @@
+"""JSON import/export for hypergraphs and decompositions.
+
+The HyperBench web tool serves hypergraphs plus their analysis results; the
+static report generator (:mod:`repro.benchmark.report`) and the test suite use
+these converters.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.decomposition import Decomposition
+from repro.core.hypergraph import Hypergraph
+from repro.errors import ParseError
+
+__all__ = ["hypergraph_to_json", "hypergraph_from_json", "decomposition_to_json"]
+
+
+def hypergraph_to_json(hypergraph: Hypergraph, indent: int | None = None) -> str:
+    """Serialise a hypergraph to a JSON document."""
+    payload = {
+        "name": hypergraph.name,
+        "edges": {name: sorted(vs) for name, vs in hypergraph.edges.items()},
+    }
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def hypergraph_from_json(text: str) -> Hypergraph:
+    """Parse a hypergraph from the JSON document format of :func:`hypergraph_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "edges" not in payload:
+        raise ParseError("JSON hypergraph must be an object with an 'edges' key")
+    edges = payload["edges"]
+    if not isinstance(edges, dict):
+        raise ParseError("'edges' must map edge names to vertex lists")
+    return Hypergraph(edges, name=str(payload.get("name", "")))
+
+
+def decomposition_to_json(decomposition: Decomposition, indent: int | None = None) -> str:
+    """Serialise a decomposition (tree, bags, covers) to JSON."""
+    return json.dumps(decomposition.to_dict(), indent=indent, sort_keys=True)

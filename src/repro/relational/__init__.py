@@ -1,0 +1,16 @@
+"""A small in-memory relational engine.
+
+Decompositions are only worth computing because bounded-width instances can
+be evaluated in polynomial time; this package supplies the machinery that
+realises the promise: named-attribute relations with hash joins, semi-joins
+and projections, plus the Yannakakis-style evaluation of a conjunctive query
+(or CSP) along a decomposition.
+"""
+
+from repro.relational.relation import Relation
+from repro.relational.yannakakis import (
+    DecompositionEvaluator,
+    evaluate_cq,
+)
+
+__all__ = ["Relation", "DecompositionEvaluator", "evaluate_cq"]

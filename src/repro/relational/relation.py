@@ -1,0 +1,166 @@
+"""Named-attribute relations with the operators Yannakakis evaluation needs."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.errors import SolverError
+
+__all__ = ["Relation"]
+
+Row = tuple[object, ...]
+
+
+class Relation:
+    """An immutable relation: an attribute tuple plus a set of rows.
+
+    Attribute names are strings; rows are value tuples aligned with the
+    attribute order.  All operators return new relations.
+    """
+
+    __slots__ = ("attributes", "rows")
+
+    def __init__(self, attributes: Sequence[str], rows: Iterable[Sequence[object]] = ()):
+        self.attributes = tuple(attributes)
+        if len(set(self.attributes)) != len(self.attributes):
+            raise SolverError(f"duplicate attributes in {self.attributes}")
+        width = len(self.attributes)
+        normalised = set()
+        for row in rows:
+            row = tuple(row)
+            if len(row) != width:
+                raise SolverError(
+                    f"row {row!r} has {len(row)} values, expected {width}"
+                )
+            normalised.add(row)
+        self.rows: frozenset[Row] = frozenset(normalised)
+
+    # ------------------------------------------------------------------ misc
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        if self.attributes == other.attributes:
+            return self.rows == other.rows
+        if set(self.attributes) != set(other.attributes):
+            return False
+        reordered = other.project(self.attributes)
+        return self.rows == reordered.rows
+
+    def __hash__(self) -> int:
+        return hash((self.attributes, self.rows))
+
+    def __repr__(self) -> str:
+        return f"Relation({list(self.attributes)}, {len(self.rows)} rows)"
+
+    def _index_of(self, attribute: str) -> int:
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise SolverError(
+                f"relation has no attribute {attribute!r} (has {self.attributes})"
+            ) from None
+
+    def to_dicts(self) -> list[dict[str, object]]:
+        """Rows as dictionaries, deterministically ordered."""
+        return [
+            dict(zip(self.attributes, row))
+            for row in sorted(self.rows, key=repr)
+        ]
+
+    # ------------------------------------------------------------- operators
+
+    def project(self, attributes: Sequence[str]) -> "Relation":
+        """Projection (with duplicate elimination) onto ``attributes``."""
+        indices = [self._index_of(a) for a in attributes]
+        return Relation(
+            attributes, {tuple(row[i] for i in indices) for row in self.rows}
+        )
+
+    def rename(self, mapping: Mapping[str, str]) -> "Relation":
+        """Rename attributes according to ``mapping`` (missing keys unchanged)."""
+        return Relation(
+            [mapping.get(a, a) for a in self.attributes], self.rows
+        )
+
+    def select_eq(self, attribute: str, value: object) -> "Relation":
+        """Selection ``attribute = value``."""
+        index = self._index_of(attribute)
+        return Relation(
+            self.attributes, {row for row in self.rows if row[index] == value}
+        )
+
+    def _shared(self, other: "Relation") -> list[str]:
+        return [a for a in self.attributes if a in other.attributes]
+
+    def join(self, other: "Relation") -> "Relation":
+        """Natural join (hash join on the shared attributes)."""
+        shared = self._shared(other)
+        self_idx = [self._index_of(a) for a in shared]
+        other_idx = [other._index_of(a) for a in shared]
+        other_extra = [
+            i for i, a in enumerate(other.attributes) if a not in shared
+        ]
+        result_attrs = self.attributes + tuple(
+            other.attributes[i] for i in other_extra
+        )
+        index: dict[Row, list[Row]] = {}
+        for row in other.rows:
+            key = tuple(row[i] for i in other_idx)
+            index.setdefault(key, []).append(row)
+        rows = set()
+        for row in self.rows:
+            key = tuple(row[i] for i in self_idx)
+            for match in index.get(key, ()):
+                rows.add(row + tuple(match[i] for i in other_extra))
+        return Relation(result_attrs, rows)
+
+    def semijoin(self, other: "Relation") -> "Relation":
+        """Semi-join: keep rows with a matching partner in ``other``."""
+        shared = self._shared(other)
+        if not shared:
+            return self if other.rows else Relation(self.attributes)
+        self_idx = [self._index_of(a) for a in shared]
+        other_idx = [other._index_of(a) for a in shared]
+        keys = {tuple(row[i] for i in other_idx) for row in other.rows}
+        return Relation(
+            self.attributes,
+            {
+                row
+                for row in self.rows
+                if tuple(row[i] for i in self_idx) in keys
+            },
+        )
+
+    def antijoin(self, other: "Relation") -> "Relation":
+        """Anti-join: keep rows *without* a matching partner in ``other``."""
+        shared = self._shared(other)
+        if not shared:
+            return Relation(self.attributes) if other.rows else self
+        self_idx = [self._index_of(a) for a in shared]
+        other_idx = [other._index_of(a) for a in shared]
+        keys = {tuple(row[i] for i in other_idx) for row in other.rows}
+        return Relation(
+            self.attributes,
+            {
+                row
+                for row in self.rows
+                if tuple(row[i] for i in self_idx) not in keys
+            },
+        )
+
+    @classmethod
+    def cross(cls, relations: Sequence["Relation"]) -> "Relation":
+        """Cartesian product of attribute-disjoint relations."""
+        if not relations:
+            return cls((), {()})
+        result = relations[0]
+        for relation in relations[1:]:
+            result = result.join(relation)
+        return result

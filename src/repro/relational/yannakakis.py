@@ -1,0 +1,293 @@
+"""Yannakakis-style evaluation of CQs/CSPs along a decomposition.
+
+Given a (G)HD of a query's hypergraph and one relation per atom, each
+decomposition node materialises the join of its λ-label's relations projected
+onto the bag — for a width-k decomposition this intermediate is at most the
+k-fold join of base relations, which is the source of the tractability
+results the paper builds on.  The classical three phases follow:
+
+1. bottom-up semi-join reduction (detects unsatisfiability early),
+2. top-down semi-join reduction (makes every remaining tuple globally
+   extendable),
+3. a final join/backtrack-free enumeration pass that produces answers.
+
+The evaluator is deliberately decomposition-agnostic: anything that passes
+:meth:`repro.core.decomposition.Decomposition.validate` works, so tests use
+it to cross-check decompositions semantically (the same query must return
+the same answers along *any* valid decomposition).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.decomposition import Decomposition, DecompositionNode
+from repro.cq.model import ConjunctiveQuery, is_variable
+from repro.errors import SolverError
+from repro.relational.relation import Relation
+
+__all__ = ["DecompositionEvaluator", "evaluate_cq", "atom_relation"]
+
+
+class DecompositionEvaluator:
+    """Evaluate a conjunction of relations along a decomposition.
+
+    Parameters
+    ----------
+    decomposition:
+        A validated decomposition of the conjunction's hypergraph.
+    edge_relations:
+        For each hyperedge name, a relation over the edge's vertices
+        (attribute names must equal vertex names).
+    """
+
+    def __init__(
+        self,
+        decomposition: Decomposition,
+        edge_relations: Mapping[str, Relation],
+    ):
+        self.decomposition = decomposition
+        self.edge_relations = dict(edge_relations)
+        hypergraph = decomposition.hypergraph
+        for name, edge in hypergraph.edges.items():
+            if name not in self.edge_relations:
+                raise SolverError(f"no relation supplied for edge {name!r}")
+            attrs = set(self.edge_relations[name].attributes)
+            if attrs != set(edge):
+                raise SolverError(
+                    f"relation for {name!r} has attributes {sorted(attrs)}, "
+                    f"edge has vertices {sorted(edge)}"
+                )
+        self._node_relations: dict[int, Relation] = {}
+        self._assignments: dict[int, frozenset[str]] = {}
+
+    # ----------------------------------------------------------- preparation
+
+    def _assign_edges(self) -> dict[int, list[str]]:
+        """Attach every hyperedge to one node whose bag contains it."""
+        nodes = list(self.decomposition.nodes())
+        assignment: dict[int, list[str]] = {id(n): [] for n in nodes}
+        for name, edge in self.decomposition.hypergraph.edges.items():
+            for node in nodes:
+                if edge <= node.bag:
+                    assignment[id(node)].append(name)
+                    break
+            else:  # pragma: no cover - validate() guarantees coverage
+                raise SolverError(f"edge {name!r} is covered by no bag")
+        return assignment
+
+    def _materialise(self, node: DecompositionNode, attached: list[str]) -> Relation:
+        """Join the λ-label relations, project to the bag, apply attachments."""
+        lambda_edges = sorted(node.lambda_label())
+        if not lambda_edges:
+            relation = Relation((), {()})
+        else:
+            relation = self.edge_relations[lambda_edges[0]]
+            for name in lambda_edges[1:]:
+                relation = relation.join(self.edge_relations[name])
+        bag_attrs = [a for a in relation.attributes if a in node.bag]
+        if set(bag_attrs) != node.bag:
+            missing = node.bag - set(bag_attrs)
+            raise SolverError(
+                f"bag vertices {sorted(missing)} are not covered by the λ-label"
+            )
+        relation = relation.project(sorted(node.bag))
+        for name in attached:
+            relation = relation.semijoin(self.edge_relations[name])
+        return relation
+
+    # ------------------------------------------------------------ evaluation
+
+    def run(self, output: tuple[str, ...] | None = None) -> Relation:
+        """Full evaluation; returns the projection onto ``output`` variables.
+
+        With ``output=None`` the result is the boolean relation over no
+        attributes (non-empty iff the conjunction is satisfiable).
+        """
+        attached = self._assign_edges()
+        root = self.decomposition.root
+        relations: dict[int, Relation] = {}
+        order: list[tuple[DecompositionNode, DecompositionNode | None]] = []
+        stack: list[tuple[DecompositionNode, DecompositionNode | None]] = [(root, None)]
+        while stack:
+            node, parent = stack.pop()
+            order.append((node, parent))
+            relations[id(node)] = self._materialise(node, attached[id(node)])
+            for child in node.children:
+                stack.append((child, node))
+
+        # Bottom-up semi-join pass (children before parents).
+        for node, parent in reversed(order):
+            if parent is not None:
+                relations[id(parent)] = relations[id(parent)].semijoin(
+                    relations[id(node)]
+                )
+        if not relations[id(root)]:
+            return Relation(tuple(output or ()),)
+
+        # Top-down semi-join pass.
+        for node, parent in order:
+            if parent is not None:
+                relations[id(node)] = relations[id(node)].semijoin(
+                    relations[id(parent)]
+                )
+
+        if output is None:
+            satisfiable = bool(relations[id(root)])
+            return Relation((), {()} if satisfiable else set())
+
+        # Final pass: join upward, projecting to what is still needed.
+        needed = set(output)
+        result = self._collect(root, relations, needed)
+        return result.project(tuple(output))
+
+    def _collect(
+        self,
+        node: DecompositionNode,
+        relations: dict[int, Relation],
+        needed: set[str],
+    ) -> Relation:
+        relation = relations[id(node)]
+        for child in node.children:
+            child_relation = self._collect(child, relations, needed)
+            relation = relation.join(child_relation)
+            keep = [
+                a
+                for a in relation.attributes
+                if a in needed or a in node.bag
+            ]
+            relation = relation.project(keep)
+        return relation
+
+    def satisfiable(self) -> bool:
+        """Boolean evaluation (phase 1 only suffices, but run() is exact)."""
+        return bool(self.run(output=None))
+
+    def one_solution(self) -> dict[str, object] | None:
+        """One full assignment over all hypergraph vertices, or ``None``.
+
+        After the two semi-join passes the relations are pairwise consistent
+        along every tree edge, so a solution can be stitched together
+        top-down without backtracking — no full materialisation happens.
+        """
+        attached = self._assign_edges()
+        root = self.decomposition.root
+        relations: dict[int, Relation] = {}
+        order: list[tuple[DecompositionNode, DecompositionNode | None]] = []
+        stack: list[tuple[DecompositionNode, DecompositionNode | None]] = [(root, None)]
+        while stack:
+            node, parent = stack.pop()
+            order.append((node, parent))
+            relations[id(node)] = self._materialise(node, attached[id(node)])
+            for child in node.children:
+                stack.append((child, node))
+        for node, parent in reversed(order):
+            if parent is not None:
+                relations[id(parent)] = relations[id(parent)].semijoin(
+                    relations[id(node)]
+                )
+        if not relations[id(root)]:
+            return None
+        for node, parent in order:
+            if parent is not None:
+                relations[id(node)] = relations[id(node)].semijoin(
+                    relations[id(parent)]
+                )
+
+        assignment: dict[str, object] = {}
+
+        def instantiate(node: DecompositionNode) -> None:
+            relation = relations[id(node)]
+            for attribute in relation.attributes:
+                if attribute in assignment:
+                    relation = relation.select_eq(attribute, assignment[attribute])
+            row = min(relation.rows, key=repr)  # deterministic choice
+            assignment.update(zip(relation.attributes, row))
+            for child in node.children:
+                instantiate(child)
+
+        instantiate(root)
+        return assignment
+
+
+def atom_relation(
+    atom_terms: tuple[str, ...], rows: Relation
+) -> Relation:
+    """Turn a base relation into one over an atom's variables.
+
+    Repeated variables impose equality; constants impose selections; the
+    result's attributes are the atom's distinct variables.
+    """
+    working = rows
+    positional = [f"__pos{i}" for i in range(len(atom_terms))]
+    working = working.rename(dict(zip(working.attributes, positional)))
+    first_position: dict[str, str] = {}
+    for i, term in enumerate(atom_terms):
+        column = positional[i]
+        if is_variable(term):
+            if term in first_position:
+                anchor = first_position[term]
+                working = Relation(
+                    working.attributes,
+                    {
+                        row
+                        for row in working.rows
+                        if row[working.attributes.index(anchor)]
+                        == row[working.attributes.index(column)]
+                    },
+                )
+            else:
+                first_position[term] = column
+        else:
+            # Constants match under either their string or integer reading.
+            accepted: set[object] = {term}
+            try:
+                accepted.add(int(term))
+            except ValueError:
+                pass
+            index = working.attributes.index(column)
+            working = Relation(
+                working.attributes,
+                {row for row in working.rows if row[index] in accepted},
+            )
+    variables = [t for t in atom_terms if is_variable(t)]
+    seen: list[str] = []
+    for v in variables:
+        if v not in seen:
+            seen.append(v)
+    projected = working.project([first_position[v] for v in seen])
+    return projected.rename(dict(zip(projected.attributes, seen)))
+
+
+def evaluate_cq(
+    query: ConjunctiveQuery,
+    database: Mapping[str, Relation],
+    decomposition: Decomposition,
+) -> Relation:
+    """Evaluate a CQ over a database along a decomposition of its hypergraph.
+
+    ``database`` maps relation names to base relations (attribute names are
+    positional and get re-bound to the atom's variables).  The decomposition
+    must be over ``cq_to_hypergraph(query, dedupe=False)`` so every atom has
+    its own hyperedge; ground atoms (no variables) are checked directly.
+    """
+    edge_relations: dict[str, Relation] = {}
+    empty_result = Relation(tuple(query.head))
+    for i, atom in enumerate(query.atoms):
+        if atom.relation not in database:
+            raise SolverError(f"database has no relation {atom.relation!r}")
+        bound = atom_relation(atom.terms, database[atom.relation])
+        if not atom.variables():
+            if not bound:
+                return empty_result  # a false ground atom kills the query
+            continue
+        name = f"{atom.relation}#{i}"
+        if name not in decomposition.hypergraph.edges:
+            raise SolverError(
+                f"decomposition has no edge for atom {i} ({atom}); "
+                "build it over cq_to_hypergraph(query, dedupe=False)"
+            )
+        edge_relations[name] = bound
+    evaluator = DecompositionEvaluator(decomposition, edge_relations)
+    head = query.head if query.head else None
+    return evaluator.run(output=tuple(head) if head else None)

@@ -1,0 +1,51 @@
+"""SQL → hypergraph pipeline (Sections 5.2–5.4 of the paper).
+
+The paper's ``hg-tools`` library turns complex SQL queries into collections
+of hypergraphs: it extracts subqueries via a *dependency graph* (dropping the
+mutually dependent, i.e. correlated, ones), reduces each remaining query to
+its *conjunctive core*, expands logical views, and converts the result into
+a hypergraph by merging join attributes and eliminating constants.
+
+Public entry points:
+
+* :func:`parse_sql` — parse one statement of the supported dialect;
+* :func:`extract_simple_queries` — the Section 5.3 extraction pipeline;
+* :func:`simple_query_to_hypergraph` — the Section 5.4 conversion;
+* :func:`sql_to_hypergraphs` — the whole pipeline in one call.
+"""
+
+from repro.sql.ast import (
+    ColumnRef,
+    Comparison,
+    ExistsCondition,
+    InCondition,
+    SelectItem,
+    SelectQuery,
+    SetOperation,
+    TableRef,
+)
+from repro.sql.convert import simple_query_to_hypergraph, sql_to_hypergraphs
+from repro.sql.dependency import DependencyGraph, build_dependency_graph
+from repro.sql.extract import SimpleQuery, TableInstance, extract_simple_queries
+from repro.sql.parser import parse_sql
+from repro.sql.schema import Schema
+
+__all__ = [
+    "parse_sql",
+    "Schema",
+    "SelectQuery",
+    "SetOperation",
+    "TableRef",
+    "SelectItem",
+    "ColumnRef",
+    "Comparison",
+    "InCondition",
+    "ExistsCondition",
+    "DependencyGraph",
+    "build_dependency_graph",
+    "SimpleQuery",
+    "TableInstance",
+    "extract_simple_queries",
+    "simple_query_to_hypergraph",
+    "sql_to_hypergraphs",
+]

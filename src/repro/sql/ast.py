@@ -1,0 +1,174 @@
+"""AST for the supported SQL dialect.
+
+The dialect covers what the paper's pipeline needs (Listings 1–3):
+``WITH`` views, ``SELECT``-``FROM``-``WHERE`` blocks with table aliases and
+subqueries in ``FROM``, conjunctions/disjunctions of comparisons,
+``IN (SELECT ...)`` and ``[NOT] EXISTS (SELECT ...)`` conditions, and the set
+operations ``UNION`` / ``INTERSECT`` / ``EXCEPT``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ColumnRef",
+    "Literal",
+    "SelectItem",
+    "TableRef",
+    "SubquerySource",
+    "Comparison",
+    "InCondition",
+    "ExistsCondition",
+    "BooleanOp",
+    "NotCondition",
+    "SelectQuery",
+    "SetOperation",
+]
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A (possibly table-qualified) column reference ``t1.a`` or ``a``."""
+
+    table: str | None
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant: number or string."""
+
+    value: str
+    kind: str  # "number" | "string" | "null"
+
+    def __str__(self) -> str:
+        return f"'{self.value}'" if self.kind == "string" else self.value
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projection item: ``expr [AS alias]`` or ``*`` / ``t.*``."""
+
+    expr: ColumnRef | Literal | None  # None means '*'
+    alias: str | None = None
+    star_table: str | None = None  # for 't.*'
+
+    @property
+    def is_star(self) -> bool:
+        return self.expr is None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A base table (or view name) in FROM: ``tab [AS] t1``."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class SubquerySource:
+    """A derived table in FROM: ``(SELECT ...) alias``."""
+
+    query: "SelectQuery | SetOperation"
+    alias: str
+
+    @property
+    def binding(self) -> str:
+        return self.alias
+
+
+@dataclass
+class Comparison:
+    """``left op right`` with op in {=, <>, !=, <, >, <=, >=, LIKE}."""
+
+    left: ColumnRef | Literal
+    op: str
+    right: ColumnRef | Literal
+
+    @property
+    def is_equality(self) -> bool:
+        return self.op == "="
+
+
+@dataclass
+class InCondition:
+    """``column [NOT] IN (SELECT ...)`` or ``column [NOT] IN (v1, v2, ...)``."""
+
+    column: ColumnRef
+    subquery: "SelectQuery | SetOperation | None"
+    values: tuple[Literal, ...] = ()
+    negated: bool = False
+
+
+@dataclass
+class ExistsCondition:
+    """``[NOT] EXISTS (SELECT ...)``."""
+
+    subquery: "SelectQuery | SetOperation"
+    negated: bool = False
+
+
+@dataclass
+class BooleanOp:
+    """``AND`` / ``OR`` over conditions."""
+
+    op: str  # "AND" | "OR"
+    operands: list[object] = field(default_factory=list)
+
+
+@dataclass
+class NotCondition:
+    """``NOT condition``."""
+
+    operand: object
+
+
+@dataclass
+class SelectQuery:
+    """One SELECT-FROM-WHERE block, optionally preceded by WITH views.
+
+    ``views`` maps view name → definition for views introduced by a WITH
+    clause attached to this query.
+    """
+
+    select: list[SelectItem]
+    sources: list[TableRef | SubquerySource]
+    where: object | None = None  # condition tree
+    views: dict[str, "SelectQuery | SetOperation"] = field(default_factory=dict)
+    distinct: bool = False
+
+    def table_bindings(self) -> dict[str, str]:
+        """Alias/binding → underlying name for base-table sources."""
+        return {
+            src.binding: src.name
+            for src in self.sources
+            if isinstance(src, TableRef)
+        }
+
+
+@dataclass
+class SetOperation:
+    """``left (UNION|INTERSECT|EXCEPT) [ALL] right``."""
+
+    op: str
+    left: "SelectQuery | SetOperation"
+    right: "SelectQuery | SetOperation"
+
+    def branches(self) -> list[SelectQuery]:
+        """Flatten the operation tree into its SELECT leaves."""
+        result: list[SelectQuery] = []
+        for side in (self.left, self.right):
+            if isinstance(side, SetOperation):
+                result.extend(side.branches())
+            else:
+                result.append(side)
+        return result

@@ -1,0 +1,99 @@
+"""SimpleQuery → hypergraph conversion (Section 5.4).
+
+Starting from the FROM-induced hypergraph (one vertex per attribute of each
+table instance, one edge per instance) the WHERE conditions modify it:
+
+* an equi-join ``r_i.A = r_j.B`` *merges* the two vertices (we use a
+  union–find over attribute occurrences);
+* a constant condition ``r_i.A = c`` *removes* the vertex from every edge.
+
+Finally empty edges and duplicate edges are eliminated.  The SELECT clause is
+ignored — it does not affect the structure.
+"""
+
+from __future__ import annotations
+
+from repro.core.hypergraph import Hypergraph
+from repro.sql.extract import SimpleQuery, extract_simple_queries
+from repro.sql.schema import Schema
+
+__all__ = ["simple_query_to_hypergraph", "sql_to_hypergraphs"]
+
+
+class _UnionFind:
+    """Union–find over vertex ids with deterministic representative names."""
+
+    def __init__(self):
+        self.parent: dict[str, str] = {}
+
+    def add(self, item: str) -> None:
+        self.parent.setdefault(item, item)
+
+    def find(self, item: str) -> str:
+        root = item
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[item] != root:  # path compression
+            self.parent[item], item = root, self.parent[item]
+        return root
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return
+        # Keep the lexicographically smaller name as representative so the
+        # output is deterministic and readable.
+        keep, drop = (ra, rb) if ra <= rb else (rb, ra)
+        self.parent[drop] = keep
+
+
+def simple_query_to_hypergraph(query: SimpleQuery, dedupe: bool = True) -> Hypergraph:
+    """Convert one conjunctive core into its hypergraph."""
+    union_find = _UnionFind()
+    for table in query.tables:
+        for attr in table.attributes:
+            union_find.add(f"{table.binding}.{attr}")
+
+    for (b1, c1), (b2, c2) in query.joins:
+        union_find.union(f"{b1}.{c1}", f"{b2}.{c2}")
+
+    removed = {
+        union_find.find(f"{binding}.{column}")
+        for (binding, column), _value in query.constants
+    }
+    # A vertex merged into a constant-bound class is gone as well, so the
+    # removal set must be computed on representatives *after* all unions.
+    edges: dict[str, frozenset[str]] = {}
+    for table in query.tables:
+        vertex_set = frozenset(
+            union_find.find(f"{table.binding}.{attr}")
+            for attr in table.attributes
+        ) - removed
+        if vertex_set:
+            edges[table.binding] = vertex_set
+    h = Hypergraph(edges, name=query.name)
+    if dedupe:
+        h = h.dedupe()
+    return h
+
+
+def sql_to_hypergraphs(
+    sql: str,
+    schema: Schema,
+    name: str = "q",
+    min_atoms: int = 1,
+    dedupe: bool = True,
+) -> list[Hypergraph]:
+    """The whole pipeline: SQL text → list of hypergraphs.
+
+    ``min_atoms`` drops trivially acyclic extracted queries (the paper keeps
+    SQLShare queries only when they have at least 3 atoms).
+    """
+    hypergraphs = []
+    for simple in extract_simple_queries(sql, schema, name=name):
+        if simple.num_atoms < min_atoms:
+            continue
+        h = simple_query_to_hypergraph(simple, dedupe=dedupe)
+        if h.num_edges:
+            hypergraphs.append(h)
+    return hypergraphs

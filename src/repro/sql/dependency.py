@@ -1,0 +1,182 @@
+"""Subquery dependency graphs (Section 5.3, Figure 1).
+
+Given a parsed query, we collect its subqueries (from ``IN`` conditions,
+``EXISTS`` conditions and derived tables), create a node per subquery, add an
+edge ``(q, s)`` when ``s`` is nested in ``q``, and an edge ``(s, q')`` when
+``s`` references a table *bound in an ancestor* ``q'`` (a correlated
+subquery).  Nodes involved in cycles — i.e. correlated subqueries, such as
+``s2`` of Listing 2 — are eliminated together with their incident edges; the
+remaining forest yields one independently analysable query per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sql.ast import (
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    ExistsCondition,
+    InCondition,
+    NotCondition,
+    SelectQuery,
+    SetOperation,
+    SubquerySource,
+    TableRef,
+)
+
+__all__ = ["DependencyGraph", "DependencyNode", "build_dependency_graph"]
+
+
+@dataclass
+class DependencyNode:
+    """One subquery occurrence in the dependency graph."""
+
+    node_id: int
+    query: SelectQuery
+    parent: int | None
+    label: str
+    #: bindings (aliases / table names) introduced by this query's FROM
+    bindings: frozenset[str] = frozenset()
+    #: free column references of this subquery that resolve in an ancestor
+    correlated_with: set[int] = field(default_factory=set)
+
+
+@dataclass
+class DependencyGraph:
+    """The dependency graph ``G = (S, D)`` of one SQL statement."""
+
+    nodes: list[DependencyNode]
+    edges: set[tuple[int, int]]
+
+    def surviving_queries(self) -> list[DependencyNode]:
+        """Nodes that survive cycle elimination, in document order.
+
+        Following Section 5.3: starting from the root, any node with an edge
+        pointing at one of its ancestors is removed with all incident edges
+        (and, transitively, everything nested below it — those subqueries
+        reference context that no longer exists).
+        """
+        eliminated: set[int] = set()
+        for node in self.nodes:
+            if node.correlated_with:
+                eliminated.add(node.node_id)
+        # Transitively eliminate descendants of eliminated nodes.
+        changed = True
+        while changed:
+            changed = False
+            for node in self.nodes:
+                if node.node_id in eliminated:
+                    continue
+                if node.parent is not None and node.parent in eliminated:
+                    eliminated.add(node.node_id)
+                    changed = True
+        return [n for n in self.nodes if n.node_id not in eliminated]
+
+
+def _iter_conditions(condition: object):
+    """Yield every atomic condition in a condition tree."""
+    if condition is None:
+        return
+    if isinstance(condition, BooleanOp):
+        for operand in condition.operands:
+            yield from _iter_conditions(operand)
+    elif isinstance(condition, NotCondition):
+        yield from _iter_conditions(condition.operand)
+    else:
+        yield condition
+
+
+def _free_tables(query: SelectQuery) -> set[str]:
+    """Table qualifiers referenced in ``query`` but not bound by its FROM.
+
+    Only direct references count here; nested subqueries are handled by their
+    own dependency nodes.
+    """
+    bound = {src.binding for src in query.sources}
+    for src in query.sources:
+        if isinstance(src, TableRef):
+            bound.add(src.name)
+    free: set[str] = set()
+
+    def visit_column(ref: ColumnRef) -> None:
+        if ref.table is not None and ref.table not in bound:
+            free.add(ref.table)
+
+    for item in query.select:
+        if isinstance(item.expr, ColumnRef):
+            visit_column(item.expr)
+    for condition in _iter_conditions(query.where):
+        if isinstance(condition, Comparison):
+            for side in (condition.left, condition.right):
+                if isinstance(side, ColumnRef):
+                    visit_column(side)
+        elif isinstance(condition, InCondition):
+            visit_column(condition.column)
+    return free
+
+
+def _selects_of(query: SelectQuery | SetOperation) -> list[SelectQuery]:
+    return query.branches() if isinstance(query, SetOperation) else [query]
+
+
+def build_dependency_graph(query: SelectQuery | SetOperation) -> DependencyGraph:
+    """Build the dependency graph of one parsed SQL statement."""
+    nodes: list[DependencyNode] = []
+    edges: set[tuple[int, int]] = set()
+
+    def add_node(
+        select: SelectQuery, parent: int | None, label: str
+    ) -> DependencyNode:
+        bindings = frozenset(
+            binding
+            for src in select.sources
+            for binding in (
+                (src.binding, src.name) if isinstance(src, TableRef) else (src.binding,)
+            )
+        )
+        node = DependencyNode(len(nodes), select, parent, label, bindings)
+        nodes.append(node)
+        if parent is not None:
+            edges.add((parent, node.node_id))
+        return node
+
+    def walk(select: SelectQuery, parent: int | None, label: str) -> None:
+        node = add_node(select, parent, label)
+        child_index = 0
+
+        def recurse_into(sub: SelectQuery | SetOperation, what: str) -> None:
+            nonlocal child_index
+            for branch in _selects_of(sub):
+                child_index += 1
+                walk(branch, node.node_id, f"{label}.{what}{child_index}")
+
+        for view in select.views.values():
+            recurse_into(view, "v")
+        for src in select.sources:
+            if isinstance(src, SubquerySource):
+                recurse_into(src.query, "f")
+        for condition in _iter_conditions(select.where):
+            if isinstance(condition, InCondition) and condition.subquery is not None:
+                recurse_into(condition.subquery, "s")
+            elif isinstance(condition, ExistsCondition):
+                recurse_into(condition.subquery, "s")
+
+    for i, branch in enumerate(_selects_of(query)):
+        walk(branch, None, f"q{i}" if i else "q")
+
+    # Correlation edges: a node referencing a binding of an ancestor.
+    by_id = {node.node_id: node for node in nodes}
+    for node in nodes:
+        free = _free_tables(node.query)
+        if not free:
+            continue
+        ancestor = node.parent
+        while ancestor is not None:
+            ancestor_node = by_id[ancestor]
+            if free & ancestor_node.bindings:
+                edges.add((node.node_id, ancestor))
+                node.correlated_with.add(ancestor)
+            ancestor = ancestor_node.parent
+    return DependencyGraph(nodes, edges)

@@ -1,0 +1,291 @@
+"""Conjunctive-core extraction and view expansion (Sections 5.2–5.3).
+
+Every surviving dependency-graph node is reduced to a :class:`SimpleQuery`:
+a flat list of table instances, equi-join conditions and constant bindings —
+exactly the structure-determining content of a conjunctive query in SQL form
+(form (3) of Section 5.4).  Everything else (comparisons with ``<``/``>``,
+``LIKE``, disjunctions, negations, ``IN`` value lists...) is part of the
+query's non-conjunctive decoration and is dropped, as for Listing 1.
+
+Views — from ``WITH`` clauses and from derived tables in ``FROM`` — are
+*expanded into* the referencing query (Listing 3 / Figure 2): the view's
+tables, joins and constants are inlined under fresh bindings and references
+to the view's output columns are rewritten to the underlying attributes.
+Views defined by set operations cannot be inlined conjunctively and are kept
+as opaque relations over their output columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import UnsupportedSQLError
+from repro.sql.ast import (
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    InCondition,
+    Literal,
+    SelectItem,
+    SelectQuery,
+    SetOperation,
+    SubquerySource,
+    TableRef,
+)
+from repro.sql.dependency import build_dependency_graph
+from repro.sql.parser import parse_sql
+from repro.sql.schema import Schema
+
+__all__ = ["TableInstance", "SimpleQuery", "extract_simple_queries", "to_simple_query"]
+
+ColumnKey = tuple[str, str]  # (binding, attribute)
+
+
+@dataclass(frozen=True)
+class TableInstance:
+    """One occurrence of a relation in the flattened FROM list."""
+
+    relation: str
+    binding: str
+    attributes: tuple[str, ...]
+
+
+@dataclass
+class SimpleQuery:
+    """The conjunctive core of one extracted query.
+
+    ``outputs`` maps exported column names to underlying attributes — used
+    when this query is a view being expanded into another query.
+    """
+
+    name: str
+    tables: list[TableInstance] = field(default_factory=list)
+    joins: list[tuple[ColumnKey, ColumnKey]] = field(default_factory=list)
+    constants: list[tuple[ColumnKey, str]] = field(default_factory=list)
+    outputs: dict[str, ColumnKey] = field(default_factory=dict)
+
+    @property
+    def num_atoms(self) -> int:
+        return len(self.tables)
+
+    def __str__(self) -> str:
+        tables = ", ".join(f"{t.relation} {t.binding}" for t in self.tables)
+        joins = " AND ".join(
+            f"{a}.{c1} = {b}.{c2}" for (a, c1), (b, c2) in self.joins
+        )
+        return f"SimpleQuery({self.name}: FROM {tables} WHERE {joins or 'true'})"
+
+
+class _Extractor:
+    """Builds a :class:`SimpleQuery` from one SELECT block."""
+
+    def __init__(self, schema: Schema, name: str):
+        self.schema = schema
+        self.name = name
+        self.result = SimpleQuery(name)
+        #: binding → TableInstance, for column resolution
+        self.bindings: dict[str, TableInstance] = {}
+        #: binding → (output column → underlying key), for expanded views
+        self.view_maps: dict[str, dict[str, ColumnKey]] = {}
+        self._fresh = 0
+
+    # ------------------------------------------------------------- bindings
+
+    def _register(self, instance: TableInstance) -> None:
+        if instance.binding in self.bindings:
+            raise UnsupportedSQLError(
+                f"duplicate table binding {instance.binding!r} in {self.name}"
+            )
+        self.bindings[instance.binding] = instance
+        self.result.tables.append(instance)
+
+    def add_base_table(self, ref: TableRef) -> None:
+        attributes = self.schema.attributes(ref.name)
+        self._register(TableInstance(ref.name, ref.binding, attributes))
+
+    def add_view_instance(
+        self,
+        binding: str,
+        definition: SelectQuery | SetOperation,
+        views: dict[str, SelectQuery | SetOperation],
+    ) -> None:
+        """Expand a view occurrence under ``binding`` into this query."""
+        if isinstance(definition, SetOperation):
+            # Set operations cannot be inlined conjunctively; keep the view
+            # opaque over its output columns (taken from the first branch).
+            branch = definition.branches()[0]
+            inner = to_simple_query(branch, self.schema, f"{self.name}${binding}", views)
+            columns = tuple(inner.outputs)
+            self._register(TableInstance(f"view:{binding}", binding, columns))
+            return
+        inner = to_simple_query(definition, self.schema, f"{self.name}${binding}", views)
+        rename = {
+            t.binding: f"{binding}__{t.binding}" for t in inner.tables
+        }
+        for table in inner.tables:
+            self._register(
+                TableInstance(table.relation, rename[table.binding], table.attributes)
+            )
+        remap = lambda key: (rename[key[0]], key[1])  # noqa: E731 - tiny local helper
+        self.result.joins.extend(
+            (remap(left), remap(right)) for left, right in inner.joins
+        )
+        self.result.constants.extend(
+            (remap(key), value) for key, value in inner.constants
+        )
+        self.view_maps[binding] = {
+            out: remap(key) for out, key in inner.outputs.items()
+        }
+
+    # ------------------------------------------------------------ resolution
+
+    def resolve(self, ref: ColumnRef) -> ColumnKey:
+        """Resolve a column reference to an underlying ``(binding, attribute)``."""
+        if ref.table is not None:
+            if ref.table in self.view_maps:
+                mapping = self.view_maps[ref.table]
+                if ref.column not in mapping:
+                    raise UnsupportedSQLError(
+                        f"view {ref.table!r} exports no column {ref.column!r}"
+                    )
+                return mapping[ref.column]
+            instance = self.bindings.get(ref.table)
+            if instance is None:
+                raise UnsupportedSQLError(f"unknown table binding {ref.table!r}")
+            if ref.column not in instance.attributes:
+                raise UnsupportedSQLError(
+                    f"table {instance.relation!r} has no column {ref.column!r}"
+                )
+            return (instance.binding, ref.column)
+        # Unqualified: must resolve in exactly one binding or view.
+        hits: list[ColumnKey] = []
+        for instance in self.bindings.values():
+            if ref.column in instance.attributes:
+                hits.append((instance.binding, ref.column))
+        for binding, mapping in self.view_maps.items():
+            if ref.column in mapping:
+                hits.append(mapping[ref.column])
+        if not hits:
+            raise UnsupportedSQLError(f"column {ref.column!r} resolves nowhere")
+        if len(hits) > 1:
+            raise UnsupportedSQLError(f"column {ref.column!r} is ambiguous")
+        return hits[0]
+
+    # ------------------------------------------------------------ conditions
+
+    def add_condition(self, condition: object) -> None:
+        """Fold one condition into the conjunctive core (or drop it)."""
+        if isinstance(condition, BooleanOp) and condition.op == "AND":
+            for operand in condition.operands:
+                self.add_condition(operand)
+            return
+        if isinstance(condition, Comparison) and condition.is_equality:
+            left, right = condition.left, condition.right
+            if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+                self.result.joins.append((self.resolve(left), self.resolve(right)))
+            elif (
+                isinstance(left, ColumnRef)
+                and isinstance(right, Literal)
+                and right.kind != "expr"
+            ):
+                self.result.constants.append((self.resolve(left), right.value))
+            elif (
+                isinstance(left, Literal)
+                and left.kind != "expr"
+                and isinstance(right, ColumnRef)
+            ):
+                self.result.constants.append((self.resolve(right), left.value))
+            # constant = constant and expression comparisons carry no
+            # structure; dropped.
+            return
+        if isinstance(condition, InCondition) and condition.subquery is None:
+            # col IN (v): a single-value list is a disguised constant.
+            if len(condition.values) == 1 and not condition.negated:
+                self.result.constants.append(
+                    (self.resolve(condition.column), condition.values[0].value)
+                )
+            return
+        # Everything else (OR groups, NOT, <, LIKE, IN/EXISTS subqueries...)
+        # is outside the conjunctive core and contributes no structure; the
+        # subqueries themselves are handled by the dependency graph.
+
+    # --------------------------------------------------------------- outputs
+
+    def add_outputs(self, items: list[SelectItem]) -> None:
+        for item in items:
+            if item.is_star:
+                instances = (
+                    [self.bindings[item.star_table]]
+                    if item.star_table and item.star_table in self.bindings
+                    else list(self.bindings.values())
+                )
+                for instance in instances:
+                    for attr in instance.attributes:
+                        self.result.outputs.setdefault(attr, (instance.binding, attr))
+                if item.star_table and item.star_table in self.view_maps:
+                    for out, key in self.view_maps[item.star_table].items():
+                        self.result.outputs.setdefault(out, key)
+                elif not item.star_table:
+                    for mapping in self.view_maps.values():
+                        for out, key in mapping.items():
+                            self.result.outputs.setdefault(out, key)
+                continue
+            if isinstance(item.expr, ColumnRef):
+                key = self.resolve(item.expr)
+                name = item.alias or item.expr.column
+                self.result.outputs[name] = key
+            # Literal projections export no structure; dropped.
+
+
+def to_simple_query(
+    select: SelectQuery,
+    schema: Schema,
+    name: str,
+    inherited_views: dict[str, SelectQuery | SetOperation] | None = None,
+) -> SimpleQuery:
+    """Reduce one SELECT block to its conjunctive core, expanding views."""
+    views: dict[str, SelectQuery | SetOperation] = dict(inherited_views or {})
+    views.update(select.views)
+
+    extractor = _Extractor(schema, name)
+    for src in select.sources:
+        if isinstance(src, SubquerySource):
+            extractor.add_view_instance(src.binding, src.query, views)
+        elif src.name in views:
+            extractor.add_view_instance(src.binding, views[src.name], views)
+        else:
+            extractor.add_base_table(src)
+    if select.where is not None:
+        extractor.add_condition(select.where)
+    extractor.add_outputs(select.select)
+    return extractor.result
+
+
+def extract_simple_queries(
+    sql: str | SelectQuery | SetOperation,
+    schema: Schema,
+    name: str = "q",
+    skip_unsupported: bool = True,
+) -> list[SimpleQuery]:
+    """The full Section 5.3 pipeline for one SQL statement.
+
+    Parses (if necessary), builds the dependency graph, eliminates correlated
+    subqueries, and extracts one :class:`SimpleQuery` per surviving node that
+    is analysed separately.  View-like nodes (WITH views, derived tables) are
+    inlined into their referencing query instead of producing a standalone
+    entry.  With ``skip_unsupported``, queries the dialect cannot resolve are
+    skipped (the paper likewise drops unparsable SQLShare queries).
+    """
+    statement = parse_sql(sql) if isinstance(sql, str) else sql
+    graph = build_dependency_graph(statement)
+    results: list[SimpleQuery] = []
+    for node in graph.surviving_queries():
+        if ".v" in node.label or ".f" in node.label:
+            continue  # inlined into the parent by view expansion
+        label = name if node.label == "q" else f"{name}:{node.label}"
+        try:
+            results.append(to_simple_query(node.query, schema, label))
+        except UnsupportedSQLError:
+            if not skip_unsupported:
+                raise
+    return results

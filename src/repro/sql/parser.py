@@ -1,0 +1,423 @@
+"""Recursive-descent parser for the supported SQL dialect.
+
+Handles the constructs the paper's pipeline must process (Listings 1–3):
+``WITH`` views, nested subqueries in ``FROM`` / ``IN`` / ``EXISTS``, set
+operations, conjunctive and disjunctive WHERE clauses, and the usual
+comparison operators.  ``GROUP BY`` / ``ORDER BY`` / ``HAVING`` / ``LIMIT``
+tails are parsed and ignored — they never influence the query's hypergraph.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    ExistsCondition,
+    InCondition,
+    Literal,
+    NotCondition,
+    SelectItem,
+    SelectQuery,
+    SetOperation,
+    SubquerySource,
+    TableRef,
+)
+from repro.sql.tokens import Token, tokenize
+
+__all__ = ["parse_sql"]
+
+_SET_OPS = ("UNION", "INTERSECT", "EXCEPT")
+_COMPARISON_OPS = ("=", "<>", "!=", "<", ">", "<=", ">=")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+        # JOIN ... ON conditions collected while parsing FROM; merged into
+        # the WHERE tree of the SELECT under construction.
+        self._pending_joins: list[object] = []
+
+    # -------------------------------------------------------------- plumbing
+
+    def peek(self, offset: int = 0) -> Token | None:
+        index = self.position + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of SQL input")
+        self.position += 1
+        return token
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        token = self.peek()
+        if token is not None and token.matches(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError(f"expected {value or kind}, found end of input")
+        if not token.matches(kind, value):
+            raise ParseError(
+                f"expected {value or kind}, found {token.value!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return self.advance()
+
+    # --------------------------------------------------------------- queries
+
+    def parse_statement(self) -> SelectQuery | SetOperation:
+        views: dict[str, SelectQuery | SetOperation] = {}
+        if self.accept("KEYWORD", "WITH"):
+            while True:
+                name = self.expect("NAME").value
+                self.expect("KEYWORD", "AS")
+                self.expect("PUNCT", "(")
+                views[name] = self.parse_query()
+                self.expect("PUNCT", ")")
+                if not self.accept("PUNCT", ","):
+                    break
+        query = self.parse_query()
+        self.accept("PUNCT", ";")
+        trailing = self.peek()
+        if trailing is not None:
+            raise ParseError(
+                f"trailing input after query: {trailing.value!r}",
+                line=trailing.line,
+                column=trailing.column,
+            )
+        if views:
+            if isinstance(query, SelectQuery):
+                query.views.update(views)
+            else:
+                for branch in query.branches():
+                    branch.views.update(views)
+        return query
+
+    def parse_query(self) -> SelectQuery | SetOperation:
+        left = self.parse_select_or_parens()
+        while True:
+            token = self.peek()
+            if token is None or not token.matches("KEYWORD") or token.value not in _SET_OPS:
+                break
+            op = self.advance().value
+            self.accept("KEYWORD", "ALL")
+            right = self.parse_select_or_parens()
+            left = SetOperation(op, left, right)
+        return left
+
+    def parse_select_or_parens(self) -> SelectQuery | SetOperation:
+        if self.accept("PUNCT", "("):
+            inner = self.parse_query()
+            self.expect("PUNCT", ")")
+            return inner
+        return self.parse_select()
+
+    def parse_select(self) -> SelectQuery:
+        # Each SELECT block collects its own JOIN..ON conditions; save the
+        # enclosing block's list so nested subqueries cannot steal it.
+        outer_pending = self._pending_joins
+        self._pending_joins = []
+        try:
+            return self._parse_select_body()
+        finally:
+            self._pending_joins = outer_pending
+
+    def _parse_select_body(self) -> SelectQuery:
+        self.expect("KEYWORD", "SELECT")
+        distinct = bool(self.accept("KEYWORD", "DISTINCT"))
+        self.accept("KEYWORD", "ALL")
+        select_items = [self.parse_select_item()]
+        while self.accept("PUNCT", ","):
+            select_items.append(self.parse_select_item())
+        self.expect("KEYWORD", "FROM")
+        sources: list[TableRef | SubquerySource] = [self.parse_source()]
+        while self.accept("PUNCT", ","):
+            sources.append(self.parse_source())
+        while self.accept("KEYWORD", "JOIN") or (
+            self.accept("KEYWORD", "INNER") and self.expect("KEYWORD", "JOIN")
+        ):
+            # INNER JOIN ... ON cond is normalised to a cross source plus a
+            # WHERE conjunct below.
+            sources.append(self.parse_source())
+            self.expect("KEYWORD", "ON")
+            join_condition = self.parse_condition()
+            self._pending_joins.append(join_condition)
+        where = None
+        if self.accept("KEYWORD", "WHERE"):
+            where = self.parse_condition()
+        where = self._merge_pending_joins(where)
+        self._skip_tail()
+        return SelectQuery(select_items, sources, where, distinct=distinct)
+
+    def _merge_pending_joins(self, where: object | None) -> object | None:
+        pending, self._pending_joins = self._pending_joins, []
+        if not pending:
+            return where
+        operands = list(pending)
+        if where is not None:
+            operands.append(where)
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp("AND", operands)
+
+    def _skip_tail(self) -> None:
+        """Skip GROUP BY / HAVING / ORDER BY / LIMIT — structure-irrelevant."""
+        while True:
+            token = self.peek()
+            if token is None or not token.matches("KEYWORD"):
+                return
+            if token.value in ("GROUP", "ORDER"):
+                self.advance()
+                self.expect("KEYWORD", "BY")
+                self._skip_expression_list()
+            elif token.value == "HAVING":
+                self.advance()
+                self.parse_condition()
+            elif token.value == "LIMIT":
+                self.advance()
+                self.expect("NUMBER")
+            else:
+                return
+
+    def _skip_expression_list(self) -> None:
+        depth = 0
+        while True:
+            token = self.peek()
+            if token is None:
+                return
+            if token.matches("PUNCT", "("):
+                depth += 1
+            elif token.matches("PUNCT", ")"):
+                if depth == 0:
+                    return
+                depth -= 1
+            elif depth == 0 and token.matches("KEYWORD") and token.value in (
+                "GROUP", "ORDER", "HAVING", "LIMIT", "ASC", "DESC",
+            ):
+                if token.value in ("ASC", "DESC"):
+                    self.advance()
+                    continue
+                return
+            elif depth == 0 and (
+                token.matches("PUNCT", ";")
+                or (token.matches("KEYWORD") and token.value in _SET_OPS)
+            ):
+                return
+            elif depth == 0 and token.matches("PUNCT", ","):
+                pass
+            self.advance()
+
+    # ------------------------------------------------------------ components
+
+    def parse_select_item(self) -> SelectItem:
+        if self.accept("PUNCT", "*"):
+            return SelectItem(expr=None)
+        token = self.peek()
+        if token is not None and token.matches("NAME"):
+            after = self.peek(1)
+            two_after = self.peek(2)
+            if (
+                after is not None
+                and after.matches("PUNCT", ".")
+                and two_after is not None
+                and two_after.matches("PUNCT", "*")
+            ):
+                table = self.advance().value
+                self.advance()
+                self.advance()
+                return SelectItem(expr=None, star_table=table)
+        expr = self.parse_value()
+        alias = None
+        if self.accept("KEYWORD", "AS"):
+            alias = self.expect("NAME").value
+        else:
+            alias_token = self.accept("NAME")
+            if alias_token is not None:
+                alias = alias_token.value
+        return SelectItem(expr=expr, alias=alias)
+
+    def parse_source(self) -> TableRef | SubquerySource:
+        if self.accept("PUNCT", "("):
+            query = self.parse_query()
+            self.expect("PUNCT", ")")
+            self.accept("KEYWORD", "AS")
+            alias = self.expect("NAME").value
+            return SubquerySource(query, alias)
+        name = self.expect("NAME").value
+        alias = None
+        if self.accept("KEYWORD", "AS"):
+            alias = self.expect("NAME").value
+        else:
+            alias_token = self.accept("NAME")
+            if alias_token is not None:
+                alias = alias_token.value
+        return TableRef(name, alias)
+
+    def parse_value(self) -> ColumnRef | Literal:
+        token = self.advance()
+        if token.matches("NUMBER"):
+            return Literal(token.value, "number")
+        if token.matches("STRING"):
+            return Literal(token.value, "string")
+        if token.matches("KEYWORD", "NULL"):
+            return Literal("NULL", "null")
+        if token.matches("NAME"):
+            next_token = self.peek()
+            if next_token is not None and next_token.matches("PUNCT", "("):
+                # A function call (SUM(x), COUNT(*), SUBSTR(a, 1, 3)...):
+                # aggregates and scalar expressions carry no join structure,
+                # so the call is skipped and an opaque expression returned.
+                self._skip_balanced_parens()
+                return Literal(f"{token.value}(...)", "expr")
+            if self.accept("PUNCT", "."):
+                column = self.expect("NAME").value
+                return ColumnRef(token.value, column)
+            return ColumnRef(None, token.value)
+        raise ParseError(
+            f"expected a value, found {token.value!r}",
+            line=token.line,
+            column=token.column,
+        )
+
+    def _skip_balanced_parens(self) -> None:
+        """Consume '(' ... ')' with arbitrary nesting (function arguments)."""
+        self.expect("PUNCT", "(")
+        depth = 1
+        while depth:
+            token = self.advance()
+            if token.matches("PUNCT", "("):
+                depth += 1
+            elif token.matches("PUNCT", ")"):
+                depth -= 1
+
+    # ------------------------------------------------------------ conditions
+
+    def parse_condition(self) -> object:
+        return self.parse_or()
+
+    def parse_or(self) -> object:
+        operands = [self.parse_and()]
+        while self.accept("KEYWORD", "OR"):
+            operands.append(self.parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp("OR", operands)
+
+    def parse_and(self) -> object:
+        operands = [self.parse_not()]
+        while self.accept("KEYWORD", "AND"):
+            operands.append(self.parse_not())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp("AND", operands)
+
+    def parse_not(self) -> object:
+        if self.accept("KEYWORD", "NOT"):
+            return self._negate(self.parse_not())
+        return self.parse_primary_condition()
+
+    @staticmethod
+    def _negate(condition: object) -> object:
+        if isinstance(condition, ExistsCondition):
+            return ExistsCondition(condition.subquery, negated=not condition.negated)
+        if isinstance(condition, InCondition):
+            return InCondition(
+                condition.column,
+                condition.subquery,
+                condition.values,
+                negated=not condition.negated,
+            )
+        return NotCondition(condition)
+
+    def parse_primary_condition(self) -> object:
+        if self.accept("KEYWORD", "EXISTS"):
+            self.expect("PUNCT", "(")
+            subquery = self.parse_query()
+            self.expect("PUNCT", ")")
+            return ExistsCondition(subquery)
+        if self.peek() is not None and self.peek().matches("PUNCT", "("):
+            # Either a parenthesised condition or a row-value — only the
+            # former occurs in this dialect.
+            self.advance()
+            inner = self.parse_condition()
+            self.expect("PUNCT", ")")
+            return inner
+
+        left = self.parse_value()
+
+        if self.accept("KEYWORD", "IS"):
+            negated = bool(self.accept("KEYWORD", "NOT"))
+            self.expect("KEYWORD", "NULL")
+            comparison = Comparison(left, "=", Literal("NULL", "null"))
+            return NotCondition(comparison) if negated else comparison
+
+        negated = bool(self.accept("KEYWORD", "NOT"))
+        if self.accept("KEYWORD", "IN"):
+            if not isinstance(left, ColumnRef):
+                raise ParseError("IN requires a column on its left-hand side")
+            self.expect("PUNCT", "(")
+            token = self.peek()
+            if token is not None and (
+                token.matches("KEYWORD", "SELECT")
+                or token.matches("KEYWORD", "WITH")
+                or token.matches("PUNCT", "(")
+            ):
+                subquery = self.parse_query()
+                self.expect("PUNCT", ")")
+                return InCondition(left, subquery, negated=negated)
+            values = [self._parse_literal()]
+            while self.accept("PUNCT", ","):
+                values.append(self._parse_literal())
+            self.expect("PUNCT", ")")
+            return InCondition(left, None, tuple(values), negated=negated)
+        if self.accept("KEYWORD", "LIKE"):
+            pattern = self._parse_literal()
+            comparison = Comparison(left, "LIKE", pattern)
+            return NotCondition(comparison) if negated else comparison
+        if self.accept("KEYWORD", "BETWEEN"):
+            low = self.parse_value()
+            self.expect("KEYWORD", "AND")
+            high = self.parse_value()
+            comparison = BooleanOp(
+                "AND", [Comparison(left, ">=", low), Comparison(left, "<=", high)]
+            )
+            return NotCondition(comparison) if negated else comparison
+        if negated:
+            raise ParseError("NOT must be followed by IN, LIKE or BETWEEN here")
+
+        op_token = self.peek()
+        if op_token is None or not op_token.matches("OP"):
+            raise ParseError(
+                "expected a comparison operator"
+                + (f", found {op_token.value!r}" if op_token else ""),
+            )
+        op = self.advance().value
+        if op not in _COMPARISON_OPS:
+            raise ParseError(f"unsupported operator {op!r}")
+        right = self.parse_value()
+        return Comparison(left, op, right)
+
+    def _parse_literal(self) -> Literal:
+        token = self.advance()
+        if token.matches("NUMBER"):
+            return Literal(token.value, "number")
+        if token.matches("STRING"):
+            return Literal(token.value, "string")
+        raise ParseError(
+            f"expected a literal, found {token.value!r}",
+            line=token.line,
+            column=token.column,
+        )
+
+
+def parse_sql(text: str) -> SelectQuery | SetOperation:
+    """Parse one SQL statement of the supported dialect."""
+    return _Parser(tokenize(text)).parse_statement()

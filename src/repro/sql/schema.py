@@ -1,0 +1,51 @@
+"""Relational schemas for the SQL pipeline.
+
+A schema maps relation names to ordered attribute tuples; the extraction
+pipeline needs it to expand ``*`` projections, to resolve unqualified column
+references, and to build one hypergraph vertex per attribute occurrence
+(Section 5.4: "for each attribute A_i of r, create a vertex").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.errors import UnsupportedSQLError
+
+__all__ = ["Schema"]
+
+
+class Schema:
+    """An immutable relation-name → attribute-tuple mapping."""
+
+    def __init__(self, relations: Mapping[str, Iterable[str]]):
+        self._relations = {
+            str(name).lower(): tuple(str(a).lower() for a in attrs)
+            for name, attrs in relations.items()
+        }
+        for name, attrs in self._relations.items():
+            if len(set(attrs)) != len(attrs):
+                raise UnsupportedSQLError(
+                    f"relation {name!r} declares duplicate attributes"
+                )
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._relations
+
+    def attributes(self, name: str) -> tuple[str, ...]:
+        try:
+            return self._relations[name.lower()]
+        except KeyError:
+            raise UnsupportedSQLError(f"unknown relation {name!r}") from None
+
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self._relations)
+
+    def extend(self, extra: Mapping[str, Iterable[str]]) -> "Schema":
+        """A new schema with additional (view) relations."""
+        merged: dict[str, Iterable[str]] = dict(self._relations)
+        merged.update(extra)
+        return Schema(merged)
+
+    def __repr__(self) -> str:
+        return f"Schema({sorted(self._relations)})"

@@ -1,0 +1,88 @@
+"""Tokenizer for the supported SQL dialect.
+
+Produces a flat token stream of keywords, identifiers, literals, operators
+and punctuation.  Keywords are case-insensitive and normalised to upper case;
+identifiers keep their original spelling (lower-cased, as the dialect is
+case-insensitive and unquoted).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "AND", "OR", "NOT", "IN", "EXISTS", "AS",
+    "UNION", "INTERSECT", "EXCEPT", "WITH", "ALL", "DISTINCT", "ON", "JOIN",
+    "INNER", "BETWEEN", "LIKE", "IS", "NULL", "GROUP", "BY", "ORDER",
+    "HAVING", "LIMIT", "ASC", "DESC",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<name>[A-Za-z_][A-Za-z0-9_$]*)
+  | (?P<op><>|!=|<=|>=|=|<|>)
+  | (?P<punct>[(),.;*])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    kind: str  # KEYWORD, NAME, NUMBER, STRING, OP, PUNCT
+    value: str
+    line: int
+    column: int
+
+    def matches(self, kind: str, value: str | None = None) -> bool:
+        return self.kind == kind and (value is None or self.value == value)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`ParseError` on unexpected characters."""
+    tokens: list[Token] = []
+    position = 0
+    line = 1
+    line_start = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            column = position - line_start + 1
+            raise ParseError(
+                f"unexpected character {text[position]!r}", line=line, column=column
+            )
+        column = position - line_start + 1
+        kind = match.lastgroup
+        value = match.group()
+        if kind not in ("ws", "comment"):
+            if kind == "name":
+                upper = value.upper()
+                if upper in KEYWORDS:
+                    tokens.append(Token("KEYWORD", upper, line, column))
+                else:
+                    tokens.append(Token("NAME", value.lower(), line, column))
+            elif kind == "number":
+                tokens.append(Token("NUMBER", value, line, column))
+            elif kind == "string":
+                tokens.append(Token("STRING", value[1:-1].replace("''", "'"), line, column))
+            elif kind == "op":
+                tokens.append(Token("OP", value, line, column))
+            else:
+                tokens.append(Token("PUNCT", value, line, column))
+        newlines = value.count("\n")
+        if newlines:
+            line += newlines
+            line_start = position + value.rindex("\n") + 1
+        position = match.end()
+    return tokens

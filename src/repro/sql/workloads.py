@@ -1,0 +1,128 @@
+"""Representative SQL workloads in the supported dialect.
+
+The paper extracts hypergraphs from TPC-H, TPC-DS, JOB (IMDB) and SQLShare;
+those query texts are not redistributable here, so this module ships
+schema-faithful *representative* workloads written in the same dialect the
+pipeline handles: multi-way foreign-key joins, views, nested IN/EXISTS
+subqueries and set operations.  Examples and tests run the Section 5
+pipeline on them end to end.
+"""
+
+from __future__ import annotations
+
+from repro.sql.schema import Schema
+
+__all__ = ["TPCH_LIKE_SCHEMA", "TPCH_LIKE_QUERIES", "JOB_LIKE_SCHEMA", "JOB_LIKE_QUERIES"]
+
+#: A TPC-H-shaped schema (names shortened to the join-relevant attributes).
+TPCH_LIKE_SCHEMA = Schema(
+    {
+        "region": ["r_regionkey", "r_name"],
+        "nation": ["n_nationkey", "n_regionkey", "n_name"],
+        "supplier": ["s_suppkey", "s_nationkey", "s_name"],
+        "customer": ["c_custkey", "c_nationkey", "c_name"],
+        "orders": ["o_orderkey", "o_custkey", "o_orderdate"],
+        "lineitem": ["l_orderkey", "l_partkey", "l_suppkey", "l_quantity"],
+        "part": ["p_partkey", "p_name", "p_type"],
+        "partsupp": ["ps_partkey", "ps_suppkey", "ps_supplycost"],
+    }
+)
+
+#: Queries shaped like the TPC-H workload (joins along foreign keys, nested
+#: subqueries, one view-based query).
+TPCH_LIKE_QUERIES = [
+    # Q-like 3: customer/orders/lineitem join
+    """
+    SELECT c.c_name, o.o_orderkey
+    FROM customer c, orders o, lineitem l
+    WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+      AND o.o_orderdate < '1995-03-15';
+    """,
+    # Q-like 5: six-way join through nation/region
+    """
+    SELECT n.n_name
+    FROM customer c, orders o, lineitem l, supplier s, nation n, region r
+    WHERE c.c_custkey = o.o_custkey
+      AND l.l_orderkey = o.o_orderkey
+      AND l.l_suppkey = s.s_suppkey
+      AND c.c_nationkey = s.s_nationkey
+      AND s.s_nationkey = n.n_nationkey
+      AND n.n_regionkey = r.r_regionkey
+      AND r.r_name = 'ASIA';
+    """,
+    # Q-like 2 fragment: part/partsupp/supplier with an uncorrelated subquery
+    """
+    SELECT s.s_name
+    FROM part p, partsupp ps, supplier s, nation n
+    WHERE p.p_partkey = ps.ps_partkey
+      AND s.s_suppkey = ps.ps_suppkey
+      AND s.s_nationkey = n.n_nationkey
+      AND p.p_partkey IN (SELECT part.p_partkey FROM part WHERE part.p_type = 'BRASS');
+    """,
+    # View-based query (Listing 3 style)
+    """
+    WITH supplied AS (
+      SELECT ps.ps_partkey pk, s.s_nationkey nk
+      FROM partsupp ps, supplier s
+      WHERE ps.ps_suppkey = s.s_suppkey
+    )
+    SELECT p.p_name
+    FROM part p, supplied sp, nation n
+    WHERE p.p_partkey = sp.pk AND sp.nk = n.n_nationkey;
+    """,
+    # Correlated EXISTS — the subquery is eliminated, the core survives
+    """
+    SELECT c.c_name
+    FROM customer c, nation n
+    WHERE c.c_nationkey = n.n_nationkey
+      AND EXISTS (SELECT * FROM orders o WHERE o.o_custkey = c.c_custkey);
+    """,
+    # Set operation — each branch is extracted separately
+    """
+    SELECT c.c_custkey FROM customer c, orders o WHERE c.c_custkey = o.o_custkey
+    UNION
+    SELECT s.s_suppkey FROM supplier s, partsupp ps WHERE s.s_suppkey = ps.ps_suppkey;
+    """,
+]
+
+#: A JOB-shaped (IMDB) schema.
+JOB_LIKE_SCHEMA = Schema(
+    {
+        "title": ["t_id", "t_kind_id", "t_title"],
+        "movie_companies": ["mc_movie_id", "mc_company_id", "mc_note"],
+        "company_name": ["cn_id", "cn_name", "cn_country"],
+        "cast_info": ["ci_movie_id", "ci_person_id", "ci_role_id"],
+        "name": ["n_id", "n_name"],
+        "movie_keyword": ["mk_movie_id", "mk_keyword_id"],
+        "keyword": ["k_id", "k_keyword"],
+        "movie_info": ["mi_movie_id", "mi_info_type_id", "mi_info"],
+    }
+)
+
+#: Queries shaped like the Join Order Benchmark (star joins around title,
+#: occasionally cyclic through shared foreign keys).
+JOB_LIKE_QUERIES = [
+    """
+    SELECT t.t_title
+    FROM title t, movie_companies mc, company_name cn
+    WHERE t.t_id = mc.mc_movie_id AND mc.mc_company_id = cn.cn_id
+      AND cn.cn_country = 'US';
+    """,
+    """
+    SELECT n.n_name, t.t_title
+    FROM title t, cast_info ci, name n, movie_keyword mk, keyword k
+    WHERE t.t_id = ci.ci_movie_id
+      AND ci.ci_person_id = n.n_id
+      AND t.t_id = mk.mk_movie_id
+      AND mk.mk_keyword_id = k.k_id
+      AND k.k_keyword = 'noir';
+    """,
+    """
+    SELECT t.t_title
+    FROM title t, movie_companies mc, movie_info mi, movie_keyword mk
+    WHERE t.t_id = mc.mc_movie_id
+      AND t.t_id = mi.mi_movie_id
+      AND t.t_id = mk.mk_movie_id
+      AND mc.mc_note LIKE '%(co-production)%';
+    """,
+]

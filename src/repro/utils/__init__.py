@@ -1,0 +1,6 @@
+"""Small shared utilities: deadlines, deterministic naming, table rendering."""
+
+from repro.utils.deadline import Deadline
+from repro.utils.tables import render_table
+
+__all__ = ["Deadline", "render_table"]

@@ -1,0 +1,68 @@
+"""Cooperative deadlines.
+
+The paper runs every ``Check(decomposition, k)`` attempt under a 3600 s
+timeout.  Python threads cannot be killed safely, so all search algorithms in
+this library poll a :class:`Deadline` object at their backtracking points and
+raise :class:`~repro.errors.DeadlineExceeded` when the budget is gone.  The
+analysis harness records that as a "timeout" verdict.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import DeadlineExceeded
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """A wall-clock budget that search algorithms poll cooperatively.
+
+    Parameters
+    ----------
+    seconds:
+        Budget in seconds, or ``None`` for an unlimited deadline.  Unlimited
+        deadlines make ``check()`` free, so algorithms can call it
+        unconditionally.
+
+    Examples
+    --------
+    >>> deadline = Deadline(10.0)
+    >>> deadline.check()  # no-op while within budget
+    >>> deadline.expired
+    False
+    """
+
+    __slots__ = ("_expires_at", "seconds")
+
+    def __init__(self, seconds: float | None = None):
+        self.seconds = seconds
+        self._expires_at = None if seconds is None else time.monotonic() + seconds
+
+    @classmethod
+    def unlimited(cls) -> "Deadline":
+        """Return a deadline that never expires."""
+        return cls(None)
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget has run out."""
+        return self._expires_at is not None and time.monotonic() >= self._expires_at
+
+    @property
+    def remaining(self) -> float | None:
+        """Seconds left, or ``None`` for unlimited deadlines."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - time.monotonic())
+
+    def check(self) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget has run out."""
+        if self.expired:
+            raise DeadlineExceeded(f"deadline of {self.seconds}s exceeded")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self._expires_at is None:
+            return "Deadline(unlimited)"
+        return f"Deadline({self.seconds}s, remaining={self.remaining:.3f}s)"

@@ -1,0 +1,62 @@
+"""Minimal ASCII table rendering used by the experiment drivers.
+
+The paper's evaluation section is a collection of tables; every experiment in
+:mod:`repro.analysis.experiments` returns structured rows and uses
+:func:`render_table` to print the same layout.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table.
+
+    Cells are converted with ``str``; numeric cells are right-aligned, text
+    cells left-aligned.  Returns the rendered table as a single string.
+    """
+    cells = [[str(c) for c in row] for row in rows]
+    header_cells = [str(h) for h in headers]
+    n_cols = len(header_cells)
+    for row in cells:
+        if len(row) != n_cols:
+            raise ValueError(f"row {row!r} has {len(row)} cells, expected {n_cols}")
+
+    widths = [len(h) for h in header_cells]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    numeric = [True] * n_cols
+    for row in rows:
+        for i, value in enumerate(row):
+            if not isinstance(value, (int, float)):
+                numeric[i] = False
+
+    def fmt_row(row: Sequence[str], align_numeric: bool) -> str:
+        parts = []
+        for i, cell in enumerate(row):
+            if align_numeric and numeric[i]:
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(fmt_row(header_cells, align_numeric=False))
+    lines.append(separator)
+    for row in cells:
+        lines.append(fmt_row(row, align_numeric=True))
+    lines.append(separator)
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Shared fixtures: hypergraphs with known widths, small databases, helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.hypergraph import Hypergraph
+
+
+@pytest.fixture
+def triangle() -> Hypergraph:
+    """The triangle query: hw = ghw = 2, fhw = 1.5."""
+    return Hypergraph(
+        {"r": ["x", "y"], "s": ["y", "z"], "t": ["z", "x"]}, name="triangle"
+    )
+
+
+@pytest.fixture
+def path3() -> Hypergraph:
+    """A 3-edge path: acyclic, hw = 1."""
+    return Hypergraph(
+        {"a": ["1", "2"], "b": ["2", "3"], "c": ["3", "4"]}, name="path3"
+    )
+
+
+@pytest.fixture
+def star() -> Hypergraph:
+    """A star join: acyclic, hw = 1."""
+    return Hypergraph(
+        {
+            "fact": ["k1", "k2", "k3"],
+            "d1": ["k1", "a"],
+            "d2": ["k2", "b"],
+            "d3": ["k3", "c"],
+        },
+        name="star",
+    )
+
+
+def cycle_hypergraph(n: int) -> Hypergraph:
+    """The n-cycle of binary edges: hw = ghw = 2 for n >= 3."""
+    return Hypergraph(
+        {f"c{i}": [f"x{i}", f"x{(i + 1) % n}"] for i in range(n)},
+        name=f"cycle{n}",
+    )
+
+
+def clique_hypergraph(n: int) -> Hypergraph:
+    """K_n with binary edges: hw = ghw = ceil(n / 2)."""
+    edges = {}
+    for i in range(n):
+        for j in range(i + 1, n):
+            edges[f"e{i}_{j}"] = [f"v{i}", f"v{j}"]
+    return Hypergraph(edges, name=f"K{n}")
+
+
+@pytest.fixture
+def cycle4() -> Hypergraph:
+    return cycle_hypergraph(4)
+
+
+@pytest.fixture
+def cycle6() -> Hypergraph:
+    return cycle_hypergraph(6)
+
+
+@pytest.fixture
+def k4() -> Hypergraph:
+    return clique_hypergraph(4)
+
+
+@pytest.fixture
+def k5() -> Hypergraph:
+    return clique_hypergraph(5)
+
+
+def random_hypergraph(
+    seed: int,
+    max_vertices: int = 7,
+    max_edges: int = 7,
+    max_arity: int = 4,
+) -> Hypergraph:
+    """Small random hypergraph for differential tests (deterministic)."""
+    rng = random.Random(seed)
+    num_vertices = rng.randint(2, max_vertices)
+    num_edges = rng.randint(1, max_edges)
+    pool = [f"v{i}" for i in range(num_vertices)]
+    edges = {}
+    for j in range(num_edges):
+        arity = rng.randint(1, min(max_arity, num_vertices))
+        edges[f"e{j}"] = rng.sample(pool, arity)
+    return Hypergraph(edges, name=f"rand{seed}").dedupe()

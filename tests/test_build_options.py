@@ -1,0 +1,28 @@
+"""Tests for benchmark build options (SQL-derived instances)."""
+
+from repro.benchmark import BenchmarkClass, build_default_benchmark
+
+
+class TestSqlDerived:
+    def test_sql_derived_added_to_cq_application(self):
+        base = build_default_benchmark(scale=0.05)
+        extended = build_default_benchmark(scale=0.05, sql_derived=5)
+        assert len(extended) == len(base) + 5
+        assert (
+            extended.count(BenchmarkClass.CQ_APPLICATION)
+            == base.count(BenchmarkClass.CQ_APPLICATION) + 5
+        )
+
+    def test_sql_derived_deterministic(self):
+        a = build_default_benchmark(scale=0.05, sql_derived=4)
+        b = build_default_benchmark(scale=0.05, sql_derived=4)
+        assert [e.name for e in a] == [e.name for e in b]
+
+    def test_sql_derived_instances_analysable(self):
+        from repro.decomp.detkdecomp import check_hd
+
+        repo = build_default_benchmark(scale=0.05, sql_derived=3)
+        sql_entries = [e for e in repo if e.name.startswith("cq_sql_")]
+        assert len(sql_entries) == 3
+        for entry in sql_entries:
+            assert check_hd(entry.hypergraph, 3) is not None

@@ -1,0 +1,93 @@
+"""Unit tests for [U]-components and balanced separators."""
+
+from repro.core.components import (
+    components,
+    connected_components,
+    is_balanced_separator,
+    separate,
+    vertices_of,
+)
+from tests.conftest import cycle_hypergraph
+
+
+class TestVerticesOf:
+    def test_all_edges(self, triangle):
+        assert vertices_of(triangle.edges) == {"x", "y", "z"}
+
+    def test_subset(self, triangle):
+        assert vertices_of(triangle.edges, ["r"]) == {"x", "y"}
+
+    def test_empty_subset(self, triangle):
+        assert vertices_of(triangle.edges, []) == frozenset()
+
+
+class TestComponents:
+    def test_no_separator_connected(self, triangle):
+        comps = components(triangle.edges, frozenset())
+        assert comps == [frozenset({"r", "s", "t"})]
+
+    def test_cut_vertex_splits(self, path3):
+        # Removing vertex "2" separates edge a from b-c... a loses vertex 2
+        # but still has vertex 1, so it forms its own component.
+        comps = components(path3.edges, frozenset({"2"}))
+        assert sorted(map(sorted, comps)) == [["a"], ["b", "c"]]
+
+    def test_absorbed_edges_in_no_component(self, path3):
+        comps, absorbed = separate(path3.edges, frozenset({"1", "2"}))
+        assert absorbed == {"a"}
+        assert sorted(map(sorted, comps)) == [["b", "c"]]
+
+    def test_cycle_splits_into_two_arcs(self):
+        c6 = cycle_hypergraph(6)
+        separator = frozenset({"x0", "x3"})
+        comps = components(c6.edges, separator)
+        assert len(comps) == 2
+        # Straddling edges belong to the component of their outside vertex,
+        # so each arc has 3 edges.
+        assert all(len(c) == 3 for c in comps)
+
+    def test_full_separator_absorbs_everything(self, triangle):
+        comps, absorbed = separate(triangle.edges, frozenset({"x", "y", "z"}))
+        assert comps == []
+        assert absorbed == {"r", "s", "t"}
+
+    def test_disconnected_input(self):
+        family = {"a": frozenset({"x", "y"}), "b": frozenset({"p", "q"})}
+        comps = connected_components(family)
+        assert len(comps) == 2
+
+    def test_components_are_disjoint_partition(self):
+        c5 = cycle_hypergraph(5)
+        separator = frozenset({"x0"})
+        comps = components(c5.edges, separator)
+        names = [n for c in comps for n in c]
+        assert len(names) == len(set(names))
+        absorbed = set(c5.edges) - set(names)
+        assert all(c5.edge(n) <= separator for n in absorbed)
+
+    def test_deterministic_order(self, triangle):
+        first = components(triangle.edges, frozenset({"y"}))
+        second = components(triangle.edges, frozenset({"y"}))
+        assert first == second
+
+
+class TestBalancedSeparators:
+    def test_balanced_middle_of_path(self, path3):
+        # Vertices of edge b split {a} and {c}: both components have size 1 <= 1.5.
+        assert is_balanced_separator(path3.edges, frozenset({"2", "3"}))
+
+    def test_unbalanced_end_of_path(self, path3):
+        # Vertex 4 only touches edge c; a and b stay connected via vertex 2/3:
+        # one component of size 2 > 3/2.
+        assert not is_balanced_separator(path3.edges, frozenset({"4"}))
+
+    def test_empty_separator_of_connected_graph_unbalanced(self, triangle):
+        assert not is_balanced_separator(triangle.edges, frozenset())
+
+    def test_total_override(self, path3):
+        # With a pretend-larger total even a lopsided split balances.
+        assert is_balanced_separator(path3.edges, frozenset({"4"}), total=6)
+
+    def test_every_ghd_has_balanced_separator_node(self, cycle6):
+        # Sanity for the theory BalSep relies on: the bag {x0, x3} balances C6.
+        assert is_balanced_separator(cycle6.edges, frozenset({"x0", "x3"}))

@@ -1,0 +1,105 @@
+"""Unit tests for the conjunctive-query model, parser and conversion."""
+
+import pytest
+
+from repro.cq.convert import cq_to_hypergraph
+from repro.cq.model import Atom, ConjunctiveQuery, is_variable, make_query
+from repro.cq.parser import parse_cq
+from repro.errors import ParseError
+
+
+class TestModel:
+    def test_variable_convention(self):
+        assert is_variable("X")
+        assert is_variable("_anon")
+        assert not is_variable("const")
+        assert not is_variable("42")
+        assert not is_variable("")
+
+    def test_atom_variables_in_order(self):
+        atom = Atom("r", ("X", "c", "Y", "X"))
+        assert atom.variables() == ("X", "Y")
+
+    def test_query_arity_is_max_atom_arity(self):
+        q = make_query([("r", ("X", "Y")), ("s", ("X", "Y", "Z"))])
+        assert q.arity == 3
+
+    def test_query_variables(self):
+        q = make_query([("r", ("X", "Y")), ("s", ("Y", "Z"))], head=("X",))
+        assert q.variables() == ("X", "Y", "Z")
+        assert not q.is_boolean()
+
+    def test_boolean_query(self):
+        q = make_query([("r", ("X",))])
+        assert q.is_boolean()
+
+    def test_str_round(self):
+        q = make_query([("r", ("X", "Y"))], head=("X",))
+        assert str(q) == "ans(X) :- r(X, Y)."
+
+
+class TestParser:
+    def test_basic(self):
+        q = parse_cq("ans(X, Y) :- r(X, Z), s(Z, Y).")
+        assert q.head == ("X", "Y")
+        assert len(q.atoms) == 2
+        assert q.atoms[0] == Atom("r", ("X", "Z"))
+
+    def test_boolean_head(self):
+        q = parse_cq("ans() :- r(X).")
+        assert q.head == ()
+
+    def test_constants_preserved(self):
+        q = parse_cq("ans(X) :- r(X, 'paris'), s(X, 42).")
+        assert q.atoms[0].terms == ("X", "paris")
+        assert q.atoms[1].terms == ("X", "42")
+
+    def test_missing_separator_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cq("ans(X) r(X)")
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cq("ans(X) :- ")
+
+    def test_malformed_atom_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cq("ans(X) :- r(X,, Y).")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_cq("ans(X) :- r(X, s(Y.")
+
+
+class TestConversion:
+    def test_triangle_query(self):
+        q = parse_cq("ans() :- r(X, Y), s(Y, Z), t(Z, X).")
+        h = cq_to_hypergraph(q)
+        assert h.num_edges == 3
+        assert h.vertices == {"X", "Y", "Z"}
+
+    def test_constants_produce_no_vertices(self):
+        q = parse_cq("ans() :- r(X, 'c'), s(X, 5).")
+        h = cq_to_hypergraph(q)
+        assert h.vertices == {"X"}
+
+    def test_ground_atoms_produce_no_edges(self):
+        q = parse_cq("ans() :- r('a', 'b'), s(X, Y).")
+        h = cq_to_hypergraph(q)
+        assert h.num_edges == 1
+
+    def test_self_join_edges_deduplicated(self):
+        q = parse_cq("ans() :- r(X, Y), r(X, Y).")
+        assert cq_to_hypergraph(q).num_edges == 1
+        assert cq_to_hypergraph(q, dedupe=False).num_edges == 2
+
+    def test_repeated_variable_atom(self):
+        q = parse_cq("ans() :- r(X, X, Y).")
+        h = cq_to_hypergraph(q)
+        assert h.edge("r#0") == {"X", "Y"}
+
+    def test_acyclic_cq_has_width_1(self):
+        from repro.decomp.detkdecomp import check_hd
+
+        q = parse_cq("ans(A) :- r(A, B), s(B, C), t(C, D).")
+        assert check_hd(cq_to_hypergraph(q), 1) is not None

@@ -1,0 +1,66 @@
+"""Cross-implementation checks against networkx (an independent oracle)."""
+
+import networkx as nx
+import pytest
+from hypothesis import HealthCheck, given, settings
+import hypothesis.strategies as st
+
+from repro.core.components import connected_components
+from repro.core.hypergraph import Hypergraph
+from repro.core.treewidth import primal_graph
+from tests.conftest import random_hypergraph
+
+SETTINGS = settings(
+    max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+vertex_names = st.integers(min_value=0, max_value=6).map(lambda i: f"v{i}")
+edges_strategy = st.lists(
+    st.frozensets(vertex_names, min_size=1, max_size=4),
+    min_size=1,
+    max_size=6,
+    unique=True,
+)
+
+
+@given(edge_sets=edges_strategy)
+@SETTINGS
+def test_connected_components_match_networkx(edge_sets):
+    h = Hypergraph({f"e{i}": sorted(e) for i, e in enumerate(edge_sets)})
+    ours = connected_components(h.edges)
+    # networkx oracle: components of the bipartite incidence graph.
+    graph = nx.Graph()
+    for name, edge in h.edges.items():
+        graph.add_node(("edge", name))
+        for v in edge:
+            graph.add_edge(("edge", name), ("vertex", v))
+    nx_components = []
+    for component in nx.connected_components(graph):
+        edge_names = frozenset(n for kind, n in component if kind == "edge")
+        if edge_names:
+            nx_components.append(edge_names)
+    assert sorted(map(sorted, ours)) == sorted(map(sorted, nx_components))
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_primal_graph_adjacency_oracle(seed):
+    h = random_hypergraph(seed)
+    graph = primal_graph(h)
+    for u in h.vertices:
+        for v in h.vertices:
+            if u >= v:
+                continue
+            together = any(u in e and v in e for e in h.edges.values())
+            assert graph.has_edge(u, v) == together
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_min_fill_width_at_least_clique_number(seed):
+    """tw >= ω - 1: every clique (in particular every hyperedge) sits in a bag."""
+    h = random_hypergraph(seed)
+    if not h.num_edges:
+        return
+    from repro.core.treewidth import treewidth_exact
+
+    tw = treewidth_exact(h)
+    assert tw >= h.arity - 1

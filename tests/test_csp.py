@@ -1,0 +1,174 @@
+"""Unit tests for the CSP model, XCSP parser, and hypergraph conversion."""
+
+import pytest
+
+from repro.csp.convert import csp_to_hypergraph
+from repro.csp.model import Constraint, CSPInstance, all_different_constraint
+from repro.csp.xcsp import format_xcsp, parse_xcsp
+from repro.errors import ParseError, SolverError
+
+
+def neq(name, scope, size):
+    return Constraint(
+        name, scope, frozenset((i, i) for i in range(size)), positive=False
+    )
+
+
+class TestModel:
+    def test_constraint_arity_check(self):
+        with pytest.raises(SolverError):
+            Constraint("c", ("x", "y"), frozenset({(1, 2, 3)}))
+
+    def test_allows_positive(self):
+        c = Constraint("c", ("x", "y"), frozenset({(1, 2)}))
+        assert c.allows({"x": 1, "y": 2})
+        assert not c.allows({"x": 2, "y": 1})
+
+    def test_allows_negative(self):
+        c = neq("c", ("x", "y"), 3)
+        assert c.allows({"x": 0, "y": 1})
+        assert not c.allows({"x": 1, "y": 1})
+
+    def test_consistent_prunes_positive(self):
+        c = Constraint("c", ("x", "y"), frozenset({(1, 2)}))
+        assert c.consistent({"x": 1})
+        assert not c.consistent({"x": 3})
+
+    def test_consistent_defers_negative(self):
+        c = neq("c", ("x", "y"), 2)
+        assert c.consistent({"x": 0})  # cannot prune yet
+        assert not c.consistent({"x": 0, "y": 0})
+
+    def test_instance_rejects_undeclared_variables(self):
+        with pytest.raises(SolverError):
+            CSPInstance("i", {"x": (0,)}, [Constraint("c", ("x", "y"), frozenset())])
+
+    def test_check_full_assignment(self):
+        inst = CSPInstance(
+            "i", {"x": (0, 1), "y": (0, 1)},
+            [Constraint("c", ("x", "y"), frozenset({(0, 1)}))],
+        )
+        assert inst.check({"x": 0, "y": 1})
+        assert not inst.check({"x": 1, "y": 1})
+        with pytest.raises(SolverError):
+            inst.check({"x": 0})
+
+    def test_constraints_on(self):
+        inst = CSPInstance(
+            "i",
+            {"x": (0,), "y": (0,), "z": (0,)},
+            [
+                Constraint("a", ("x", "y"), frozenset({(0, 0)})),
+                Constraint("b", ("y", "z"), frozenset({(0, 0)})),
+            ],
+        )
+        assert [c.name for c in inst.constraints_on("y")] == ["a", "b"]
+
+    def test_all_different(self):
+        c = all_different_constraint("ad", ("x", "y", "z"), (0, 1, 2))
+        assert len(c.tuples) == 6
+        assert c.allows({"x": 0, "y": 1, "z": 2})
+        assert not c.allows({"x": 0, "y": 0, "z": 2})
+
+
+class TestXcsp:
+    XML = """<instance format="XCSP3" type="CSP">
+      <variables>
+        <var id="x"> 0 1 2 </var>
+        <array id="y" size="[2]"> 0..1 </array>
+      </variables>
+      <constraints>
+        <extension id="c0">
+          <list> x y[0] </list>
+          <supports> (0,1)(1,0) </supports>
+        </extension>
+        <extension>
+          <list> y[0] y[1] </list>
+          <conflicts> (1,1) </conflicts>
+        </extension>
+      </constraints>
+    </instance>"""
+
+    def test_parse_variables(self):
+        inst = parse_xcsp(self.XML)
+        assert inst.domains["x"] == (0, 1, 2)
+        assert inst.domains["y[0]"] == (0, 1)
+        assert inst.domains["y[1]"] == (0, 1)
+
+    def test_parse_constraints(self):
+        inst = parse_xcsp(self.XML)
+        assert inst.num_constraints == 2
+        assert inst.constraints[0].positive
+        assert not inst.constraints[1].positive
+        assert inst.constraints[1].name == "c1"  # auto-numbered
+
+    def test_range_domains(self):
+        inst = parse_xcsp(self.XML)
+        assert inst.domains["y[0]"] == (0, 1)
+
+    def test_round_trip(self):
+        inst = parse_xcsp(self.XML, "rt")
+        again = parse_xcsp(format_xcsp(inst))
+        assert again.domains == inst.domains
+        assert {(c.scope, c.tuples, c.positive) for c in again.constraints} == {
+            (c.scope, c.tuples, c.positive) for c in inst.constraints
+        }
+
+    def test_bad_xml(self):
+        with pytest.raises(ParseError):
+            parse_xcsp("<oops")
+
+    def test_wrong_root(self):
+        with pytest.raises(ParseError):
+            parse_xcsp("<x/>")
+
+    def test_missing_variables(self):
+        with pytest.raises(ParseError):
+            parse_xcsp("<instance><constraints/></instance>")
+
+    def test_non_extensional_rejected(self):
+        xml = """<instance><variables><var id="x">0</var></variables>
+                 <constraints><allDifferent/></constraints></instance>"""
+        with pytest.raises(ParseError, match="extensional"):
+            parse_xcsp(xml)
+
+    def test_arity_mismatch_rejected(self):
+        xml = """<instance><variables><var id="x">0</var><var id="y">0</var></variables>
+                 <constraints><extension><list>x y</list>
+                 <supports>(0,0,0)</supports></extension></constraints></instance>"""
+        with pytest.raises(ParseError):
+            parse_xcsp(xml)
+
+
+class TestConversion:
+    def test_hypergraph_structure(self):
+        inst = CSPInstance(
+            "i",
+            {"x": (0,), "y": (0,), "z": (0,)},
+            [
+                Constraint("a", ("x", "y"), frozenset({(0, 0)})),
+                Constraint("b", ("y", "z"), frozenset({(0, 0)})),
+            ],
+        )
+        h = csp_to_hypergraph(inst)
+        assert h.num_edges == 2
+        assert h.edge("a") == {"x", "y"}
+
+    def test_isolated_variables_dropped(self):
+        inst = CSPInstance(
+            "i", {"x": (0,), "lonely": (0,)},
+            [Constraint("a", ("x",), frozenset({(0,)}))],
+        )
+        h = csp_to_hypergraph(inst)
+        assert "lonely" not in h.vertices
+
+    def test_duplicate_scopes_deduplicated(self):
+        inst = CSPInstance(
+            "i", {"x": (0,), "y": (0,)},
+            [
+                Constraint("a", ("x", "y"), frozenset({(0, 0)})),
+                Constraint("b", ("y", "x"), frozenset()),
+            ],
+        )
+        assert csp_to_hypergraph(inst).num_edges == 1
+        assert csp_to_hypergraph(inst, dedupe=False).num_edges == 2

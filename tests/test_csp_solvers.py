@@ -1,0 +1,135 @@
+"""Tests for the CSP solvers, including backtracking/decomposition agreement."""
+
+import pytest
+
+from repro.benchmark.generators.random_csp import random_csp_instance
+from repro.csp.model import Constraint, CSPInstance
+from repro.csp.solver import solve_backtracking, solve_with_decomposition
+from repro.errors import SolverError
+
+
+def neq(name, scope, size):
+    return Constraint(
+        name, scope, frozenset((i, i) for i in range(size)), positive=False
+    )
+
+
+def coloring_instance(colors: int) -> CSPInstance:
+    """Triangle graph coloring: satisfiable iff colors >= 3."""
+    return CSPInstance(
+        f"tri{colors}",
+        {v: tuple(range(colors)) for v in "abc"},
+        [neq("ab", ("a", "b"), colors), neq("bc", ("b", "c"), colors),
+         neq("ac", ("a", "c"), colors)],
+    )
+
+
+class TestBacktracking:
+    def test_satisfiable_coloring(self):
+        inst = coloring_instance(3)
+        solution = solve_backtracking(inst)
+        assert solution is not None and inst.check(solution)
+
+    def test_unsatisfiable_coloring(self):
+        assert solve_backtracking(coloring_instance(2)) is None
+
+    def test_no_constraints(self):
+        inst = CSPInstance("free", {"x": (5, 6)}, [])
+        assert solve_backtracking(inst) == {"x": 5}
+
+    def test_empty_domain_unsat(self):
+        inst = CSPInstance("dead", {"x": ()}, [])
+        assert solve_backtracking(inst) is None
+
+    def test_positive_chain(self):
+        inst = CSPInstance(
+            "chain",
+            {"x": (0, 1), "y": (0, 1), "z": (0, 1)},
+            [
+                Constraint("xy", ("x", "y"), frozenset({(0, 1)})),
+                Constraint("yz", ("y", "z"), frozenset({(1, 0)})),
+            ],
+        )
+        assert solve_backtracking(inst) == {"x": 0, "y": 1, "z": 0}
+
+
+class TestDecompositionSolver:
+    def test_satisfiable_coloring(self):
+        inst = coloring_instance(3)
+        solution = solve_with_decomposition(inst)
+        assert solution is not None and inst.check(solution)
+
+    def test_unsatisfiable_coloring(self):
+        assert solve_with_decomposition(coloring_instance(2)) is None
+
+    def test_free_variables_assigned(self):
+        inst = CSPInstance(
+            "mixed",
+            {"x": (0, 1), "y": (0, 1), "free": (7, 8)},
+            [Constraint("c", ("x", "y"), frozenset({(0, 0)}))],
+        )
+        solution = solve_with_decomposition(inst)
+        assert solution is not None and solution["free"] == 7
+
+    def test_no_constraints(self):
+        inst = CSPInstance("free", {"x": (3,)}, [])
+        assert solve_with_decomposition(inst) == {"x": 3}
+
+    def test_empty_domain(self):
+        inst = CSPInstance("dead", {"x": ()}, [])
+        assert solve_with_decomposition(inst) is None
+
+    def test_width_limit_raises(self):
+        # A K5 constraint network has hw 3 > max_width 2.
+        variables = [f"v{i}" for i in range(5)]
+        constraints = [
+            neq(f"c{i}{j}", (variables[i], variables[j]), 4)
+            for i in range(5)
+            for j in range(i + 1, 5)
+        ]
+        inst = CSPInstance("k5", {v: tuple(range(4)) for v in variables}, constraints)
+        with pytest.raises(SolverError):
+            solve_with_decomposition(inst, max_width=2)
+
+    def test_explicit_decomposition_must_match(self):
+        from repro.core.decomposition import Decomposition, DecompositionNode
+        from repro.core.hypergraph import Hypergraph
+
+        inst = coloring_instance(3)
+        wrong = Decomposition(
+            Hypergraph({"zzz": ["q"]}), DecompositionNode({"q"}, {"zzz": 1.0})
+        )
+        with pytest.raises(SolverError):
+            solve_with_decomposition(inst, decomposition=wrong)
+
+
+class TestAgreement:
+    """Differential testing: both solvers agree on satisfiability."""
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_random_instances(self, seed):
+        inst = random_csp_instance(
+            num_variables=5,
+            num_constraints=6,
+            domain_size=3,
+            tightness=0.55,
+            seed=seed,
+        )
+        bt = solve_backtracking(inst)
+        dec = solve_with_decomposition(inst, max_width=4)
+        assert (bt is None) == (dec is None), f"solvers disagree on seed {seed}"
+        if dec is not None:
+            assert inst.check(dec)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_planted_solution_found(self, seed):
+        inst = random_csp_instance(
+            num_variables=6,
+            num_constraints=7,
+            domain_size=3,
+            tightness=0.7,
+            seed=seed,
+            force_satisfiable=True,
+        )
+        dec = solve_with_decomposition(inst, max_width=4)
+        assert dec is not None and inst.check(dec)

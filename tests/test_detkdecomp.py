@@ -1,0 +1,122 @@
+"""Unit tests for DetKDecomp (Check(HD, k))."""
+
+import pytest
+
+from repro.core.hypergraph import Hypergraph
+from repro.decomp.detkdecomp import DetKDecomp, check_hd
+from repro.errors import DeadlineExceeded
+from repro.utils.deadline import Deadline
+from tests.conftest import clique_hypergraph, cycle_hypergraph
+
+
+class TestKnownWidths:
+    def test_single_edge_width_1(self):
+        h = Hypergraph({"a": ["x", "y", "z"]})
+        hd = check_hd(h, 1)
+        assert hd is not None and hd.width == 1.0
+        hd.validate("HD")
+
+    def test_path_is_acyclic(self, path3):
+        hd = check_hd(path3, 1)
+        assert hd is not None
+        hd.validate("HD")
+
+    def test_star_is_acyclic(self, star):
+        assert check_hd(star, 1) is not None
+
+    def test_triangle_width_2(self, triangle):
+        assert check_hd(triangle, 1) is None
+        hd = check_hd(triangle, 2)
+        assert hd is not None and hd.integral_width <= 2
+        hd.validate("HD")
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 6, 7, 8])
+    def test_cycles_have_hw_2(self, n):
+        h = cycle_hypergraph(n)
+        assert check_hd(h, 1) is None
+        hd = check_hd(h, 2)
+        assert hd is not None
+        hd.validate("HD")
+
+    @pytest.mark.parametrize("n,expected", [(3, 2), (4, 2), (5, 3), (6, 3)])
+    def test_clique_hw_is_half_n(self, n, expected):
+        h = clique_hypergraph(n)
+        assert check_hd(h, expected - 1) is None
+        hd = check_hd(h, expected)
+        assert hd is not None
+        hd.validate("HD")
+
+    def test_acyclic_hyperedges(self):
+        # A γ-acyclic join of wide edges: width 1 regardless of arity.
+        h = Hypergraph(
+            {
+                "a": ["1", "2", "3", "4"],
+                "b": ["3", "4", "5"],
+                "c": ["5", "6"],
+            }
+        )
+        hd = check_hd(h, 1)
+        assert hd is not None
+        hd.validate("HD")
+
+
+class TestStructure:
+    def test_empty_hypergraph(self):
+        hd = check_hd(Hypergraph({}), 1)
+        assert hd is not None
+        assert hd.width == 0
+
+    def test_disconnected_components_joined(self):
+        h = Hypergraph({"a": ["1", "2"], "b": ["3", "4"]})
+        hd = check_hd(h, 1)
+        assert hd is not None
+        hd.validate("HD")
+
+    def test_disconnected_cyclic_parts(self, triangle):
+        edges = dict(triangle.edges)
+        edges.update({"p": ["u", "v"], "q": ["v", "w"], "o": ["w", "u"]})
+        h = Hypergraph(edges)
+        assert check_hd(h, 1) is None
+        hd = check_hd(h, 2)
+        assert hd is not None
+        hd.validate("HD")
+
+    def test_monotone_in_k(self, k5):
+        # A yes at k implies a yes at every k' > k.
+        assert check_hd(k5, 3) is not None
+        assert check_hd(k5, 4) is not None
+        assert check_hd(k5, 5) is not None
+
+    def test_k_must_be_positive(self, triangle):
+        with pytest.raises(ValueError):
+            DetKDecomp(triangle, 0)
+
+    def test_all_edges_covered_by_some_bag(self, k4):
+        hd = check_hd(k4, 2)
+        bags = hd.bags()
+        for edge in k4.edges.values():
+            assert any(edge <= bag for bag in bags)
+
+
+class TestDeadline:
+    def test_expired_deadline_raises(self, k5):
+        deadline = Deadline(0.0)
+        with pytest.raises(DeadlineExceeded):
+            DetKDecomp(k5, 2, deadline=deadline).decompose()
+
+
+class TestBagFilter:
+    def test_filter_rejecting_everything_gives_none(self, triangle):
+        result = DetKDecomp(triangle, 2, bag_filter=lambda bag: False).decompose()
+        assert result is None
+
+    def test_filter_accepting_everything_is_neutral(self, triangle):
+        result = DetKDecomp(triangle, 2, bag_filter=lambda bag: True).decompose()
+        assert result is not None
+
+    def test_filter_threshold_on_bag_size(self, cycle6):
+        # Cycle bags need at most 3 vertices with k=2.
+        result = DetKDecomp(cycle6, 2, bag_filter=lambda bag: len(bag) <= 3).decompose()
+        assert result is not None
+        result.validate("HD")
+        assert all(len(b) <= 3 for b in result.bags())

@@ -1,0 +1,121 @@
+"""Tests for the per-table experiment drivers and the full study."""
+
+import pytest
+
+from repro.analysis.experiments import (
+    figure3_sizes,
+    figure4_hw,
+    figure5_correlation,
+    run_full_study,
+    table1_overview,
+    table2_properties,
+    table3_ghw_algorithms,
+    table4_ghw_portfolio,
+    table5_improve_hd,
+    table6_frac_improve,
+)
+
+
+@pytest.fixture(scope="module")
+def study():
+    # A tiny but complete run of the whole Section 6 pipeline.
+    return run_full_study(scale=0.06, seed=7, timeout=1.0)
+
+
+class TestStudyPipeline:
+    def test_all_artefacts_present(self, study):
+        expected = {
+            "table1",
+            "table2",
+            "figure3",
+            "figure4",
+            "figure5",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+        }
+        assert set(study.results) == expected
+
+    def test_render_all_contains_titles(self, study):
+        text = study.render_all()
+        assert "Table 1" in text
+        assert "Figure 5" in text
+
+    def test_table1_total_row(self, study):
+        result = table1_overview(study.repository)
+        assert result.rows[-1][0] == "Total"
+        assert result.rows[-1][1] == len(study.repository)
+
+    def test_table1_cyclic_at_most_total(self, study):
+        result = table1_overview(study.repository)
+        for row in result.rows:
+            assert row[2] <= row[1]
+
+    def test_table2_histogram_sums(self, study):
+        result = table2_properties(study.repository)
+        per_class: dict[str, int] = {}
+        for row in result.rows:
+            per_class[row[0]] = per_class.get(row[0], 0) + row[2]  # Deg column
+        for name, total in per_class.items():
+            assert total == study.repository.count(
+                next(c for c in study.repository.classes() if str(c) == name)
+            )
+
+    def test_figure3_percentages_sum(self, study):
+        result = figure3_sizes(study.repository)
+        sums: dict[tuple[str, str], float] = {}
+        for row in result.rows:
+            sums[(row[0], row[1])] = sums.get((row[0], row[1]), 0.0) + row[4]
+        for total in sums.values():
+            assert total == pytest.approx(100.0, abs=0.5)
+
+    def test_figure4_counts_match_repository(self, study):
+        result = figure4_hw(study.hw)
+        # Every instance appears exactly once at k=1.
+        k1_total = sum(row[2] + row[4] + row[6] for row in result.rows if row[1] == 1)
+        assert k1_total == len(study.repository)
+
+    def test_figure5_has_all_metrics(self, study):
+        result = figure5_correlation(study.repository)
+        assert len(result.rows) == 9
+        assert result.rows[0][1] == 1.0  # diagonal
+
+    def test_table3_headers(self, study):
+        result = table3_ghw_algorithms(study.ghw)
+        assert "GlobalBIP yes" in result.headers
+        assert "BalSep no" in result.headers
+
+    def test_table4_consistency(self, study):
+        result = table4_ghw_portfolio(study.ghw)
+        assert len(result.rows) == len(study.ghw.ks)
+
+    def test_tables_5_6_buckets(self, study):
+        for result in (table5_improve_hd(study.fractional), table6_frac_improve(study.fractional)):
+            assert result.headers == ["hw", ">=1", "[0.5,1)", "[0.1,0.5)", "no", "timeout"]
+
+    def test_paper_shape_non_random_cqs_low_hw(self, study):
+        """Goal 2 shape: CQ Application instances all have hw <= 3."""
+        from repro.benchmark.classes import BenchmarkClass
+
+        for entry in study.repository.entries(BenchmarkClass.CQ_APPLICATION):
+            assert entry.hw_high is not None and entry.hw_high <= 3
+
+    def test_paper_shape_hw_equals_ghw_mostly(self, study):
+        """Section 6.4 shape: where both are exact, hw = ghw almost always."""
+        solved = [
+            e
+            for e in study.repository
+            if e.hw_exact is not None and e.ghw_exact is not None
+        ]
+        agreeing = [e for e in solved if e.hw_exact == e.ghw_exact]
+        if solved:
+            assert len(agreeing) / len(solved) >= 0.9
+
+
+class TestRenderedTables:
+    def test_every_result_renders(self, study):
+        for result in study.results.values():
+            text = result.rendered
+            assert text.count("+-") >= 2  # has separators
+            assert result.title in text

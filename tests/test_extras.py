@@ -1,0 +1,32 @@
+"""Tests for the related-work extras (edge clique cover candidates)."""
+
+from repro.analysis.experiments import edge_clique_cover_candidates
+from repro.benchmark import BenchmarkClass, build_default_benchmark
+from repro.benchmark.repository import HyperBenchRepository
+from repro.core.hypergraph import Hypergraph
+
+
+class TestEdgeCliqueCover:
+    def test_counts_n_greater_than_m(self):
+        repo = HyperBenchRepository()
+        # n=3 > m=2
+        repo.add(Hypergraph({"a": ["x", "y"], "b": ["y", "z"]}, name="wide"),
+                 BenchmarkClass.CSP_APPLICATION)
+        # n=3 = m=3
+        repo.add(Hypergraph({"a": ["x", "y"], "b": ["y", "z"], "c": ["z", "x"]},
+                            name="tri"), BenchmarkClass.CSP_APPLICATION)
+        result = edge_clique_cover_candidates(repo)
+        class_row = result.rows[0]
+        assert class_row[1] == 2 and class_row[2] == 1 and class_row[3] == 50.0
+        assert result.rows[-1][0] == "Total"
+
+    def test_percentages_bounded(self):
+        repo = build_default_benchmark(scale=0.1)
+        result = edge_clique_cover_candidates(repo)
+        for row in result.rows:
+            assert 0.0 <= row[3] <= 100.0
+
+    def test_renders(self):
+        repo = build_default_benchmark(scale=0.05)
+        text = edge_clique_cover_candidates(repo).rendered
+        assert "n > m" in text

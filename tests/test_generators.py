@@ -1,0 +1,96 @@
+"""Tests for the benchmark generators (determinism + class characteristics)."""
+
+import pytest
+
+from repro.benchmark.generators import (
+    circuit_hypergraph,
+    generate_application_cqs,
+    generate_application_csps,
+    generate_other_csps,
+    generate_random_cqs,
+    generate_random_csps,
+    pebbling_grid,
+    random_query_hypergraph,
+)
+from repro.core.properties import degree, intersection_size
+
+GENERATORS = [
+    generate_application_cqs,
+    generate_random_cqs,
+    generate_application_csps,
+    generate_random_csps,
+    generate_other_csps,
+]
+
+
+@pytest.mark.parametrize("generator", GENERATORS)
+class TestCommonContract:
+    def test_count_respected(self, generator):
+        assert len(generator(7, seed=1)) == 7
+
+    def test_deterministic(self, generator):
+        first = generator(5, seed=3)
+        second = generator(5, seed=3)
+        assert [h.edges for h in first] == [h.edges for h in second]
+
+    def test_different_seeds_differ(self, generator):
+        a = generator(6, seed=1)
+        b = generator(6, seed=2)
+        assert [h.edges for h in a] != [h.edges for h in b]
+
+    def test_unique_names(self, generator):
+        names = [h.name for h in generator(9, seed=0)]
+        assert len(names) == len(set(names))
+
+    def test_nonempty(self, generator):
+        assert all(h.num_edges >= 1 for h in generator(6, seed=4))
+
+
+class TestClassCharacteristics:
+    def test_application_cqs_are_small(self):
+        for h in generate_application_cqs(30, seed=1):
+            assert h.num_edges <= 30
+            assert h.arity <= 6
+
+    def test_application_cqs_have_low_intersection(self):
+        values = [intersection_size(h) for h in generate_application_cqs(30, seed=1)]
+        assert max(values) <= 2
+
+    def test_random_csps_have_high_degree(self):
+        degrees = [degree(h) for h in generate_random_csps(15, seed=1)]
+        assert sum(1 for d in degrees if d > 5) >= len(degrees) // 2
+
+    def test_application_csps_have_low_intersection(self):
+        values = [intersection_size(h) for h in generate_application_csps(20, seed=1)]
+        assert max(values) <= 2
+
+    def test_random_cq_ranges(self):
+        for h in generate_random_cqs(10, seed=2, vertex_range=(5, 8), edge_range=(3, 5)):
+            assert h.num_edges <= 5
+            assert h.num_vertices <= 8
+
+
+class TestSpecificGenerators:
+    def test_pebbling_grid_structure(self):
+        grid = pebbling_grid(3, 3)
+        # every non-bottom-right cell contributes an edge
+        assert grid.num_edges == 8
+        assert grid.edge("g0_0") == {"p0_0", "p0_1", "p1_0"}
+
+    def test_pebbling_grid_is_cyclic(self):
+        from repro.decomp.detkdecomp import check_hd
+
+        assert check_hd(pebbling_grid(3, 3), 1) is None
+
+    def test_circuit_layering(self):
+        circuit = circuit_hypergraph(4, 10, seed=5)
+        assert circuit.num_edges == 10
+        # every gate's output is a fresh signal
+        for i in range(10):
+            assert f"n{i}" in circuit.edge(f"gate{i}")
+
+    def test_random_query_min_arity_validation(self):
+        import random
+
+        with pytest.raises(ValueError):
+            random_query_hypergraph(2, 3, 5, random.Random(0), min_arity=3)

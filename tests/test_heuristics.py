@@ -1,0 +1,34 @@
+"""Tests for the separator-ordering heuristics of DetKDecomp."""
+
+import pytest
+
+from repro.decomp.detkdecomp import DetKDecomp
+from tests.conftest import clique_hypergraph, cycle_hypergraph, random_hypergraph
+
+
+class TestHeuristics:
+    def test_unknown_heuristic_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            DetKDecomp(triangle, 2, heuristic="zzz")
+
+    @pytest.mark.parametrize("heuristic", DetKDecomp.HEURISTICS)
+    def test_each_heuristic_finds_hd(self, heuristic, cycle6):
+        hd = DetKDecomp(cycle6, 2, heuristic=heuristic).decompose()
+        assert hd is not None
+        hd.validate("HD")
+
+    @pytest.mark.parametrize("heuristic", DetKDecomp.HEURISTICS)
+    def test_each_heuristic_refutes(self, heuristic, k5):
+        assert DetKDecomp(k5, 2, heuristic=heuristic).decompose() is None
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_verdict_independent_of_heuristic(self, seed):
+        h = random_hypergraph(seed)
+        for k in (1, 2, 3):
+            verdicts = set()
+            for heuristic in DetKDecomp.HEURISTICS:
+                result = DetKDecomp(h, k, heuristic=heuristic).decompose()
+                verdicts.add(result is not None)
+                if result is not None:
+                    result.validate("HD")
+            assert len(verdicts) == 1, f"heuristic changes verdict on {h!r} k={k}"

@@ -1,0 +1,76 @@
+"""Tests for the hybrid BalSep -> LocalBIP algorithm (paper future work)."""
+
+import pytest
+
+from repro.core.hypergraph import Hypergraph
+from repro.decomp.balsep import check_ghd_balsep
+from repro.decomp.hybrid import check_ghd_hybrid
+from repro.errors import DeadlineExceeded
+from repro.utils.deadline import Deadline
+from tests.conftest import clique_hypergraph, cycle_hypergraph, random_hypergraph
+
+
+class TestHybridBasics:
+    def test_acyclic(self, path3):
+        ghd = check_ghd_hybrid(path3, 1)
+        assert ghd is not None
+        ghd.validate("GHD")
+
+    def test_triangle(self, triangle):
+        assert check_ghd_hybrid(triangle, 1) is None
+        ghd = check_ghd_hybrid(triangle, 2)
+        assert ghd is not None
+        ghd.validate("GHD")
+
+    @pytest.mark.parametrize("n", [4, 5, 6, 7])
+    def test_cycles(self, n):
+        h = cycle_hypergraph(n)
+        assert check_ghd_hybrid(h, 1) is None
+        ghd = check_ghd_hybrid(h, 2)
+        assert ghd is not None
+        ghd.validate("GHD")
+
+    @pytest.mark.parametrize("n,width", [(4, 2), (5, 3), (6, 3)])
+    def test_cliques(self, n, width):
+        h = clique_hypergraph(n)
+        assert check_ghd_hybrid(h, width - 1) is None
+        ghd = check_ghd_hybrid(h, width)
+        assert ghd is not None
+        ghd.validate("GHD")
+
+    def test_empty(self):
+        assert check_ghd_hybrid(Hypergraph({}), 1) is not None
+
+    def test_deadline(self, k5):
+        with pytest.raises(DeadlineExceeded):
+            check_ghd_hybrid(k5, 2, Deadline(0.0))
+
+    @pytest.mark.parametrize("depth", [0, 1, 3])
+    def test_switch_depth_variants(self, depth, cycle6):
+        ghd = check_ghd_hybrid(cycle6, 2, switch_depth=depth)
+        assert ghd is not None
+        ghd.validate("GHD")
+
+    def test_depth_zero_is_pure_inner_search(self, triangle):
+        # With switch_depth=0 the balanced-separator phase is skipped
+        # entirely; the result must still be a valid width-2 GHD.
+        ghd = check_ghd_hybrid(triangle, 2, switch_depth=0)
+        assert ghd is not None and ghd.integral_width <= 2
+
+
+class TestHybridDifferential:
+    @pytest.mark.parametrize("seed", range(25))
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_agrees_with_balsep(self, seed, k):
+        h = random_hypergraph(seed)
+        a = check_ghd_hybrid(h, k)
+        b = check_ghd_balsep(h, k)
+        assert (a is None) == (b is None), f"hybrid disagrees on {h!r} k={k}"
+        if a is not None:
+            a.validate("GHD")
+            assert a.integral_width <= k
+
+    @pytest.mark.parametrize("seed", range(25, 33))
+    def test_agrees_on_denser_instances(self, seed):
+        h = random_hypergraph(seed, max_vertices=8, max_edges=9, max_arity=5)
+        assert (check_ghd_hybrid(h, 2) is None) == (check_ghd_balsep(h, 2) is None)

@@ -1,0 +1,125 @@
+"""Unit tests for the Hypergraph data structure."""
+
+import pytest
+
+from repro.core.hypergraph import Hypergraph
+from repro.errors import HypergraphError
+
+
+class TestConstruction:
+    def test_from_mapping(self):
+        h = Hypergraph({"r": ["x", "y"], "s": ["y", "z"]})
+        assert h.num_edges == 2
+        assert h.vertices == {"x", "y", "z"}
+
+    def test_from_iterable_gets_default_names(self):
+        h = Hypergraph([["x", "y"], ["y", "z"]])
+        assert h.edge_names == ("e1", "e2")
+
+    def test_vertices_are_union_of_edges(self, triangle):
+        assert triangle.vertices == {"x", "y", "z"}
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph({"r": []})
+
+    def test_duplicate_edge_name_rejected(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph([("a",), ("b",)]).with_edges({"e1": ["c"]})
+
+    def test_empty_edge_name_rejected(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph({"": ["x"]})
+
+    def test_vertices_coerced_to_strings(self):
+        h = Hypergraph({"r": [1, 2]})
+        assert h.vertices == {"1", "2"}
+
+    def test_duplicate_vertices_in_edge_collapse(self):
+        h = Hypergraph({"r": ["x", "x", "y"]})
+        assert h.edge("r") == {"x", "y"}
+
+    def test_empty_hypergraph(self):
+        h = Hypergraph({})
+        assert h.num_edges == 0
+        assert h.num_vertices == 0
+        assert h.arity == 0
+
+
+class TestAccessors:
+    def test_edge_lookup(self, triangle):
+        assert triangle.edge("r") == {"x", "y"}
+
+    def test_missing_edge_raises(self, triangle):
+        with pytest.raises(HypergraphError):
+            triangle.edge("nope")
+
+    def test_contains(self, triangle):
+        assert "r" in triangle
+        assert "zzz" not in triangle
+
+    def test_len_and_iter(self, triangle):
+        assert len(triangle) == 3
+        assert set(triangle) == {"r", "s", "t"}
+
+    def test_arity(self, star):
+        assert star.arity == 3
+
+    def test_incident_edges(self, triangle):
+        assert set(triangle.incident_edges("y")) == {"r", "s"}
+        assert triangle.incident_edges("unknown") == ()
+
+    def test_degree_of(self, star):
+        assert star.degree_of("k1") == 2
+        assert star.degree_of("a") == 1
+
+
+class TestDerivation:
+    def test_restrict(self, triangle):
+        sub = triangle.restrict(["r", "s"])
+        assert sub.num_edges == 2
+        assert sub.vertices == {"x", "y", "z"}
+
+    def test_with_edges(self, path3):
+        extended = path3.with_edges({"d": ["4", "5"]})
+        assert extended.num_edges == 4
+        assert path3.num_edges == 3  # original untouched
+
+    def test_with_edges_rejects_existing_name(self, path3):
+        with pytest.raises(HypergraphError):
+            path3.with_edges({"a": ["9"]})
+
+    def test_dedupe_removes_identical_edge_sets(self):
+        h = Hypergraph({"a": ["x", "y"], "b": ["y", "x"], "c": ["z", "x"]})
+        d = h.dedupe()
+        assert d.num_edges == 2
+        assert "a" in d and "c" in d
+
+    def test_remove_covered_edges(self):
+        h = Hypergraph({"big": ["x", "y", "z"], "small": ["x", "y"]})
+        r = h.remove_covered_edges()
+        assert r.edge_names == ("big",)
+
+    def test_remove_covered_keeps_equal_first(self):
+        h = Hypergraph({"a": ["x", "y"], "b": ["x", "y"]})
+        r = h.remove_covered_edges()
+        assert r.edge_names == ("a",)
+
+
+class TestEquality:
+    def test_eq_and_hash(self):
+        h1 = Hypergraph({"r": ["x", "y"]})
+        h2 = Hypergraph({"r": ["y", "x"]})
+        assert h1 == h2
+        assert hash(h1) == hash(h2)
+
+    def test_neq_on_different_edges(self):
+        assert Hypergraph({"r": ["x"]}) != Hypergraph({"r": ["y"]})
+
+    def test_edge_sets_ignore_names(self):
+        h1 = Hypergraph({"a": ["x", "y"]})
+        h2 = Hypergraph({"b": ["x", "y"]})
+        assert h1.is_isomorphic_signature(h2)
+
+    def test_repr_mentions_counts(self, triangle):
+        assert "3 edges" in repr(triangle)

@@ -1,0 +1,166 @@
+"""White-box tests for algorithm internals: enumeration, tree surgery,
+failure injection via deadlines."""
+
+import itertools
+
+import pytest
+
+from repro.core.decomposition import DecompositionNode
+from repro.core.hypergraph import Hypergraph
+from repro.decomp.balsep import BalSep, _find_covering_node, _find_special_leaf, _reroot
+from repro.decomp.detkdecomp import covering_combinations
+from repro.decomp.driver import GHD_ALGORITHMS, check_hd
+from repro.decomp.hybrid import check_ghd_hybrid
+from repro.errors import DeadlineExceeded
+from repro.utils.deadline import Deadline
+from tests.conftest import clique_hypergraph, cycle_hypergraph
+
+
+class TestCoveringCombinations:
+    FAMILY = {
+        "a": frozenset({"x", "y"}),
+        "b": frozenset({"y", "z"}),
+        "c": frozenset({"z", "w"}),
+    }
+
+    def _all(self, primary, secondary, conn, k, require_primary=True):
+        return set(
+            covering_combinations(
+                self.FAMILY,
+                primary,
+                secondary,
+                frozenset(conn),
+                k,
+                Deadline.unlimited(),
+                require_primary=require_primary,
+            )
+        )
+
+    def test_covers_connector(self):
+        combos = self._all(["a", "b", "c"], [], {"x", "z"}, 2, require_primary=False)
+        for combo in combos:
+            union = frozenset().union(*(self.FAMILY[n] for n in combo))
+            assert {"x", "z"} <= union
+
+    def test_matches_brute_force(self):
+        conn = frozenset({"y"})
+        combos = self._all(["a", "b", "c"], [], conn, 2, require_primary=False)
+        brute = set()
+        for size in (1, 2):
+            for combo in itertools.combinations(("a", "b", "c"), size):
+                union = frozenset().union(*(self.FAMILY[n] for n in combo))
+                if conn <= union:
+                    brute.add(combo)
+        assert {frozenset(c) for c in combos} == {frozenset(c) for c in brute}
+
+    def test_require_primary(self):
+        combos = self._all(["a"], ["b", "c"], set(), 2, require_primary=True)
+        assert all("a" in combo for combo in combos)
+
+    def test_empty_when_no_primary(self):
+        assert self._all([], ["b"], set(), 2, require_primary=True) == set()
+
+    def test_never_yields_empty_combo(self):
+        combos = self._all(["a", "b"], [], set(), 2, require_primary=False)
+        assert () not in combos
+
+    def test_respects_k(self):
+        combos = self._all(["a", "b", "c"], [], set(), 1, require_primary=False)
+        assert all(len(c) == 1 for c in combos)
+
+
+def _chain(*bags):
+    """Build a chain of nodes (root first) with trivial covers."""
+    nodes = [DecompositionNode(frozenset(bag), {f"e{i}": 1.0}) for i, bag in enumerate(bags)]
+    for parent, child in zip(nodes, nodes[1:]):
+        parent.children.append(child)
+    return nodes
+
+
+class TestTreeSurgery:
+    def test_reroot_at_root_is_identity(self):
+        root, _mid, _leaf = _chain({"a"}, {"b"}, {"c"})
+        assert _reroot(root, root) is root
+
+    def test_reroot_at_leaf_reverses_chain(self):
+        root, mid, leaf = _chain({"a"}, {"b"}, {"c"})
+        new_root = _reroot(root, leaf)
+        assert new_root is leaf
+        assert new_root.children == [mid]
+        assert mid.children == [root]
+        assert root.children == []
+
+    def test_reroot_preserves_node_set(self):
+        root, mid, leaf = _chain({"a"}, {"b"}, {"c"})
+        side = DecompositionNode(frozenset({"d"}), {})
+        mid.children.append(side)
+        new_root = _reroot(root, side)
+        collected = []
+        stack = [new_root]
+        while stack:
+            node = stack.pop()
+            collected.append(node)
+            stack.extend(node.children)
+        assert {id(n) for n in collected} == {id(root), id(mid), id(leaf), id(side)}
+
+    def test_find_special_leaf(self):
+        root, _mid, leaf = _chain({"a"}, {"b"}, {"c"})
+        leaf.cover = {"__sp0": 1.0}
+        assert _find_special_leaf(root, "__sp0") is leaf
+        assert _find_special_leaf(root, "__sp1") is None
+
+    def test_find_covering_node(self):
+        root, mid, _leaf = _chain({"a", "q"}, {"b", "q"}, {"c"})
+        assert _find_covering_node(root, frozenset({"q", "b"})) is mid
+        assert _find_covering_node(root, frozenset({"zz"})) is None
+
+
+class TestDeadlineInjection:
+    """Failure injection: expiring deadlines abort cleanly, reruns succeed."""
+
+    @pytest.mark.parametrize("name", sorted(GHD_ALGORITHMS))
+    def test_tiny_deadline_raises_cleanly(self, name, k5):
+        check = GHD_ALGORITHMS[name]
+        with pytest.raises(DeadlineExceeded):
+            check(k5, 2, Deadline(0.0))
+        # A fresh run without deadline still produces the right answer.
+        assert check(k5, 2, Deadline.unlimited()) is None
+
+    def test_hybrid_tiny_deadline(self, k5):
+        with pytest.raises(DeadlineExceeded):
+            check_ghd_hybrid(k5, 2, Deadline(0.0))
+
+    def test_detkdecomp_mid_search_deadline(self):
+        # A deadline that expires after a few polls: the search must raise
+        # rather than return a wrong answer.
+        h = clique_hypergraph(6)
+        with pytest.raises(DeadlineExceeded):
+            check_hd(h, 2, Deadline(1e-9))
+
+    def test_balsep_failure_memo_not_poisoned_by_deadline(self, cycle6):
+        solver = BalSep(cycle6, 2, deadline=Deadline(0.0))
+        with pytest.raises(DeadlineExceeded):
+            solver.decompose()
+        # A fresh solver over the same hypergraph succeeds.
+        assert BalSep(cycle6, 2).decompose() is not None
+
+
+class TestBalSepInternals:
+    def test_special_names_canonical_per_vertex_set(self, cycle6):
+        solver = BalSep(cycle6, 2)
+        name1 = solver._special_name(frozenset({"x0", "x1"}))
+        name2 = solver._special_name(frozenset({"x1", "x0"}))
+        name3 = solver._special_name(frozenset({"x2"}))
+        assert name1 == name2 != name3
+
+    def test_final_ghd_covers_use_real_edges_only(self, cycle6):
+        ghd = BalSep(cycle6, 2).decompose()
+        for node in ghd.nodes():
+            for name in node.cover:
+                assert name in cycle6.edges
+
+    def test_subedge_pool_generated_once(self, cycle6):
+        solver = BalSep(cycle6, 2)
+        first = solver._subedges()
+        second = solver._subedges()
+        assert first is second

@@ -1,0 +1,95 @@
+"""Unit tests for the hypergraph file formats (detkdecomp text + JSON)."""
+
+import pytest
+
+from repro.core.hypergraph import Hypergraph
+from repro.errors import ParseError
+from repro.io.hg_format import (
+    format_hypergraph,
+    parse_hypergraph,
+    read_hypergraph,
+    write_hypergraph,
+)
+from repro.io.json_io import (
+    decomposition_to_json,
+    hypergraph_from_json,
+    hypergraph_to_json,
+)
+
+
+class TestHgParse:
+    def test_basic(self):
+        h = parse_hypergraph("r(x,y),\ns(y,z),\nt(z,x).")
+        assert h.num_edges == 3
+        assert h.edge("r") == {"x", "y"}
+
+    def test_comments_ignored(self):
+        h = parse_hypergraph("% a comment\nr(x,y). % trailing")
+        assert h.num_edges == 1
+
+    def test_whitespace_tolerated(self):
+        h = parse_hypergraph("  r( x , y )  ,\n  s(y,z)  .  ")
+        assert h.num_edges == 2
+
+    def test_names_with_specials(self):
+        h = parse_hypergraph("edge:1-a(v.1,v_2).")
+        assert "edge:1-a" in h
+
+    def test_missing_dot_ok(self):
+        assert parse_hypergraph("r(x,y)").num_edges == 1
+
+    def test_empty_file_rejected(self):
+        with pytest.raises(ParseError):
+            parse_hypergraph("% nothing here")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_hypergraph("r(x,y), ???")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ParseError):
+            parse_hypergraph("r(x,y), r(y,z).")
+
+    def test_missing_separator_rejected(self):
+        with pytest.raises(ParseError):
+            parse_hypergraph("r(x,y) s(y,z).")
+
+
+class TestHgRoundTrip:
+    def test_format_then_parse(self, triangle):
+        text = format_hypergraph(triangle)
+        again = parse_hypergraph(text)
+        assert again.edge_sets() == triangle.edge_sets()
+
+    def test_file_round_trip(self, tmp_path, star):
+        path = tmp_path / "star.hg"
+        write_hypergraph(star, path)
+        again = read_hypergraph(path)
+        assert again.name == "star"
+        assert again.edge_sets() == star.edge_sets()
+
+
+class TestJson:
+    def test_hypergraph_round_trip(self, triangle):
+        text = hypergraph_to_json(triangle)
+        again = hypergraph_from_json(text)
+        assert again == triangle
+        assert again.name == "triangle"
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ParseError):
+            hypergraph_from_json("{not json")
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ParseError):
+            hypergraph_from_json('{"name": "x"}')
+        with pytest.raises(ParseError):
+            hypergraph_from_json('{"edges": [1, 2]}')
+
+    def test_decomposition_json(self, triangle):
+        from repro.decomp.detkdecomp import check_hd
+
+        hd = check_hd(triangle, 2)
+        text = decomposition_to_json(hd, indent=2)
+        assert '"kind": "HD"' in text
+        assert '"width": 2.0' in text

@@ -1,0 +1,134 @@
+"""Unit tests for degree, BIP, c-BMIP, VC-dimension and the stats record."""
+
+import pytest
+
+from repro.core.hypergraph import Hypergraph
+from repro.core.properties import (
+    compute_statistics,
+    degree,
+    intersection_size,
+    is_shattered,
+    multi_intersection_size,
+    vc_dimension,
+)
+from tests.conftest import clique_hypergraph, cycle_hypergraph
+
+
+class TestDegree:
+    def test_triangle(self, triangle):
+        assert degree(triangle) == 2
+
+    def test_star_hub(self, star):
+        assert degree(star) == 2
+
+    def test_fan(self):
+        h = Hypergraph({f"e{i}": ["hub", f"x{i}"] for i in range(7)})
+        assert degree(h) == 7
+
+    def test_empty(self):
+        assert degree(Hypergraph({})) == 0
+
+
+class TestIntersectionSizes:
+    def test_triangle_bip(self, triangle):
+        assert intersection_size(triangle) == 1
+
+    def test_bigger_overlap(self):
+        h = Hypergraph({"a": ["x", "y", "z"], "b": ["x", "y", "w"]})
+        assert intersection_size(h) == 2
+
+    def test_c1_is_arity(self, star):
+        assert multi_intersection_size(star, 1) == star.arity
+
+    def test_3_bmip_of_fan(self):
+        h = Hypergraph({f"e{i}": ["a", "b", f"x{i}"] for i in range(4)})
+        assert multi_intersection_size(h, 2) == 2
+        assert multi_intersection_size(h, 3) == 2
+        assert multi_intersection_size(h, 4) == 2
+
+    def test_bmip_decreasing_in_c(self):
+        h = Hypergraph(
+            {
+                "a": ["1", "2", "3", "4"],
+                "b": ["1", "2", "3", "5"],
+                "c": ["1", "2", "6", "7"],
+                "d": ["1", "8", "9", "0"],
+            }
+        )
+        values = [multi_intersection_size(h, c) for c in (2, 3, 4)]
+        assert values == [3, 2, 1]
+        assert values == sorted(values, reverse=True)
+
+    def test_fewer_edges_than_c(self, triangle):
+        assert multi_intersection_size(triangle, 5) == 0
+
+    def test_c_must_be_positive(self, triangle):
+        with pytest.raises(ValueError):
+            multi_intersection_size(triangle, 0)
+
+    def test_degree_bound_implies_bmip(self):
+        # A (δ+1, 0)-hypergraph: any δ+1 edges intersect emptily.
+        h = cycle_hypergraph(8)  # degree 2
+        assert multi_intersection_size(h, 3) == 0
+
+
+class TestVCDimension:
+    def test_single_edge_vc_1(self):
+        # X={v} shattered needs traces {} and {v}: a second edge avoids v.
+        h = Hypergraph({"a": ["x", "y"], "b": ["y"]})
+        assert vc_dimension(h) == 1
+
+    def test_shattered_pair(self):
+        h = Hypergraph(
+            {
+                "empty": ["w"],
+                "x_only": ["x", "w"],
+                "y_only": ["y", "w"],
+                "both": ["x", "y"],
+            }
+        )
+        assert is_shattered(h, frozenset({"x", "y"}))
+        assert vc_dimension(h) == 2
+
+    def test_triangle_vc(self, triangle):
+        # {x,y}: traces of edges on {x,y}: r->{x,y}, s->{y}, t->{x}; the empty
+        # trace is missing, so no 2-set shatters.
+        assert vc_dimension(triangle) == 1
+
+    def test_cycle_vc(self):
+        # An adjacent pair {x1, x2} is shattered: {x1,x2} itself, {x0,x1} ->
+        # {x1}, {x2,x3} -> {x2}, {x4,x5} -> {} — so VC(C6) = 2.
+        assert vc_dimension(cycle_hypergraph(6)) == 2
+
+    def test_clique_vc_2(self, k5):
+        # Binary-edge cliques shatter pairs via disjoint edges but no triple.
+        assert vc_dimension(k5) == 2
+
+    def test_is_shattered_negative(self, triangle):
+        assert not is_shattered(triangle, frozenset({"x", "y"}))
+
+    def test_empty_hypergraph(self):
+        assert vc_dimension(Hypergraph({})) == 0
+
+
+class TestStatisticsRecord:
+    def test_compute_statistics(self, triangle):
+        stats = compute_statistics(triangle)
+        assert stats.num_vertices == 3
+        assert stats.num_edges == 3
+        assert stats.arity == 2
+        assert stats.degree == 2
+        assert stats.bip == 1
+        assert stats.bmip3 == 0
+        assert stats.bmip4 == 0
+        assert stats.vc_dim == 1
+
+    def test_as_row_matches_metrics(self, triangle):
+        stats = compute_statistics(triangle)
+        row = stats.as_row()
+        assert len(row) == len(stats.METRICS) + 1  # +1 for the name
+
+    def test_bounded_degree_implies_bmip_property(self, k4):
+        stats = compute_statistics(k4)
+        # degree δ means any δ+1 edges share nothing (Definition 4 remark)
+        assert multi_intersection_size(k4, stats.degree + 1) == 0

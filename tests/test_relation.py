@@ -1,0 +1,103 @@
+"""Unit tests for the relational algebra layer."""
+
+import pytest
+
+from repro.errors import SolverError
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def r():
+    return Relation(("a", "b"), {(1, 2), (1, 3), (2, 3)})
+
+
+@pytest.fixture
+def s():
+    return Relation(("b", "c"), {(2, 10), (3, 20), (4, 30)})
+
+
+class TestConstruction:
+    def test_rows_normalised(self):
+        rel = Relation(("a",), [(1,), (1,), (2,)])
+        assert len(rel) == 2
+
+    def test_width_mismatch(self):
+        with pytest.raises(SolverError):
+            Relation(("a", "b"), [(1,)])
+
+    def test_duplicate_attributes(self):
+        with pytest.raises(SolverError):
+            Relation(("a", "a"), [])
+
+    def test_bool(self):
+        assert Relation(("a",), [(1,)])
+        assert not Relation(("a",))
+
+    def test_eq_up_to_attribute_order(self):
+        r1 = Relation(("a", "b"), {(1, 2)})
+        r2 = Relation(("b", "a"), {(2, 1)})
+        assert r1 == r2
+
+    def test_neq_different_attrs(self):
+        assert Relation(("a",), [(1,)]) != Relation(("b",), [(1,)])
+
+    def test_to_dicts_deterministic(self, r):
+        dicts = r.to_dicts()
+        assert dicts == sorted(dicts, key=repr)
+        assert {"a": 1, "b": 2} in dicts
+
+
+class TestOperators:
+    def test_project(self, r):
+        p = r.project(("a",))
+        assert p.rows == {(1,), (2,)}
+
+    def test_project_unknown_attribute(self, r):
+        with pytest.raises(SolverError):
+            r.project(("zzz",))
+
+    def test_rename(self, r):
+        renamed = r.rename({"a": "x"})
+        assert renamed.attributes == ("x", "b")
+
+    def test_select_eq(self, r):
+        assert r.select_eq("a", 1).rows == {(1, 2), (1, 3)}
+
+    def test_join(self, r, s):
+        joined = r.join(s)
+        assert joined.attributes == ("a", "b", "c")
+        assert joined.rows == {(1, 2, 10), (1, 3, 20), (2, 3, 20)}
+
+    def test_join_no_shared_is_product(self):
+        r1 = Relation(("a",), {(1,), (2,)})
+        r2 = Relation(("b",), {(7,)})
+        assert r1.join(r2).rows == {(1, 7), (2, 7)}
+
+    def test_semijoin(self, r, s):
+        assert r.semijoin(s).rows == r.rows  # all b values appear in s
+
+    def test_semijoin_filters(self, r):
+        filter_rel = Relation(("b",), {(2,)})
+        assert r.semijoin(filter_rel).rows == {(1, 2)}
+
+    def test_semijoin_no_shared_nonempty(self, r):
+        other = Relation(("z",), {(0,)})
+        assert r.semijoin(other) is r
+
+    def test_semijoin_no_shared_empty(self, r):
+        other = Relation(("z",))
+        assert len(r.semijoin(other)) == 0
+
+    def test_antijoin(self, r):
+        filter_rel = Relation(("b",), {(2,)})
+        assert r.antijoin(filter_rel).rows == {(1, 3), (2, 3)}
+
+    def test_cross(self):
+        product = Relation.cross(
+            [Relation(("a",), {(1,)}), Relation(("b",), {(2,), (3,)})]
+        )
+        assert product.rows == {(1, 2), (1, 3)}
+
+    def test_cross_empty_list(self):
+        unit = Relation.cross([])
+        assert unit.rows == {()}

@@ -1,0 +1,52 @@
+"""Tests for the balanced-separator census."""
+
+import math
+
+import pytest
+
+from repro.analysis.separators import count_balanced_separators
+from repro.core.hypergraph import Hypergraph
+from tests.conftest import clique_hypergraph, cycle_hypergraph
+
+
+class TestCensus:
+    def test_total_is_binomial_sum(self, triangle):
+        census = count_balanced_separators(triangle, 2)
+        assert census.total == math.comb(3, 1) + math.comb(3, 2)
+
+    def test_triangle_pairs_balanced_singles_not(self, triangle):
+        census = count_balanced_separators(triangle, 2)
+        # A single edge leaves the other two edges [B(λ)]-connected (they
+        # share the opposite vertex): 2 > 3/2, unbalanced.  Every pair
+        # absorbs everything: balanced.
+        assert census.balanced == 3
+        assert census.total == 6
+
+    def test_cycle_singles_unbalanced(self):
+        c8 = cycle_hypergraph(8)
+        census1 = count_balanced_separators(c8, 1)
+        # One edge leaves a single 6-edge path component: 6 > 4.
+        assert census1.balanced == 0
+
+    def test_cycle_pairs(self):
+        c8 = cycle_hypergraph(8)
+        census = count_balanced_separators(c8, 2)
+        # Opposite pairs split the cycle evenly; adjacent pairs do not.
+        assert 0 < census.balanced < census.total
+        assert census.ratio < 0.5
+
+    def test_ratio_zero_total(self):
+        census = count_balanced_separators(Hypergraph({}), 2)
+        assert census.total == 0 and census.ratio == 0.0
+
+    def test_clique_ratio_shrinks_with_size(self):
+        small = count_balanced_separators(clique_hypergraph(4), 1)
+        large = count_balanced_separators(clique_hypergraph(6), 1)
+        assert large.ratio <= small.ratio
+
+
+class TestConjecture:
+    @pytest.mark.parametrize("n", [6, 8, 10])
+    def test_balanced_fraction_small_on_cycles(self, n):
+        census = count_balanced_separators(cycle_hypergraph(n), 2)
+        assert census.ratio < 0.5

@@ -1,0 +1,103 @@
+"""Tests for the width-preserving simplifications and decomposition lifting."""
+
+import pytest
+
+from repro.core.hypergraph import Hypergraph
+from repro.core.simplify import lift_decomposition, simplify
+from repro.decomp.detkdecomp import check_hd
+from repro.decomp.driver import exact_width
+from tests.conftest import random_hypergraph
+
+
+class TestSimplify:
+    def test_duplicate_edges_dropped(self):
+        h = Hypergraph({"a": ["x", "y"], "b": ["y", "x"], "c": ["y", "z"]})
+        trace = simplify(h)
+        assert "b" in trace.dropped_edges
+        assert trace.dropped_edges["b"] == "a"
+
+    def test_covered_edges_dropped(self):
+        h = Hypergraph({"big": ["x", "y", "z"], "small": ["x", "y"]})
+        trace = simplify(h)
+        assert trace.dropped_edges == {"small": "big"}
+
+    def test_survivor_chains_resolved(self):
+        h = Hypergraph({"a": ["x"], "b": ["x", "y"], "c": ["x", "y", "z"]})
+        trace = simplify(h)
+        assert trace.dropped_edges["a"] == "c"
+        assert trace.dropped_edges["b"] == "c"
+
+    def test_degree_one_vertices_removed(self):
+        h = Hypergraph({"a": ["x", "y", "lonely"], "b": ["y", "z"]})
+        trace = simplify(h)
+        # Both "lonely" and "x" occur only in edge a and are removed.
+        assert "lonely" in trace.dropped_vertices
+        assert "x" in trace.dropped_vertices
+        assert trace.reduced.edge("a") == {"y"}
+
+    def test_edge_never_emptied(self):
+        h = Hypergraph({"solo": ["only"]})
+        trace = simplify(h)
+        assert trace.reduced.num_edges == 1
+        assert trace.reduced.edge("solo")  # non-empty
+
+    def test_no_duplicate_created_by_shrinking(self):
+        # Shrinking "a" to {x, y} would duplicate "b"; it must be skipped.
+        h = Hypergraph({"a": ["x", "y", "p"], "b": ["x", "y", "q"]})
+        trace = simplify(h)
+        shrunk = {trace.reduced.edge("a"), trace.reduced.edge("b")}
+        assert len(shrunk) == 2
+
+    def test_trivial_trace(self, triangle):
+        trace = simplify(triangle)
+        assert not trace.nontrivial
+        assert trace.reduced == triangle
+
+    def test_reduced_never_larger(self):
+        for seed in range(10):
+            h = random_hypergraph(seed)
+            trace = simplify(h)
+            assert trace.reduced.num_edges <= h.num_edges
+            assert trace.reduced.num_vertices <= h.num_vertices
+
+
+class TestWidthPreservation:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_hw_value_preserved(self, seed):
+        h = random_hypergraph(seed)
+        trace = simplify(h)
+        if not trace.reduced.num_edges:
+            return
+        original = exact_width(check_hd, h, 4).value
+        reduced = exact_width(check_hd, trace.reduced, 4).value
+        assert original == reduced
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_lifted_decomposition_validates(self, seed):
+        h = random_hypergraph(seed)
+        trace = simplify(h)
+        if not trace.reduced.num_edges:
+            return
+        width = exact_width(check_hd, trace.reduced, 4).value
+        if width is None:
+            return
+        hd = check_hd(trace.reduced, width)
+        lifted = lift_decomposition(trace, hd)
+        lifted.validate(lifted.kind)
+        assert lifted.integral_width <= max(width, 1)
+
+    def test_lift_rejects_foreign_decomposition(self, triangle, path3):
+        trace = simplify(triangle)
+        hd = check_hd(path3, 1)
+        with pytest.raises(ValueError):
+            lift_decomposition(trace, hd)
+
+    def test_lift_keeps_kind_without_vertex_drops(self):
+        h = Hypergraph({"a": ["x", "y"], "b": ["y", "x"], "c": ["y", "z"], "d": ["z", "x"]})
+        trace = simplify(h)
+        assert trace.dropped_vertices == {}
+        width = exact_width(check_hd, trace.reduced, 3).value
+        hd = check_hd(trace.reduced, width)
+        lifted = lift_decomposition(trace, hd)
+        assert lifted.kind == "HD"
+        lifted.validate("HD")

@@ -1,0 +1,53 @@
+"""Tests for SQL function-call tolerance (aggregates, scalar expressions)."""
+
+import pytest
+
+from repro.sql.ast import Literal, SelectQuery
+from repro.sql.convert import sql_to_hypergraphs
+from repro.sql.extract import extract_simple_queries
+from repro.sql.parser import parse_sql
+from repro.sql.schema import Schema
+
+SCHEMA = Schema({"tab": ["a", "b", "c"]})
+
+
+class TestFunctionCalls:
+    def test_aggregate_in_select(self):
+        q = parse_sql("SELECT SUM(t1.a), COUNT(*) FROM tab t1")
+        assert isinstance(q, SelectQuery)
+        assert all(isinstance(item.expr, Literal) for item in q.select)
+        assert q.select[0].expr.kind == "expr"
+
+    def test_aggregate_with_alias(self):
+        q = parse_sql("SELECT SUM(t1.a) AS total FROM tab t1")
+        assert q.select[0].alias == "total"
+
+    def test_nested_function_arguments(self):
+        q = parse_sql("SELECT substr(concat(t1.a, t1.b), 1, 3) FROM tab t1")
+        assert q.select[0].expr.kind == "expr"
+
+    def test_function_in_where_dropped_from_core(self):
+        sql = """SELECT * FROM tab t1, tab t2
+                 WHERE t1.a = t2.a AND LENGTH(t1.b) = 5"""
+        (simple,) = extract_simple_queries(sql, SCHEMA)
+        assert simple.joins == [(("t1", "a"), ("t2", "a"))]
+        assert simple.constants == []  # LENGTH(...) = 5 is not a constant bind
+
+    def test_expr_comparison_not_a_constant(self):
+        sql = "SELECT * FROM tab t1 WHERE t1.b = UPPER(t1.c)"
+        (simple,) = extract_simple_queries(sql, SCHEMA)
+        assert simple.constants == []
+
+    def test_having_with_aggregate_parses(self):
+        sql = """SELECT t1.a FROM tab t1 WHERE t1.b = 1
+                 GROUP BY t1.a HAVING COUNT(*) > 3"""
+        (h,) = sql_to_hypergraphs(sql, SCHEMA)
+        assert h.num_edges == 1
+
+    def test_aggregate_query_still_produces_hypergraph(self):
+        sql = """SELECT t1.a, SUM(t2.c) FROM tab t1, tab t2
+                 WHERE t1.a = t2.a GROUP BY t1.a"""
+        (h,) = sql_to_hypergraphs(sql, SCHEMA)
+        assert h.num_edges == 2
+        shared = h.edge("t1") & h.edge("t2")
+        assert len(shared) == 1

@@ -1,0 +1,186 @@
+"""Unit tests for the SQL tokenizer and parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    ExistsCondition,
+    InCondition,
+    Literal,
+    NotCondition,
+    SelectQuery,
+    SetOperation,
+    SubquerySource,
+    TableRef,
+)
+from repro.sql.parser import parse_sql
+from repro.sql.tokens import tokenize
+
+
+class TestTokenizer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM WhErE")
+        assert [t.value for t in tokens] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.kind == "KEYWORD" for t in tokens)
+
+    def test_identifiers_lowercased(self):
+        (token,) = tokenize("MyTable")
+        assert token.kind == "NAME" and token.value == "mytable"
+
+    def test_strings_with_escapes(self):
+        (token,) = tokenize("'it''s'")
+        assert token.kind == "STRING" and token.value == "it's"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14")
+        assert [t.value for t in tokens] == ["42", "3.14"]
+
+    def test_operators(self):
+        tokens = tokenize("= <> != <= >= < >")
+        assert [t.value for t in tokens] == ["=", "<>", "!=", "<=", ">=", "<", ">"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("a -- comment\n b")
+        assert [t.value for t in tokens] == ["a", "b"]
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("a @ b")
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        q = parse_sql("SELECT * FROM tab t1 WHERE t1.a = 5")
+        assert isinstance(q, SelectQuery)
+        assert q.sources == [TableRef("tab", "t1")]
+        assert isinstance(q.where, Comparison)
+
+    def test_multiple_sources_and_aliases(self):
+        q = parse_sql("SELECT t1.a FROM tab t1, tab AS t2")
+        assert [s.binding for s in q.sources] == ["t1", "t2"]
+
+    def test_select_items(self):
+        q = parse_sql("SELECT t1.a x, t1.b AS y, 5 FROM tab t1")
+        assert q.select[0].alias == "x"
+        assert q.select[1].alias == "y"
+        assert isinstance(q.select[2].expr, Literal)
+
+    def test_star_and_qualified_star(self):
+        q = parse_sql("SELECT *, t1.* FROM tab t1")
+        assert q.select[0].is_star and q.select[0].star_table is None
+        assert q.select[1].is_star and q.select[1].star_table == "t1"
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct
+
+    def test_where_conjunction(self):
+        q = parse_sql("SELECT * FROM t WHERE a = b AND c = 1 AND d > 2")
+        assert isinstance(q.where, BooleanOp) and q.where.op == "AND"
+        assert len(q.where.operands) == 3
+
+    def test_or_and_precedence(self):
+        q = parse_sql("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(q.where, BooleanOp) and q.where.op == "OR"
+        assert isinstance(q.where.operands[1], BooleanOp)
+
+    def test_not(self):
+        q = parse_sql("SELECT * FROM t WHERE NOT a = 1")
+        assert isinstance(q.where, NotCondition)
+
+    def test_between_desugars(self):
+        q = parse_sql("SELECT * FROM t WHERE a BETWEEN 1 AND 3")
+        assert isinstance(q.where, BooleanOp)
+        assert [c.op for c in q.where.operands] == [">=", "<="]
+
+    def test_like(self):
+        q = parse_sql("SELECT * FROM t WHERE a LIKE '%x%'")
+        assert q.where.op == "LIKE"
+
+    def test_is_null(self):
+        q = parse_sql("SELECT * FROM t WHERE a IS NULL")
+        assert isinstance(q.where, Comparison)
+        q2 = parse_sql("SELECT * FROM t WHERE a IS NOT NULL")
+        assert isinstance(q2.where, NotCondition)
+
+    def test_group_order_tails_skipped(self):
+        q = parse_sql(
+            "SELECT a FROM t WHERE a = 1 GROUP BY a HAVING a > 1 ORDER BY a DESC LIMIT 5"
+        )
+        assert isinstance(q, SelectQuery)
+
+    def test_join_on_normalised_into_where(self):
+        q = parse_sql("SELECT * FROM a JOIN b ON a.x = b.x WHERE a.y = 1")
+        assert len(q.sources) == 2
+        assert isinstance(q.where, BooleanOp)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT * FROM t WHERE a = 1 extra")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sql("SELECT a WHERE a = 1")
+
+
+class TestSubqueries:
+    def test_in_subquery(self):
+        q = parse_sql("SELECT * FROM t WHERE t.a IN (SELECT s.a FROM s)")
+        assert isinstance(q.where, InCondition)
+        assert isinstance(q.where.subquery, SelectQuery)
+
+    def test_not_in_values(self):
+        q = parse_sql("SELECT * FROM t WHERE t.a NOT IN (1, 2, 3)")
+        assert q.where.negated and len(q.where.values) == 3
+
+    def test_exists(self):
+        q = parse_sql("SELECT * FROM t WHERE EXISTS (SELECT * FROM s)")
+        assert isinstance(q.where, ExistsCondition) and not q.where.negated
+
+    def test_not_exists(self):
+        q = parse_sql("SELECT * FROM t WHERE NOT EXISTS (SELECT * FROM s)")
+        assert isinstance(q.where, ExistsCondition) and q.where.negated
+
+    def test_from_subquery(self):
+        q = parse_sql("SELECT * FROM (SELECT a FROM s) sub WHERE sub.a = 1")
+        assert isinstance(q.sources[0], SubquerySource)
+        assert q.sources[0].alias == "sub"
+
+
+class TestViewsAndSetOps:
+    def test_with_views(self):
+        q = parse_sql("WITH v AS (SELECT a FROM s) SELECT * FROM v")
+        assert isinstance(q, SelectQuery)
+        assert "v" in q.views
+
+    def test_multiple_views(self):
+        q = parse_sql(
+            "WITH v1 AS (SELECT a FROM s), v2 AS (SELECT b FROM t) SELECT * FROM v1, v2"
+        )
+        assert set(q.views) == {"v1", "v2"}
+
+    def test_union(self):
+        q = parse_sql("SELECT a FROM s UNION SELECT b FROM t")
+        assert isinstance(q, SetOperation) and q.op == "UNION"
+        assert len(q.branches()) == 2
+
+    def test_chained_set_ops(self):
+        q = parse_sql("SELECT a FROM s UNION SELECT b FROM t EXCEPT SELECT c FROM u")
+        assert isinstance(q, SetOperation) and q.op == "EXCEPT"
+        assert len(q.branches()) == 3
+
+    def test_union_all(self):
+        q = parse_sql("SELECT a FROM s UNION ALL SELECT b FROM t")
+        assert q.op == "UNION"
+
+    def test_views_attach_to_set_branches(self):
+        q = parse_sql(
+            "WITH v AS (SELECT a FROM s) SELECT * FROM v UNION SELECT b FROM t"
+        )
+        assert all("v" in b.views for b in q.branches())

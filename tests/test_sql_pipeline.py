@@ -1,0 +1,206 @@
+"""Tests for the SQL dependency graph, extraction and hypergraph conversion.
+
+These reproduce the paper's Listings 1–3 and Figures 1–2 exactly.
+"""
+
+import pytest
+
+from repro.decomp.detkdecomp import check_hd
+from repro.errors import UnsupportedSQLError
+from repro.sql.convert import simple_query_to_hypergraph, sql_to_hypergraphs
+from repro.sql.dependency import build_dependency_graph
+from repro.sql.extract import extract_simple_queries, to_simple_query
+from repro.sql.parser import parse_sql
+from repro.sql.schema import Schema
+from repro.sql.workloads import (
+    JOB_LIKE_QUERIES,
+    JOB_LIKE_SCHEMA,
+    TPCH_LIKE_QUERIES,
+    TPCH_LIKE_SCHEMA,
+)
+
+SCHEMA = Schema({"tab": ["a", "b", "c"], "differenttable": ["a", "b"]})
+
+LISTING_1 = """
+SELECT * FROM tab t1, tab t2
+WHERE t1.a = t2.a AND t1.b > 5 AND t1.c <> t2.c;
+"""
+
+LISTING_2 = """
+SELECT * FROM tab t1, tab t2
+WHERE t1.a = t2.a
+AND t1.b IN (SELECT tab.b FROM tab WHERE tab.c = 'ok')
+AND EXISTS (SELECT * FROM differentTable dt WHERE dt.a = t1.a);
+"""
+
+LISTING_3 = """
+WITH crossView AS (
+  SELECT t1.a a1, t1.c c1, t2.a a2, t2.c c2
+  FROM tab t1, tab t2 WHERE t1.b = t2.b
+)
+SELECT * FROM tab t1, tab t2, crossView cr
+WHERE t1.a = cr.a1 AND t1.c = cr.a2 AND t2.a = cr.c1 AND t2.c = cr.c2;
+"""
+
+
+class TestSchema:
+    def test_attributes(self):
+        assert SCHEMA.attributes("tab") == ("a", "b", "c")
+
+    def test_case_insensitive(self):
+        assert SCHEMA.attributes("TAB") == ("a", "b", "c")
+        assert "DifferentTable" in SCHEMA
+
+    def test_unknown_relation(self):
+        with pytest.raises(UnsupportedSQLError):
+            SCHEMA.attributes("nope")
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(UnsupportedSQLError):
+            Schema({"t": ["a", "a"]})
+
+    def test_extend(self):
+        extended = SCHEMA.extend({"extra": ["x"]})
+        assert "extra" in extended and "tab" in extended
+
+
+class TestDependencyGraph:
+    def test_listing2_matches_figure1(self):
+        """Figure 1: q -> s1, q -> s2, s2 -> q (cycle); s2 is eliminated."""
+        graph = build_dependency_graph(parse_sql(LISTING_2))
+        assert len(graph.nodes) == 3
+        root, s1, s2 = graph.nodes
+        assert root.parent is None
+        assert not s1.correlated_with
+        assert s2.correlated_with == {root.node_id}
+        surviving = [n.label for n in graph.surviving_queries()]
+        assert surviving == ["q", "q.s1"]
+
+    def test_uncorrelated_exists_survives(self):
+        sql = """SELECT * FROM tab t1
+                 WHERE EXISTS (SELECT * FROM differentTable dt WHERE dt.a = 1)"""
+        graph = build_dependency_graph(parse_sql(sql))
+        assert len(graph.surviving_queries()) == 2
+
+    def test_nested_under_correlated_also_dies(self):
+        sql = """SELECT * FROM tab t1 WHERE EXISTS (
+                   SELECT * FROM differentTable dt
+                   WHERE dt.a = t1.a AND dt.b IN (SELECT tab.b FROM tab))"""
+        graph = build_dependency_graph(parse_sql(sql))
+        surviving = [n.label for n in graph.surviving_queries()]
+        assert surviving == ["q"]
+
+    def test_set_operation_branches_are_roots(self):
+        sql = "SELECT a FROM tab UNION SELECT b FROM tab"
+        graph = build_dependency_graph(parse_sql(sql))
+        assert [n.parent for n in graph.nodes] == [None, None]
+
+
+class TestExtraction:
+    def test_listing1_conjunctive_core(self):
+        (simple,) = extract_simple_queries(LISTING_1, SCHEMA)
+        assert simple.num_atoms == 2
+        assert simple.joins == [(("t1", "a"), ("t2", "a"))]
+        assert simple.constants == []  # b > 5 and c <> are non-conjunctive
+
+    def test_constants_extracted(self):
+        sql = "SELECT * FROM tab t1 WHERE t1.b = 5 AND 'x' = t1.c"
+        (simple,) = extract_simple_queries(sql, SCHEMA)
+        assert (("t1", "b"), "5") in simple.constants
+        assert (("t1", "c"), "x") in simple.constants
+
+    def test_or_groups_dropped(self):
+        sql = "SELECT * FROM tab t1, tab t2 WHERE t1.a = t2.a OR t1.b = t2.b"
+        (simple,) = extract_simple_queries(sql, SCHEMA)
+        assert simple.joins == []
+
+    def test_single_value_in_is_constant(self):
+        sql = "SELECT * FROM tab t1 WHERE t1.a IN ('only')"
+        (simple,) = extract_simple_queries(sql, SCHEMA)
+        assert simple.constants == [(("t1", "a"), "only")]
+
+    def test_unqualified_column_resolution(self):
+        schema = Schema({"r": ["a"], "s": ["b"]})
+        sql = "SELECT * FROM r, s WHERE a = b"
+        (simple,) = extract_simple_queries(sql, schema)
+        assert simple.joins == [(("r", "a"), ("s", "b"))]
+
+    def test_ambiguous_column_skipped(self):
+        sql = "SELECT * FROM tab t1, tab t2 WHERE a = 5"
+        assert extract_simple_queries(sql, SCHEMA) == []
+        with pytest.raises(UnsupportedSQLError):
+            extract_simple_queries(sql, SCHEMA, skip_unsupported=False)
+
+    def test_view_expansion_inlines_tables(self):
+        (simple,) = extract_simple_queries(LISTING_3, SCHEMA)
+        assert simple.num_atoms == 4  # t1, t2 + the view's two tab instances
+        relations = {t.relation for t in simple.tables}
+        assert relations == {"tab"}
+
+    def test_set_operation_yields_two_queries(self):
+        sql = """SELECT t1.a FROM tab t1, tab t2 WHERE t1.a = t2.a
+                 UNION SELECT t1.b FROM tab t1"""
+        simples = extract_simple_queries(sql, SCHEMA)
+        assert len(simples) == 2
+
+    def test_outputs_for_views(self):
+        query = parse_sql("SELECT t1.a x, t1.b FROM tab t1")
+        simple = to_simple_query(query, SCHEMA, "v")
+        assert simple.outputs == {"x": ("t1", "a"), "b": ("t1", "b")}
+
+
+class TestHypergraphConversion:
+    def test_listing1_hypergraph(self):
+        (simple,) = extract_simple_queries(LISTING_1, SCHEMA)
+        h = simple_query_to_hypergraph(simple)
+        assert h.num_edges == 2
+        # The join merges t1.a and t2.a into one shared vertex.
+        shared = h.edge("t1") & h.edge("t2")
+        assert len(shared) == 1
+
+    def test_constant_removes_vertex(self):
+        sql = "SELECT * FROM tab t1 WHERE t1.b = 5"
+        (h,) = sql_to_hypergraphs(sql, SCHEMA)
+        assert h.edge("t1") == {"t1.a", "t1.c"}
+
+    def test_constant_on_join_class_removes_both(self):
+        sql = "SELECT * FROM tab t1, tab t2 WHERE t1.a = t2.a AND t2.a = 7"
+        (h,) = sql_to_hypergraphs(sql, SCHEMA)
+        assert all("a" not in v.split(".")[1] for e in h.edges.values() for v in e)
+
+    def test_listing3_matches_figure2(self):
+        """Figure 2(b): the view-expanded query has two cycles through t1/t2."""
+        (h,) = sql_to_hypergraphs(LISTING_3, SCHEMA)
+        assert h.num_edges == 4
+        # Cyclic: no hypertree decomposition of width 1.
+        assert check_hd(h, 1) is None
+        assert check_hd(h, 2) is not None
+
+    def test_all_edges_dropped_gives_no_hypergraph(self):
+        sql = "SELECT * FROM tab t1 WHERE t1.a = 1 AND t1.b = 2 AND t1.c = 3"
+        assert sql_to_hypergraphs(sql, SCHEMA) == []
+
+    def test_min_atoms_filter(self):
+        assert sql_to_hypergraphs(LISTING_1, SCHEMA, min_atoms=3) == []
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("sql", TPCH_LIKE_QUERIES)
+    def test_tpch_like_pipeline(self, sql):
+        hypergraphs = sql_to_hypergraphs(sql, TPCH_LIKE_SCHEMA)
+        assert hypergraphs, "every workload query must produce a hypergraph"
+        for h in hypergraphs:
+            assert h.num_edges >= 1
+            # Width analysis terminates quickly on workload queries.
+            from repro.decomp.driver import exact_width
+            from repro.decomp.detkdecomp import check_hd as chd
+
+            result = exact_width(chd, h, max_k=3, timeout=5.0)
+            assert result.upper is not None and result.upper <= 3
+
+    @pytest.mark.parametrize("sql", JOB_LIKE_QUERIES)
+    def test_job_like_pipeline(self, sql):
+        hypergraphs = sql_to_hypergraphs(sql, JOB_LIKE_SCHEMA)
+        assert hypergraphs
+        for h in hypergraphs:
+            assert check_hd(h, 2) is not None

@@ -1,0 +1,63 @@
+"""Tests for the SQL-pipeline-driven benchmark generator."""
+
+import random
+
+import pytest
+
+from repro.benchmark.generators.sql_workload import (
+    generate_sql_application_cqs,
+    generate_sql_text,
+    synthetic_schema,
+)
+from repro.decomp.detkdecomp import check_hd
+from repro.decomp.driver import exact_width
+from repro.sql.convert import sql_to_hypergraphs
+from repro.sql.parser import parse_sql
+
+
+class TestSchema:
+    def test_synthetic_schema_relations(self):
+        schema = synthetic_schema(4)
+        assert "fact" in schema
+        assert "dim3" in schema
+        assert "ref" in schema
+        assert schema.attributes("fact") == ("fk0", "fk1", "fk2", "fk3", "measure")
+
+
+class TestSqlText:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_generated_sql_parses(self, seed):
+        rng = random.Random(seed)
+        sql = generate_sql_text(rng)
+        parse_sql(sql)  # must not raise
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_generated_sql_converts(self, seed):
+        rng = random.Random(seed)
+        schema = synthetic_schema()
+        sql = generate_sql_text(rng)
+        hypergraphs = sql_to_hypergraphs(sql, schema, name=f"w{seed}")
+        assert hypergraphs
+
+
+class TestGenerator:
+    def test_count_and_determinism(self):
+        first = generate_sql_application_cqs(8, seed=3)
+        second = generate_sql_application_cqs(8, seed=3)
+        assert len(first) == 8
+        assert [h.edges for h in first] == [h.edges for h in second]
+
+    def test_unique_names(self):
+        names = [h.name for h in generate_sql_application_cqs(10, seed=1)]
+        assert len(set(names)) == len(names)
+
+    def test_application_shape_low_width(self):
+        """SQL-derived CQs behave like the paper's CQ Application class."""
+        for h in generate_sql_application_cqs(12, seed=5):
+            result = exact_width(check_hd, h, max_k=3, timeout=5.0)
+            assert result.upper is not None and result.upper <= 3
+
+    def test_mostly_star_joins_are_acyclic(self):
+        hypergraphs = generate_sql_application_cqs(12, seed=7)
+        acyclic = sum(1 for h in hypergraphs if check_hd(h, 1) is not None)
+        assert acyclic >= len(hypergraphs) // 2

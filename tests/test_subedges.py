@@ -1,0 +1,113 @@
+"""Unit tests for the subedge sets f(H,k) / f_u(H,k) of Equations 1-2."""
+
+import pytest
+
+from repro.core.hypergraph import Hypergraph
+from repro.core.subedges import (
+    augment_with_subedges,
+    pairwise_intersections,
+    subedge_family,
+    subedges_for_edge,
+)
+from repro.errors import SubedgeLimitError
+
+
+class TestPairwiseIntersections:
+    def test_basic(self):
+        e = frozenset({"a", "b", "c"})
+        others = [frozenset({"a", "b", "x"}), frozenset({"c", "y"})]
+        result = pairwise_intersections(e, others)
+        assert frozenset({"a", "b"}) in result
+        assert frozenset({"c"}) in result
+
+    def test_subsumed_intersections_dropped(self):
+        e = frozenset({"a", "b", "c"})
+        others = [frozenset({"a", "b", "x"}), frozenset({"a", "z"})]
+        result = pairwise_intersections(e, others)
+        assert result == [frozenset({"a", "b"})]
+
+    def test_full_edge_intersection_excluded(self):
+        e = frozenset({"a", "b"})
+        others = [frozenset({"a", "b", "c"})]
+        assert pairwise_intersections(e, others) == []
+
+    def test_disjoint_edges_give_nothing(self):
+        e = frozenset({"a"})
+        assert pairwise_intersections(e, [frozenset({"b"})]) == []
+
+
+class TestSubedgesForEdge:
+    def test_triangle_edge_subedges(self, triangle):
+        subs = subedges_for_edge(
+            triangle.edge("r"), [triangle.edge("s"), triangle.edge("t")], k=2
+        )
+        # r = {x,y}; intersections {y} (with s) and {x} (with t); unions up to
+        # size 2 give {x}, {y} and... {x,y} = r itself is excluded.
+        assert frozenset({"x"}) in subs
+        assert frozenset({"y"}) in subs
+        assert frozenset({"x", "y"}) not in subs
+
+    def test_all_subedges_are_proper_subsets(self):
+        e = frozenset({"a", "b", "c", "d"})
+        others = [frozenset({"a", "b", "x"}), frozenset({"c", "d", "x"})]
+        subs = subedges_for_edge(e, others, k=2)
+        assert all(s < e for s in subs)
+        # The union {a,b} ∪ {c,d} = e is excluded, its proper subsets remain.
+        assert frozenset({"a", "b", "c"}) in subs
+
+    def test_budget_enforced(self):
+        e = frozenset(f"v{i}" for i in range(20))
+        others = [frozenset(list(e)[:18])]
+        with pytest.raises(SubedgeLimitError):
+            subedges_for_edge(e, others, k=2, budget=100)
+
+
+class TestSubedgeFamily:
+    def test_triangle_family(self, triangle):
+        subs = subedge_family(triangle.edges, 2)
+        assert set(subs) == {
+            frozenset({"x"}),
+            frozenset({"y"}),
+            frozenset({"z"}),
+        }
+
+    def test_deduplicated_against_original_edges(self):
+        h = Hypergraph({"a": ["x", "y", "z"], "b": ["x", "y"], "c": ["y", "z"]})
+        subs = subedge_family(h.edges, 2)
+        assert frozenset({"x", "y"}) not in subs  # already an edge
+        assert frozenset({"y", "z"}) not in subs
+
+    def test_restricted_family_is_subset(self):
+        h = Hypergraph(
+            {
+                "a": ["x", "y"],
+                "b": ["y", "z"],
+                "c": ["z", "w"],
+                "d": ["w", "x"],
+            }
+        )
+        full = set(subedge_family(h.edges, 2))
+        local = set(subedge_family(h.edges, 2, restrict_to=["a", "b"]))
+        assert local <= full
+
+    def test_sorted_larger_first(self):
+        h = Hypergraph(
+            {"a": ["x", "y", "z", "w"], "b": ["x", "y", "q"], "c": ["z", "p"]}
+        )
+        subs = subedge_family(h.edges, 2)
+        sizes = [len(s) for s in subs]
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestAugment:
+    def test_augment_adds_named_subedges(self, triangle):
+        family, parent_map = augment_with_subedges(triangle.edges, 2)
+        assert len(family) == 3 + 3
+        for sub_name, parent in parent_map.items():
+            assert family[sub_name] <= triangle.edge(parent)
+
+    def test_augment_no_intersections(self):
+        h = Hypergraph({"a": ["x", "y"], "b": ["p", "q"]})
+        family, parent_map = augment_with_subedges(h.edges, 2)
+        assert parent_map == {}
+        assert len(family) == 2

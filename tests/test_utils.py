@@ -1,0 +1,59 @@
+"""Tests for deadlines and table rendering."""
+
+import time
+
+import pytest
+
+from repro.errors import DeadlineExceeded
+from repro.utils.deadline import Deadline
+from repro.utils.tables import render_table
+
+
+class TestDeadline:
+    def test_unlimited_never_expires(self):
+        d = Deadline.unlimited()
+        assert not d.expired
+        assert d.remaining is None
+        d.check()  # no raise
+
+    def test_zero_budget_expires_immediately(self):
+        d = Deadline(0.0)
+        assert d.expired
+        with pytest.raises(DeadlineExceeded):
+            d.check()
+
+    def test_positive_budget(self):
+        d = Deadline(60.0)
+        assert not d.expired
+        assert 0 < d.remaining <= 60.0
+
+    def test_expiry_after_sleep(self):
+        d = Deadline(0.01)
+        time.sleep(0.02)
+        assert d.expired
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(["a", "bb"], [[1, 2], [33, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("+")
+        assert "| a " in lines[1]
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_numeric_right_aligned(self):
+        text = render_table(["n"], [[1], [100]])
+        row_one = [l for l in text.splitlines() if "| " in l and "1 |" in l][0]
+        assert row_one.endswith("  1 |")
+
+    def test_mixed_column_left_aligned(self):
+        text = render_table(["n"], [["a"], [100]])
+        assert "| a   |" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])

@@ -1,0 +1,172 @@
+"""Tests for Yannakakis-style CQ evaluation along decompositions."""
+
+import itertools
+
+import pytest
+
+from repro.cq.convert import cq_to_hypergraph
+from repro.cq.parser import parse_cq
+from repro.decomp.balsep import check_ghd_balsep
+from repro.decomp.detkdecomp import check_hd
+from repro.errors import SolverError
+from repro.relational.relation import Relation
+from repro.relational.yannakakis import (
+    DecompositionEvaluator,
+    atom_relation,
+    evaluate_cq,
+)
+
+
+def naive_evaluate(query, database):
+    """Brute-force CQ evaluation by enumerating variable assignments."""
+    variables = query.variables()
+    domain = set()
+    for relation in database.values():
+        for row in relation.rows:
+            domain.update(row)
+    answers = set()
+    for values in itertools.product(sorted(domain, key=repr), repeat=len(variables)):
+        assignment = dict(zip(variables, values))
+        ok = True
+        for atom in query.atoms:
+            bound = []
+            for term in atom.terms:
+                if term in assignment:
+                    bound.append(assignment[term])
+                else:
+                    try:
+                        bound.append(int(term))
+                    except ValueError:
+                        bound.append(term)
+            if tuple(bound) not in database[atom.relation].rows:
+                ok = False
+                break
+        if ok:
+            answers.add(tuple(assignment[v] for v in query.head))
+    return answers
+
+
+@pytest.fixture
+def small_database():
+    return {
+        "r": Relation(("1", "2"), {(1, 2), (2, 3), (3, 4)}),
+        "s": Relation(("1", "2"), {(2, 5), (3, 6), (4, 6)}),
+        "t": Relation(("1", "2"), {(5, 1), (6, 3)}),
+    }
+
+
+class TestAtomRelation:
+    def test_binds_variables(self):
+        rel = Relation(("c1", "c2"), {(1, 2), (3, 4)})
+        bound = atom_relation(("X", "Y"), rel)
+        assert bound.attributes == ("X", "Y")
+        assert bound.rows == {(1, 2), (3, 4)}
+
+    def test_repeated_variable_filters(self):
+        rel = Relation(("c1", "c2"), {(1, 1), (1, 2)})
+        bound = atom_relation(("X", "X"), rel)
+        assert bound.rows == {(1,)}
+
+    def test_constant_selection(self):
+        rel = Relation(("c1", "c2"), {(1, 2), (3, 2)})
+        bound = atom_relation(("X", "2"), rel)
+        assert bound.rows == {(1,), (3,)}
+
+
+class TestEvaluateCq:
+    def test_chain_query(self, small_database):
+        query = parse_cq("ans(X, Z) :- r(X, Y), s(Y, Z).")
+        h = cq_to_hypergraph(query, dedupe=False)
+        hd = check_hd(h, 1)
+        result = evaluate_cq(query, small_database, hd)
+        assert result.rows == naive_evaluate(query, small_database)
+
+    def test_triangle_query(self, small_database):
+        query = parse_cq("ans(X) :- r(X, Y), s(Y, Z), t(Z, X).")
+        h = cq_to_hypergraph(query, dedupe=False)
+        hd = check_hd(h, 2)
+        result = evaluate_cq(query, small_database, hd)
+        assert result.rows == naive_evaluate(query, small_database)
+
+    def test_boolean_query(self, small_database):
+        query = parse_cq("ans() :- r(X, Y), s(Y, Z).")
+        h = cq_to_hypergraph(query, dedupe=False)
+        hd = check_hd(h, 1)
+        result = evaluate_cq(query, small_database, hd)
+        assert bool(result) == bool(naive_evaluate(query, small_database))
+
+    def test_unsatisfiable(self):
+        database = {
+            "r": Relation(("1", "2"), {(1, 2)}),
+            "s": Relation(("1", "2"), {(9, 9)}),
+        }
+        query = parse_cq("ans(X) :- r(X, Y), s(Y, Z).")
+        hd = check_hd(cq_to_hypergraph(query, dedupe=False), 1)
+        assert not evaluate_cq(query, database, hd)
+
+    def test_ground_atom_true(self, small_database):
+        query = parse_cq("ans(X) :- r(X, Y), r(1, 2).")
+        hd = check_hd(cq_to_hypergraph(query, dedupe=False), 1)
+        result = evaluate_cq(query, small_database, hd)
+        assert result.rows == {(1,), (2,), (3,)}
+
+    def test_ground_atom_false(self, small_database):
+        query = parse_cq("ans(X) :- r(X, Y), r(9, 9).")
+        hd = check_hd(cq_to_hypergraph(query, dedupe=False), 1)
+        assert not evaluate_cq(query, small_database, hd)
+
+    def test_missing_relation(self, small_database):
+        query = parse_cq("ans(X) :- zzz(X).")
+        hd = check_hd(cq_to_hypergraph(query, dedupe=False), 1)
+        with pytest.raises(SolverError):
+            evaluate_cq(query, small_database, hd)
+
+    def test_same_answers_along_any_decomposition(self, small_database):
+        """The evaluator is decomposition-agnostic: HD vs GHD, same answers."""
+        query = parse_cq("ans(X, Z) :- r(X, Y), s(Y, Z), t(Z, X).")
+        h = cq_to_hypergraph(query, dedupe=False)
+        hd = check_hd(h, 2)
+        ghd = check_ghd_balsep(h, 2)
+        answers_hd = evaluate_cq(query, small_database, hd).rows
+        answers_ghd = evaluate_cq(query, small_database, ghd).rows
+        assert answers_hd == answers_ghd == naive_evaluate(query, small_database)
+
+
+class TestEvaluator:
+    def test_edge_relation_attribute_mismatch(self, triangle):
+        hd = check_hd(triangle, 2)
+        bad = {
+            name: Relation(("wrong", "attrs"), set())
+            for name in triangle.edge_names
+        }
+        with pytest.raises(SolverError):
+            DecompositionEvaluator(hd, bad)
+
+    def test_missing_edge_relation(self, triangle):
+        hd = check_hd(triangle, 2)
+        with pytest.raises(SolverError):
+            DecompositionEvaluator(hd, {})
+
+    def test_one_solution_consistency(self, triangle):
+        hd = check_hd(triangle, 2)
+        relations = {
+            "r": Relation(("x", "y"), {(0, 1), (1, 0)}),
+            "s": Relation(("y", "z"), {(1, 2), (0, 2)}),
+            "t": Relation(("z", "x"), {(2, 0), (2, 1)}),
+        }
+        evaluator = DecompositionEvaluator(hd, relations)
+        solution = evaluator.one_solution()
+        assert solution is not None
+        assert (solution["x"], solution["y"]) in relations["r"].rows
+        assert (solution["y"], solution["z"]) in relations["s"].rows
+        assert (solution["z"], solution["x"]) in relations["t"].rows
+
+    def test_one_solution_none_when_unsat(self, triangle):
+        hd = check_hd(triangle, 2)
+        relations = {
+            "r": Relation(("x", "y"), {(0, 1)}),
+            "s": Relation(("y", "z"), {(1, 2)}),
+            "t": Relation(("z", "x"), {(9, 9)}),
+        }
+        evaluator = DecompositionEvaluator(hd, relations)
+        assert evaluator.one_solution() is None
