@@ -11,7 +11,10 @@ The package provides:
   pipelines that turn queries and constraint networks into hypergraphs;
 * :mod:`repro.relational` — Yannakakis-style evaluation along decompositions;
 * :mod:`repro.benchmark` — the synthetic HyperBench benchmark + repository;
-* :mod:`repro.analysis` — the paper's empirical study (all tables/figures).
+* :mod:`repro.analysis` — the paper's empirical study (all tables/figures);
+* :mod:`repro.engine` — parallel, cache-backed execution: worker processes
+  with hard timeouts, a content-addressed SQLite result store, and
+  journalled batch sweeps.
 
 Quickstart::
 
@@ -41,6 +44,7 @@ from repro.decomp import (
     ghd_portfolio,
     improve_hd,
 )
+from repro.engine import DecompositionEngine, JobSpec, ResultStore, fingerprint
 from repro.errors import (
     DeadlineExceeded,
     HypergraphError,
@@ -52,7 +56,7 @@ from repro.errors import (
 )
 from repro.utils.deadline import Deadline
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Hypergraph",
@@ -70,6 +74,10 @@ __all__ = [
     "best_fractional_improvement",
     "exact_width",
     "ghd_portfolio",
+    "DecompositionEngine",
+    "ResultStore",
+    "JobSpec",
+    "fingerprint",
     "Deadline",
     "ReproError",
     "DeadlineExceeded",

@@ -416,12 +416,19 @@ def run_full_study(
     timeout: float = 1.0,
     max_k: int = 6,
     frac_timeout: float | None = None,
+    engine: "object | None" = None,
 ) -> StudyResult:
-    """Run the entire Section 6 evaluation on a fresh synthetic benchmark."""
-    repository = build_default_benchmark(scale=scale, seed=seed)
+    """Run the entire Section 6 evaluation on a fresh synthetic benchmark.
+
+    An optional :class:`repro.engine.DecompositionEngine` threads through
+    the benchmark build (parallel generation), the Figure 4 hw sweep and the
+    Tables 3/4 portfolio (parallel races, cached verdicts) — re-running the
+    study with a persistent result store replays every check from cache.
+    """
+    repository = build_default_benchmark(scale=scale, seed=seed, engine=engine)
     repository.compute_all_statistics()
-    hw = run_hw_analysis(repository, max_k=max_k, timeout=timeout)
-    ghw = run_ghw_analysis(repository, timeout=timeout)
+    hw = run_hw_analysis(repository, max_k=max_k, timeout=timeout, engine=engine)
+    ghw = run_ghw_analysis(repository, timeout=timeout, engine=engine)
     fractional = run_fractional_analysis(
         repository, timeout=frac_timeout if frac_timeout is not None else timeout
     )

@@ -67,8 +67,15 @@ def run_hw_analysis(
     repository: HyperBenchRepository,
     max_k: int = 6,
     timeout: float | None = 2.0,
+    engine: "object | None" = None,
 ) -> HwAnalysis:
-    """Run the Figure 4 protocol over a repository (updates its hw bounds)."""
+    """Run the Figure 4 protocol over a repository (updates its hw bounds).
+
+    An optional :class:`repro.engine.DecompositionEngine` routes every
+    ``Check(HD, k)`` through its result store and worker pool, so repeated
+    sweeps over the same instances are served from cache and uncooperative
+    searches are killed at the hard timeout.
+    """
     analysis = HwAnalysis(max_k, timeout)
     pending: list[BenchmarkEntry] = list(repository)
     clean_no: dict[str, bool] = {entry.name: True for entry in pending}
@@ -76,7 +83,10 @@ def run_hw_analysis(
     for k in range(1, max_k + 1):
         still_pending: list[BenchmarkEntry] = []
         for entry in pending:
-            outcome = timed_check(check_hd, entry.hypergraph, k, timeout)
+            if engine is not None:
+                outcome = engine.check(entry.hypergraph, k, method="hd", timeout=timeout)
+            else:
+                outcome = timed_check(check_hd, entry.hypergraph, k, timeout)
             cell = analysis.cell(entry.benchmark_class, k)
             if outcome.verdict == YES:
                 cell.yes += 1

@@ -45,6 +45,7 @@ def build_default_benchmark(
     seed: int = 42,
     name: str = "hyperbench",
     sql_derived: int = 0,
+    engine: "object | None" = None,
 ) -> HyperBenchRepository:
     """Build the synthetic benchmark (deterministic in ``seed``).
 
@@ -53,13 +54,33 @@ def build_default_benchmark(
     that many CQ Application instances through the full Section 5 SQL
     pipeline (generated SQL text → dependency graph → conjunctive core →
     hypergraph), like the paper's own benchmark construction.
+
+    When a :class:`repro.engine.DecompositionEngine` with ``jobs > 1`` is
+    supplied, the five class generators run in parallel worker processes;
+    each generator is deterministic in ``seed`` and the classes are merged
+    in their fixed order, so the result is identical to the sequential
+    build.
     """
     repository = HyperBenchRepository(name=name)
-    for benchmark_class, base_count in DEFAULT_CLASS_COUNTS.items():
-        count = max(2, round(base_count * scale))
-        generator = _GENERATORS[benchmark_class]
-        for hypergraph in generator(count, seed=seed):
-            repository.add(hypergraph, benchmark_class)
+    classes = list(DEFAULT_CLASS_COUNTS.items())
+    jobs = getattr(engine, "jobs", 1) if engine is not None else 1
+    if jobs > 1:
+        from repro.engine.workers import run_callables
+
+        calls = [
+            (_GENERATORS[benchmark_class], (max(2, round(base_count * scale)), seed))
+            for benchmark_class, base_count in classes
+        ]
+        generated = run_callables(calls, jobs)
+        for (benchmark_class, _), hypergraphs in zip(classes, generated):
+            for hypergraph in hypergraphs:
+                repository.add(hypergraph, benchmark_class)
+    else:
+        for benchmark_class, base_count in classes:
+            count = max(2, round(base_count * scale))
+            generator = _GENERATORS[benchmark_class]
+            for hypergraph in generator(count, seed=seed):
+                repository.add(hypergraph, benchmark_class)
     if sql_derived:
         from repro.benchmark.generators.sql_workload import (
             generate_sql_application_cqs,

@@ -9,6 +9,17 @@ Subcommands::
     python -m repro convert --cq "ans(X):-r(X,Y),s(Y,Z)."   # to .hg format
     python -m repro convert --xcsp FILE.xml
     python -m repro convert --sql FILE.sql --schema SCHEMA.json
+    python -m repro cache stats --cache results.db   # inspect the result store
+    python -m repro cache clear --cache results.db
+
+The ``width``, ``decompose`` and ``benchmark`` commands accept ``--jobs N``
+(run checks in N killable worker processes with hard timeouts; for
+``benchmark`` this parallelises class generation) and ``--cache PATH`` (a
+SQLite result store: ``width``/``decompose`` cache and replay every verdict
+from it; ``benchmark`` only initialises the store for later runs, since
+generation records no verdicts).  Both route the command through
+:class:`repro.engine.DecompositionEngine`; without these flags everything
+runs sequentially in-process, as before.
 
 All commands read the detkdecomp text format (``name(v1,v2),... .``).
 """
@@ -27,22 +38,36 @@ from repro.decomp.balsep import check_ghd_balsep
 from repro.decomp.detkdecomp import check_hd
 from repro.decomp.driver import exact_width, timed_check
 from repro.decomp.fractional import best_fractional_improvement
-from repro.decomp.globalbip import check_ghd_global_bip
-from repro.decomp.hybrid import check_ghd_hybrid
-from repro.decomp.localbip import check_ghd_local_bip
+from repro.engine import DecompositionEngine, ResultStore
+from repro.engine.workers import CHECK_METHODS
 from repro.errors import ReproError
 from repro.io.hg_format import format_hypergraph, read_hypergraph
 from repro.io.json_io import decomposition_to_json
 
 __all__ = ["main", "build_parser"]
 
-ALGORITHMS = {
-    "hd": check_hd,
-    "globalbip": check_ghd_global_bip,
-    "localbip": check_ghd_local_bip,
-    "balsep": check_ghd_balsep,
-    "hybrid": check_ghd_hybrid,
-}
+#: Algorithm-name → check-function mapping; shared with the engine's worker
+#: registry so ``--algorithm`` names and engine method names never diverge.
+ALGORITHMS = CHECK_METHODS
+
+
+def _add_engine_flags(
+    parser: argparse.ArgumentParser,
+    jobs_help: str = "worker processes with hard timeouts (1 = in-process, default)",
+    cache_help: str = "SQLite result store; verdicts are cached and replayed",
+) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N", help=jobs_help)
+    parser.add_argument(
+        "--cache", type=Path, default=None, metavar="PATH", help=cache_help
+    )
+
+
+def _make_engine(args) -> DecompositionEngine | None:
+    """An engine when ``--jobs``/``--cache`` ask for one, else ``None``."""
+    if args.jobs <= 1 and args.cache is None:
+        return None
+    store = ResultStore(args.cache) if args.cache is not None else None
+    return DecompositionEngine(store=store, jobs=args.jobs)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,6 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
     width.add_argument("--max-k", type=int, default=6)
     width.add_argument("--timeout", type=float, default=None)
     width.add_argument("--ghw", action="store_true", help="also bound the ghw")
+    _add_engine_flags(width)
 
     decompose = sub.add_parser("decompose", help="compute one decomposition")
     decompose.add_argument("file", type=Path)
@@ -73,11 +99,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--improve", action="store_true",
         help="also report the best fractional improvement",
     )
+    _add_engine_flags(decompose)
 
     benchmark = sub.add_parser("benchmark", help="build the synthetic benchmark")
     benchmark.add_argument("out_dir", type=Path)
     benchmark.add_argument("--scale", type=float, default=0.2)
     benchmark.add_argument("--seed", type=int, default=42)
+    _add_engine_flags(
+        benchmark,
+        jobs_help="generate the benchmark classes in N parallel processes",
+        cache_help=(
+            "initialise/attach a result store for later width/decompose runs "
+            "(generation itself records no verdicts)"
+        ),
+    )
+
+    cache = sub.add_parser("cache", help="inspect or clear a result store")
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument(
+        "--cache", type=Path, required=True, metavar="PATH",
+        help="SQLite result-store file",
+    )
 
     convert = sub.add_parser("convert", help="convert CQ/XCSP/SQL to hypergraphs")
     source = convert.add_mutually_exclusive_group(required=True)
@@ -108,28 +150,46 @@ def _cmd_analyze(args) -> int:
 
 def _cmd_width(args) -> int:
     h = read_hypergraph(args.file)
-    result = exact_width(check_hd, h, args.max_k, timeout=args.timeout)
-    if result.exact:
-        print(f"hw({h.name}) = {result.value}")
-    elif result.upper is not None:
-        print(f"{result.lower} <= hw({h.name}) <= {result.upper}")
-    else:
-        print(f"hw({h.name}) > {result.lower - 1} (no upper bound within k <= {args.max_k})")
-    if args.ghw and result.upper is not None and result.upper >= 2:
-        outcome = timed_check(check_ghd_balsep, h, result.upper - 1, args.timeout)
-        if outcome.verdict == "yes":
-            print(f"ghw({h.name}) <= {result.upper - 1}")
-        elif outcome.verdict == "no":
-            print(f"ghw({h.name}) = hw({h.name}) = {result.upper}")
+    engine = _make_engine(args)
+    try:
+        if engine is not None:
+            result = engine.exact_width(h, args.max_k, timeout=args.timeout)
         else:
-            print(f"ghw({h.name}) <= {result.upper} (Check(GHD,{result.upper - 1}) timed out)")
+            result = exact_width(check_hd, h, args.max_k, timeout=args.timeout)
+        if result.exact:
+            print(f"hw({h.name}) = {result.value}")
+        elif result.upper is not None:
+            print(f"{result.lower} <= hw({h.name}) <= {result.upper}")
+        else:
+            print(f"hw({h.name}) > {result.lower - 1} (no upper bound within k <= {args.max_k})")
+        if args.ghw and result.upper is not None and result.upper >= 2:
+            if engine is not None:
+                outcome = engine.check(h, result.upper - 1, method="balsep", timeout=args.timeout)
+            else:
+                outcome = timed_check(check_ghd_balsep, h, result.upper - 1, args.timeout)
+            if outcome.verdict == "yes":
+                print(f"ghw({h.name}) <= {result.upper - 1}")
+            elif outcome.verdict == "no":
+                print(f"ghw({h.name}) = hw({h.name}) = {result.upper}")
+            else:
+                print(f"ghw({h.name}) <= {result.upper} (Check(GHD,{result.upper - 1}) timed out)")
+    finally:
+        if engine is not None:
+            engine.close()
     return 0
 
 
 def _cmd_decompose(args) -> int:
     h = read_hypergraph(args.file)
-    check = ALGORITHMS[args.algorithm]
-    outcome = timed_check(check, h, args.k, args.timeout)
+    engine = _make_engine(args)
+    try:
+        if engine is not None:
+            outcome = engine.check(h, args.k, method=args.algorithm, timeout=args.timeout)
+        else:
+            outcome = timed_check(ALGORITHMS[args.algorithm], h, args.k, args.timeout)
+    finally:
+        if engine is not None:
+            engine.close()
     if outcome.verdict == "timeout":
         print(f"timeout after {outcome.seconds:.1f}s", file=sys.stderr)
         return 2
@@ -161,7 +221,12 @@ def _print_tree(node, indent: int = 0) -> None:
 
 
 def _cmd_benchmark(args) -> int:
-    repo = build_default_benchmark(scale=args.scale, seed=args.seed)
+    engine = _make_engine(args)
+    try:
+        repo = build_default_benchmark(scale=args.scale, seed=args.seed, engine=engine)
+    finally:
+        if engine is not None:
+            engine.close()
     repo.compute_all_statistics()
     args.out_dir.mkdir(parents=True, exist_ok=True)
     (args.out_dir / "hyperbench.csv").write_text(repo.to_csv(), encoding="utf-8")
@@ -211,12 +276,34 @@ def _cmd_convert(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    if not args.cache.exists():
+        print(f"error: no result store at {args.cache}", file=sys.stderr)
+        return 2
+    with ResultStore(args.cache) as store:
+        if args.action == "clear":
+            cleared = len(store)
+            store.clear()
+            print(f"cleared {cleared} cached results from {args.cache}")
+            return 0
+        stats = store.stats
+        print(f"store        {args.cache}")
+        print(f"entries      {stats.entries}")
+        print(f"hits         {stats.hits}")
+        print(f"misses       {stats.misses}")
+        print(f"hit rate     {stats.hit_rate:.1%}")
+        for method, count in store.methods().items():
+            print(f"  {method:<10} {count}")
+    return 0
+
+
 _COMMANDS = {
     "analyze": _cmd_analyze,
     "width": _cmd_width,
     "decompose": _cmd_decompose,
     "benchmark": _cmd_benchmark,
     "convert": _cmd_convert,
+    "cache": _cmd_cache,
 }
 
 

@@ -44,11 +44,18 @@ CheckFunction = Callable[[Hypergraph, int, Deadline | None], "Decomposition | No
 
 @dataclass
 class CheckOutcome:
-    """Result of one timed ``Check(decomposition, k)`` attempt."""
+    """Result of one timed ``Check(decomposition, k)`` attempt.
+
+    ``cancelled`` marks an attempt that was killed early because a portfolio
+    race was already won — its timeout verdict says nothing about what the
+    algorithm would have answered with the full budget, so per-algorithm
+    accounting (Table 3) must skip such outcomes.
+    """
 
     verdict: str  # YES, NO or TIMEOUT
     seconds: float
     decomposition: Decomposition | None = None
+    cancelled: bool = False
 
     @property
     def answered(self) -> bool:
@@ -106,17 +113,23 @@ def exact_width(
     hypergraph: Hypergraph,
     max_k: int,
     timeout: float | None = None,
+    runner: "Callable[[CheckFunction, Hypergraph, int, float | None], CheckOutcome] | None" = None,
 ) -> WidthResult:
     """Iterate ``Check(·, k)`` for k = 1..max_k (the Figure 4 protocol).
 
     Stops at the first yes-answer; the width is exact when every smaller k
     produced a definite no (rather than a timeout).
+
+    ``runner`` replaces :func:`timed_check` as the executor of each attempt;
+    :class:`repro.engine.DecompositionEngine` uses this seam to route the
+    per-k checks through its result store and worker pool.
     """
+    run = runner or timed_check
     timings: dict[int, CheckOutcome] = {}
     refuted_up_to = 0
     all_no_so_far = True
     for k in range(1, max_k + 1):
-        outcome = timed_check(check, hypergraph, k, timeout)
+        outcome = run(check, hypergraph, k, timeout)
         timings[k] = outcome
         if outcome.verdict == YES:
             lower = refuted_up_to + 1 if all_no_so_far else 1
@@ -143,13 +156,22 @@ def ghd_portfolio(
     k: int,
     timeout: float | None = None,
     algorithms: dict[str, CheckFunction] | None = None,
+    engine: "object | None" = None,
 ) -> tuple[CheckOutcome, dict[str, CheckOutcome]]:
-    """Emulate the paper's parallel portfolio (Table 4 protocol).
+    """The paper's parallel portfolio (Table 4 protocol).
 
-    Every algorithm runs with the full timeout; the portfolio verdict is the
-    fastest definite answer (which is what "run in parallel and stop at the
-    first answer" observes).  Returns ``(portfolio_outcome, per_algorithm)``.
+    Without an ``engine`` every algorithm runs sequentially with the full
+    timeout and the portfolio verdict is the fastest definite answer (which
+    is what "run in parallel and stop at the first answer" observes).  With a
+    :class:`repro.engine.DecompositionEngine`, the three standard algorithms
+    genuinely race in parallel worker processes (losers are cancelled) and
+    the verdict is served from the engine's result store when cached; custom
+    ``algorithms`` always take the sequential path, since the engine races
+    its registered methods only.  Returns ``(portfolio_outcome,
+    per_algorithm)``.
     """
+    if engine is not None and algorithms is None:
+        return engine.portfolio(hypergraph, k, timeout)
     algorithms = algorithms or GHD_ALGORITHMS
     per_algorithm = {
         name: timed_check(fn, hypergraph, k, timeout)

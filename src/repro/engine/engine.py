@@ -1,0 +1,466 @@
+"""The :class:`DecompositionEngine` facade.
+
+The engine is the single entry point that turns decomposition requests into
+work: it consults the :class:`~repro.engine.store.ResultStore` first (by
+content fingerprint, so renamed copies of an instance share results), and
+only on a miss dispatches the attempt — in-process with cooperative deadlines
+when ``jobs == 1`` (the deterministic default, byte-compatible with the
+pre-engine code paths), or in killable worker processes with hard timeouts
+when ``jobs > 1``.
+
+``portfolio`` races GlobalBIP / LocalBIP / BalSep in parallel worker
+processes (the paper's Table 4 setup: "run in parallel, stop at the first
+answer"), cancelling the losers; ``run_batch`` executes a list of
+:class:`~repro.engine.jobs.JobSpec` with a resumable journal, fanning
+cache-missed check jobs across the worker pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.hypergraph import Hypergraph
+from repro.decomp import driver
+from repro.decomp.driver import CheckOutcome, WidthResult, timed_check
+from repro.engine import workers
+from repro.engine.fingerprint import fingerprint
+from repro.engine.jobs import CHECK, PORTFOLIO, WIDTH, JobResult, JobSpec, Journal
+from repro.engine.store import ResultStore
+
+__all__ = ["DecompositionEngine", "EngineStats", "BatchReport"]
+
+#: Table-display name → registry name for the three raced GHD algorithms.
+PORTFOLIO_METHODS = {
+    "GlobalBIP": "globalbip",
+    "LocalBIP": "localbip",
+    "BalSep": "balsep",
+}
+_PORTFOLIO_KEY = "portfolio"
+
+
+@dataclass
+class EngineStats:
+    """Per-engine request accounting (the store keeps its own lifetime stats)."""
+
+    requests: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+
+@dataclass
+class BatchReport:
+    """Job-level accounting for one :meth:`DecompositionEngine.run_batch`."""
+
+    total: int = 0
+    #: Jobs skipped because the journal already recorded them.
+    resumed: int = 0
+    #: Jobs answered entirely from the result store.
+    cache_hits: int = 0
+    #: Jobs that actually ran at least one check.
+    executed: int = 0
+    results: list[JobResult] = field(default_factory=list)
+
+    @property
+    def all_cached(self) -> bool:
+        """True when every non-resumed job was served from the store."""
+        return self.total > 0 and self.cache_hits == self.total - self.resumed
+
+
+class _CacheMiss(Exception):
+    """Internal: a cache-only replay hit a key the store does not have."""
+
+
+class DecompositionEngine:
+    """Cache-backed, optionally parallel execution of decomposition work.
+
+    Parameters
+    ----------
+    store:
+        A :class:`ResultStore`, or ``None`` to run without caching.
+    jobs:
+        Maximum concurrent worker processes.  ``1`` (default) keeps every
+        check in-process with cooperative deadlines — the sequential
+        fallback that preserves the library's historical behaviour;
+        ``> 1`` enables hard-timeout worker processes, the parallel
+        portfolio race, and batch fan-out.
+    grace:
+        Seconds past the cooperative budget before a worker is killed.
+    """
+
+    def __init__(
+        self,
+        store: ResultStore | None = None,
+        jobs: int = 1,
+        grace: float = workers.DEFAULT_GRACE,
+    ):
+        self.store = store
+        self.jobs = max(1, int(jobs))
+        self.grace = grace
+        self.stats = EngineStats()
+
+    @property
+    def parallel(self) -> bool:
+        return self.jobs > 1
+
+    def close(self) -> None:
+        if self.store is not None:
+            self.store.close()
+
+    def __enter__(self) -> "DecompositionEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # --------------------------------------------------------------- caching
+
+    def _lookup(
+        self,
+        fp: str,
+        hypergraph: Hypergraph,
+        method: str,
+        k: int,
+        timeout: float | None,
+        record: bool = True,
+    ) -> tuple[CheckOutcome | None, dict | None]:
+        """Consult the store; returns ``(outcome, extra)`` or ``(None, None)``.
+
+        ``record=False`` peeks without touching the engine's request/hit
+        counters — batch replay uses this and books its lookups only once
+        it knows whether the whole job was served from cache.
+        """
+        if record:
+            self.stats.requests += 1
+        if self.store is None:
+            return None, None
+        stored = self.store.get(fp, method, k, timeout, record=record)
+        if stored is None:
+            return None, None
+        if record:
+            self.stats.cache_hits += 1
+        return stored.outcome(hypergraph), stored.extra
+
+    def _remember(
+        self,
+        fp: str,
+        method: str,
+        k: int,
+        timeout: float | None,
+        outcome: CheckOutcome,
+        extra: dict | None = None,
+    ) -> None:
+        if self.store is not None:
+            self.store.put(fp, method, k, timeout, outcome, extra)
+
+    # ---------------------------------------------------------------- checks
+
+    def check(
+        self,
+        hypergraph: Hypergraph,
+        k: int,
+        method: str = "hd",
+        timeout: float | None = None,
+    ) -> CheckOutcome:
+        """One ``Check(H, k)`` attempt, cache first, then dispatch."""
+        fp = fingerprint(hypergraph)
+        outcome, _ = self._lookup(fp, hypergraph, method, k, timeout)
+        if outcome is not None:
+            return outcome
+        outcome = self._execute(method, hypergraph, k, timeout)
+        self._remember(fp, method, k, timeout, outcome)
+        return outcome
+
+    def _execute(
+        self,
+        method: str,
+        hypergraph: Hypergraph,
+        k: int,
+        timeout: float | None,
+    ) -> CheckOutcome:
+        self.stats.executed += 1
+        if self.parallel:
+            return workers.run_checked(method, hypergraph, k, timeout, self.grace)
+        return timed_check(workers.resolve_method(method), hypergraph, k, timeout)
+
+    # ----------------------------------------------------------- exact width
+
+    def exact_width(
+        self,
+        hypergraph: Hypergraph,
+        max_k: int,
+        method: str = "hd",
+        timeout: float | None = None,
+    ) -> WidthResult:
+        """The Figure 4 protocol, every k-attempt routed through the engine."""
+
+        def runner(_check, h, k, t):
+            return self.check(h, k, method=method, timeout=t)
+
+        return driver.exact_width(
+            workers.resolve_method(method), hypergraph, max_k, timeout, runner=runner
+        )
+
+    # ------------------------------------------------------------- portfolio
+
+    def portfolio(
+        self,
+        hypergraph: Hypergraph,
+        k: int,
+        timeout: float | None = None,
+    ) -> tuple[CheckOutcome, dict[str, CheckOutcome]]:
+        """The Table 4 race: GlobalBIP ∥ LocalBIP ∥ BalSep, first answer wins.
+
+        With ``jobs > 1`` the three algorithms genuinely run in parallel
+        worker processes and the losers are cancelled; otherwise the
+        sequential simulation of :func:`repro.decomp.driver.ghd_portfolio`
+        runs.  Either way the result is cached under a dedicated
+        ``portfolio`` key (per-algorithm verdicts and timings ride along in
+        the row's metadata, so Table 3 style accounting survives cache hits).
+        """
+        fp = fingerprint(hypergraph)
+        outcome, extra = self._lookup(fp, hypergraph, _PORTFOLIO_KEY, k, timeout)
+        if outcome is not None:
+            per_algorithm = {
+                name: CheckOutcome(row[0], row[1], cancelled=bool(row[2]) if len(row) > 2 else False)
+                for name, row in (extra or {}).get("per", {}).items()
+            }
+            winner = (extra or {}).get("winner")
+            if winner in per_algorithm and outcome.decomposition is not None:
+                per_algorithm[winner] = outcome
+            return outcome, per_algorithm
+
+        self.stats.executed += 1
+        if self.parallel:
+            winner_method, raced = workers.race_checks(
+                list(PORTFOLIO_METHODS.values()), hypergraph, k, timeout, self.grace
+            )
+            per_algorithm = {
+                display: raced[registry]
+                for display, registry in PORTFOLIO_METHODS.items()
+            }
+            if winner_method is not None:
+                winner = next(
+                    d for d, r in PORTFOLIO_METHODS.items() if r == winner_method
+                )
+                best = per_algorithm[winner]
+            else:
+                winner = None
+                best = max(per_algorithm.values(), key=lambda o: o.seconds)
+        else:
+            best, per_algorithm = driver.ghd_portfolio(hypergraph, k, timeout)
+            winner = (
+                next((n for n, o in per_algorithm.items() if o is best), None)
+                if best.answered
+                else None
+            )
+
+        extra = {
+            "winner": winner,
+            "per": {
+                name: [o.verdict, o.seconds, o.cancelled]
+                for name, o in per_algorithm.items()
+            },
+        }
+        self._remember(fp, _PORTFOLIO_KEY, k, timeout, best, extra)
+        # Definite per-algorithm answers are genuine results; share them with
+        # plain check() callers.  Cancelled losers (timeout verdicts observed
+        # before the full budget) are *not* cached.
+        for display, registry in PORTFOLIO_METHODS.items():
+            o = per_algorithm[display]
+            if o.answered:
+                self._remember(fp, registry, k, timeout, o)
+        return best, per_algorithm
+
+    # ----------------------------------------------------------------- batch
+
+    def run_batch(
+        self,
+        specs: list[JobSpec],
+        journal: str | Path | Journal | None = None,
+    ) -> BatchReport:
+        """Execute a job list with journal resume and cache consultation.
+
+        Jobs already present in the journal are skipped (``resumed``); the
+        rest are answered from the store when possible (``cache_hits``) and
+        executed otherwise — cache-missed single-check jobs fan out across
+        the worker pool when ``jobs > 1``.
+        """
+        if journal is not None and not isinstance(journal, Journal):
+            journal = Journal(journal)
+        done = journal.load() if journal is not None else {}
+
+        report = BatchReport(total=len(specs))
+        results: list[JobResult | None] = [None] * len(specs)
+        pending: list[int] = []
+        for index, spec in enumerate(specs):
+            payload = done.get(spec.key())
+            if payload is not None:
+                results[index] = JobResult.from_journal(spec, payload)
+                report.resumed += 1
+            else:
+                pending.append(index)
+
+        # Serve whole jobs from the store where possible.
+        to_run: list[int] = []
+        for index in pending:
+            result = self._replay_from_cache(specs[index])
+            if result is not None:
+                results[index] = result
+                report.cache_hits += 1
+                if journal is not None:
+                    journal.append(specs[index], result)
+            else:
+                to_run.append(index)
+
+        # Fan cache-missed single checks across the pool; width sweeps and
+        # portfolio races go through their own engine paths (a portfolio
+        # race already uses the pool internally).
+        check_indices = [i for i in to_run if specs[i].kind == CHECK]
+        if self.parallel and len(check_indices) > 1:
+            tasks = [
+                (specs[i].method, specs[i].hypergraph, specs[i].k, specs[i].timeout)
+                for i in check_indices
+            ]
+            outcomes = workers.map_checks(tasks, self.jobs, self.grace)
+            if self.store is not None:
+                # the replay peeks that routed these here were decisive misses
+                self.store.record_misses(len(check_indices))
+            for i, outcome in zip(check_indices, outcomes):
+                spec = specs[i]
+                self.stats.requests += 1
+                self.stats.executed += 1
+                self._remember(
+                    spec.fingerprint, spec.method, spec.k, spec.timeout, outcome
+                )
+                results[i] = JobResult(
+                    spec, outcome.verdict, outcome.seconds, outcome=outcome
+                )
+            to_run = [i for i in to_run if specs[i].kind != CHECK]
+
+        for index in to_run:
+            results[index] = self._run_spec(specs[index])
+
+        if journal is not None:
+            for index in pending:
+                result = results[index]
+                if result is not None and not result.cached and not result.resumed:
+                    journal.append(specs[index], result)
+
+        report.executed = sum(
+            1 for r in results if r is not None and not r.cached and not r.resumed
+        )
+        report.results = [r for r in results if r is not None]
+        return report
+
+    # ------------------------------------------------------------ batch bits
+
+    def _replay_from_cache(self, spec: JobSpec) -> JobResult | None:
+        """Answer a whole job from the store, or ``None`` on any miss.
+
+        Lookups peek without recording; the engine books one request + hit
+        per underlying check only when the whole job replays, so partially
+        cached jobs are not double-counted when they subsequently execute.
+        """
+        if self.store is None:
+            return None
+        fp = spec.fingerprint
+        if spec.kind == CHECK:
+            outcome, _ = self._lookup(
+                fp, spec.hypergraph, spec.method, spec.k, spec.timeout, record=False
+            )
+            if outcome is None:
+                return None
+            self._book_replay(1)
+            return JobResult(
+                spec, outcome.verdict, outcome.seconds, cached=True, outcome=outcome
+            )
+        if spec.kind == PORTFOLIO:
+            outcome, extra = self._lookup(
+                fp, spec.hypergraph, _PORTFOLIO_KEY, spec.k, spec.timeout, record=False
+            )
+            if outcome is None:
+                return None
+            self._book_replay(1)
+            return JobResult(
+                spec,
+                outcome.verdict,
+                outcome.seconds,
+                cached=True,
+                outcome=outcome,
+                winner=(extra or {}).get("winner"),
+            )
+        # WIDTH: replay the exact_width iteration against the store only.
+        lookups = 0
+
+        def cache_only_runner(_check, h, k, t):
+            nonlocal lookups
+            outcome, _ = self._lookup(fp, h, spec.method, k, t, record=False)
+            if outcome is None:
+                raise _CacheMiss
+            lookups += 1
+            return outcome
+
+        try:
+            width_result = driver.exact_width(
+                workers.resolve_method(spec.method),
+                spec.hypergraph,
+                spec.max_k,
+                spec.timeout,
+                runner=cache_only_runner,
+            )
+        except _CacheMiss:
+            return None
+        self._book_replay(lookups)
+        return self._width_job_result(spec, width_result, cached=True)
+
+    def _book_replay(self, lookups: int) -> None:
+        self.stats.requests += lookups
+        self.stats.cache_hits += lookups
+        if self.store is not None:
+            self.store.record_hits(lookups)
+
+    def _width_job_result(
+        self, spec: JobSpec, width_result: WidthResult, cached: bool
+    ) -> JobResult:
+        seconds = sum(o.seconds for o in width_result.timings.values())
+        verdict = "exact" if width_result.exact else "bounds"
+        return JobResult(
+            spec,
+            verdict,
+            seconds,
+            cached=cached,
+            lower=width_result.lower,
+            upper=width_result.upper,
+            width_result=width_result,
+        )
+
+    def _run_spec(self, spec: JobSpec) -> JobResult:
+        # Only reached after _replay_from_cache missed (a non-recording peek),
+        # so check jobs execute directly; the peek was the decisive lookup
+        # and is booked as the one miss.
+        if spec.kind == CHECK:
+            self.stats.requests += 1
+            if self.store is not None:
+                self.store.record_misses(1)
+            outcome = self._execute(spec.method, spec.hypergraph, spec.k, spec.timeout)
+            self._remember(
+                spec.fingerprint, spec.method, spec.k, spec.timeout, outcome
+            )
+            return JobResult(spec, outcome.verdict, outcome.seconds, outcome=outcome)
+        if spec.kind == PORTFOLIO:
+            outcome, per_algorithm = self.portfolio(spec.hypergraph, spec.k, spec.timeout)
+            winner = next(
+                (name for name, o in per_algorithm.items() if o is outcome), None
+            )
+            return JobResult(
+                spec, outcome.verdict, outcome.seconds, outcome=outcome, winner=winner
+            )
+        width_result = self.exact_width(
+            spec.hypergraph, spec.max_k, spec.method, spec.timeout
+        )
+        return self._width_job_result(spec, width_result, cached=False)

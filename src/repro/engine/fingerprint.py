@@ -1,0 +1,95 @@
+"""Content-addressed fingerprints of hypergraphs.
+
+The result store shares cached verdicts between *identical inputs*, so the
+cache key must not depend on accidents of construction: two hypergraphs built
+from the same edges in a different order, or with vertices listed in a
+different order inside each edge, must hash identically.
+
+Two fingerprints are provided:
+
+:func:`fingerprint`
+    SHA-256 of the canonical ``(edge name, sorted vertices)`` form.  Invariant
+    under edge reordering and vertex reordering; *sensitive* to edge and
+    vertex names.  This is the engine's cache key: because names are part of
+    the key, a cached decomposition (whose λ-labels refer to edges by name)
+    can always be replayed against any hypergraph with the same fingerprint.
+
+:func:`structural_fingerprint`
+    Additionally invariant under renaming of vertices and edges, via a
+    Weisfeiler–Leman-style colour refinement.  Isomorphic hypergraphs always
+    agree; WL-indistinguishable non-isomorphic hypergraphs may collide, so
+    this hash is for grouping near-duplicate instances (the paper dedupes the
+    benchmark "on the hypergraph level", Section 5.6) — **not** for keying
+    correctness-critical results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.hypergraph import Hypergraph
+
+__all__ = ["canonical_form", "fingerprint", "structural_fingerprint"]
+
+#: Refinement rounds; three rounds separate everything the benchmark
+#: generators produce while staying linear-ish in practice.
+_WL_ROUNDS = 3
+
+
+def canonical_form(hypergraph: Hypergraph) -> tuple[tuple[str, tuple[str, ...]], ...]:
+    """The order-independent edge list ``((name, sorted vertices), ...)``."""
+    return tuple(
+        sorted(
+            (name, tuple(sorted(vertices)))
+            for name, vertices in hypergraph.edges.items()
+        )
+    )
+
+
+def _digest(payload: object) -> str:
+    return hashlib.sha256(repr(payload).encode("utf-8")).hexdigest()
+
+
+def fingerprint(hypergraph: Hypergraph) -> str:
+    """Hex SHA-256 of the canonical form (the engine's cache key).
+
+    The instance *name* is deliberately excluded: renaming an instance does
+    not change any width, so ``triangle`` and a copy called ``tri2`` share
+    all cached results.
+    """
+    return _digest(canonical_form(hypergraph))
+
+
+def structural_fingerprint(hypergraph: Hypergraph, rounds: int = _WL_ROUNDS) -> str:
+    """Hex SHA-256 invariant under vertex *and* edge renaming.
+
+    Vertices start coloured by the multiset of their incident edge sizes and
+    are refined ``rounds`` times by the colours seen across each incident
+    edge; the hypergraph is then hashed as the sorted multiset of edges,
+    each edge being the sorted multiset of its final vertex colours.
+    """
+    colours: dict[str, str] = {
+        v: _digest(
+            (
+                "init",
+                tuple(sorted(len(hypergraph.edge(e)) for e in hypergraph.incident_edges(v))),
+            )
+        )
+        for v in hypergraph.vertices
+    }
+    for _ in range(rounds):
+        new_colours: dict[str, str] = {}
+        for v in hypergraph.vertices:
+            edge_signatures = []
+            for edge_name in hypergraph.incident_edges(v):
+                edge = hypergraph.edge(edge_name)
+                edge_signatures.append(
+                    (len(edge), tuple(sorted(colours[u] for u in edge if u != v)))
+                )
+            new_colours[v] = _digest((colours[v], tuple(sorted(edge_signatures))))
+        colours = new_colours
+    edges = sorted(
+        tuple(sorted(colours[v] for v in vertices))
+        for vertices in hypergraph.edges.values()
+    )
+    return _digest(tuple(edges))

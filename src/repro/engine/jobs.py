@@ -1,0 +1,202 @@
+"""Batch job specifications and the restartable JSONL journal.
+
+A :class:`JobSpec` is one deployable unit of decomposition work — a single
+``Check(H, k)`` attempt, an exact-width sweep (the Figure 4 protocol for one
+instance), or a portfolio race (Table 4).  A batch is simply a list of specs;
+:meth:`repro.engine.engine.DecompositionEngine.run_batch` executes them with
+cache consultation and writes one journal line per finished job, so an
+interrupted benchmark sweep resumes exactly where it stopped — even when the
+interruption truncated the journal mid-line.
+
+Journal lines are self-contained JSON records keyed by the job's identity
+``(kind, fingerprint, method, k, max_k, timeout)``; the hypergraph itself is
+not journalled (the spec still carries it), only the verdicts.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from functools import cached_property
+from pathlib import Path
+
+from repro.core.hypergraph import Hypergraph
+from repro.decomp.driver import CheckOutcome, WidthResult
+from repro.engine.fingerprint import fingerprint as _content_fingerprint
+from repro.engine.store import timeout_key
+
+__all__ = ["JobSpec", "JobResult", "Journal"]
+
+CHECK = "check"
+WIDTH = "width"
+PORTFOLIO = "portfolio"
+_KINDS = (CHECK, WIDTH, PORTFOLIO)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of work over one hypergraph.
+
+    Use the :meth:`check` / :meth:`width` / :meth:`portfolio` constructors;
+    ``kind`` decides which of ``k`` / ``max_k`` is meaningful.
+    """
+
+    kind: str
+    hypergraph: Hypergraph
+    method: str = "hd"
+    k: int | None = None
+    max_k: int | None = None
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown job kind {self.kind!r}; known: {_KINDS}")
+
+    # ------------------------------------------------------------ factories
+
+    @classmethod
+    def check(
+        cls,
+        hypergraph: Hypergraph,
+        k: int,
+        method: str = "hd",
+        timeout: float | None = None,
+    ) -> "JobSpec":
+        """A single ``Check(H, k)`` attempt with the given algorithm."""
+        return cls(CHECK, hypergraph, method=method, k=k, timeout=timeout)
+
+    @classmethod
+    def width(
+        cls,
+        hypergraph: Hypergraph,
+        max_k: int,
+        method: str = "hd",
+        timeout: float | None = None,
+    ) -> "JobSpec":
+        """An exact-width sweep, iterating k = 1..max_k (Figure 4 protocol)."""
+        return cls(WIDTH, hypergraph, method=method, max_k=max_k, timeout=timeout)
+
+    @classmethod
+    def portfolio(
+        cls,
+        hypergraph: Hypergraph,
+        k: int,
+        timeout: float | None = None,
+    ) -> "JobSpec":
+        """A GHD portfolio race at width ``k`` (Table 4 protocol)."""
+        return cls(PORTFOLIO, hypergraph, method="portfolio", k=k, timeout=timeout)
+
+    # ------------------------------------------------------------- identity
+
+    @cached_property
+    def fingerprint(self) -> str:
+        """The hypergraph's content fingerprint, computed once per spec."""
+        return _content_fingerprint(self.hypergraph)
+
+    def key(self) -> tuple:
+        """Content-addressed identity used for journal resume."""
+        return (
+            self.kind,
+            self.fingerprint,
+            self.method,
+            self.k,
+            self.max_k,
+            timeout_key(self.timeout),
+        )
+
+    @property
+    def name(self) -> str:
+        return self.hypergraph.name or "H"
+
+
+@dataclass
+class JobResult:
+    """The outcome of one executed (or resumed) job."""
+
+    spec: JobSpec
+    verdict: str
+    seconds: float
+    #: True when every underlying check was served by the result store.
+    cached: bool = False
+    #: True when the job was skipped because the journal already had it.
+    resumed: bool = False
+    #: Exact-width bounds, for ``width`` jobs.
+    lower: int | None = None
+    upper: int | None = None
+    #: Live objects when the job actually ran this session (not journalled).
+    outcome: CheckOutcome | None = None
+    width_result: WidthResult | None = None
+    #: Winning algorithm, for ``portfolio`` jobs.
+    winner: str | None = None
+
+    def payload(self) -> dict:
+        """The JSON-serialisable record written to the journal."""
+        return {
+            "name": self.spec.name,
+            "verdict": self.verdict,
+            "seconds": round(self.seconds, 6),
+            "cached": self.cached,
+            "lower": self.lower,
+            "upper": self.upper,
+            "winner": self.winner,
+        }
+
+    @classmethod
+    def from_journal(cls, spec: JobSpec, payload: dict) -> "JobResult":
+        return cls(
+            spec=spec,
+            verdict=str(payload.get("verdict", "")),
+            seconds=float(payload.get("seconds", 0.0)),
+            cached=bool(payload.get("cached", False)),
+            resumed=True,
+            lower=payload.get("lower"),
+            upper=payload.get("upper"),
+            winner=payload.get("winner"),
+        )
+
+
+class Journal:
+    """An append-only JSONL record of finished jobs.
+
+    :meth:`load` tolerates a truncated final line (the typical artefact of a
+    killed sweep) and interior corruption: invalid lines are dropped and the
+    file is compacted to the valid prefix, so subsequent appends produce a
+    well-formed journal again.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def load(self) -> dict[tuple, dict]:
+        """Read finished-job records as ``{job key: payload}``."""
+        if not self.path.exists():
+            return {}
+        records: dict[tuple, dict] = {}
+        valid_lines: list[str] = []
+        dirty = False
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                dirty = True
+                continue
+            try:
+                record = json.loads(line)
+                key = tuple(record["key"])
+                payload = record["result"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                dirty = True
+                continue
+            records[key] = payload
+            valid_lines.append(line)
+        if dirty:
+            tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+            tmp.write_text(
+                "".join(f"{line}\n" for line in valid_lines), encoding="utf-8"
+            )
+            tmp.replace(self.path)
+        return records
+
+    def append(self, spec: JobSpec, result: JobResult) -> None:
+        """Write one finished job; flushed immediately so kills lose ≤ 1 line."""
+        record = {"key": list(spec.key()), "result": result.payload()}
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")

@@ -1,0 +1,280 @@
+"""A SQLite-backed, content-addressed store of decomposition results.
+
+Every row is one ``Check(H, k)`` (or portfolio / width-building-block)
+verdict, keyed by ``(fingerprint, method, k, timeout)``.  Definite answers
+(yes / no) are facts about the hypergraph and therefore *timeout
+independent*: a lookup that misses its exact timeout key still returns a
+stored definite answer for the same ``(fingerprint, method, k)``.  Timeout
+verdicts, by contrast, only replay for the exact budget they were observed
+under.
+
+Serialized decompositions travel through :mod:`repro.io.json_io`, so
+anything the store hands back can be validated by the independent checkers
+in :mod:`repro.core.decomposition`.
+
+The store keeps lifetime hit/miss counters in a ``meta`` table (surfaced by
+``repro cache stats``) plus per-session counters, and evicts
+least-recently-used rows once ``max_entries`` is exceeded.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.hypergraph import Hypergraph
+from repro.decomp.driver import NO, YES, CheckOutcome
+from repro.errors import ReproError
+from repro.io.json_io import decomposition_from_json, decomposition_to_json
+
+__all__ = ["ResultStore", "StoredResult", "StoreStats", "timeout_key"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    fingerprint TEXT NOT NULL,
+    method      TEXT NOT NULL,
+    k           INTEGER NOT NULL,
+    timeout     TEXT NOT NULL,
+    verdict     TEXT NOT NULL,
+    seconds     REAL NOT NULL,
+    decomposition TEXT,
+    extra       TEXT,
+    created_at  REAL NOT NULL,
+    last_used   REAL NOT NULL,
+    use_count   INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (fingerprint, method, k, timeout)
+);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value INTEGER NOT NULL
+);
+"""
+
+
+def timeout_key(timeout: float | None) -> str:
+    """Normalise a timeout into a stable text key (``None`` → ``"none"``)."""
+    return "none" if timeout is None else repr(float(timeout))
+
+
+@dataclass
+class StoredResult:
+    """One cached verdict, decomposition still in its serialized form."""
+
+    verdict: str
+    seconds: float
+    decomposition_json: str | None = None
+    extra: dict | None = None
+
+    def outcome(self, hypergraph: Hypergraph | None = None) -> CheckOutcome:
+        """Rebuild the :class:`CheckOutcome` (decomposition needs the graph)."""
+        decomposition = None
+        if self.decomposition_json is not None and hypergraph is not None:
+            decomposition = decomposition_from_json(self.decomposition_json, hypergraph)
+        return CheckOutcome(self.verdict, self.seconds, decomposition)
+
+
+@dataclass
+class StoreStats:
+    """Lifetime (persisted) and session hit/miss accounting."""
+
+    entries: int
+    hits: int
+    misses: int
+    session_hits: int
+    session_misses: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultStore:
+    """Persistent result cache; use as a context manager or call :meth:`close`.
+
+    Parameters
+    ----------
+    path:
+        SQLite file path, or ``":memory:"`` for an ephemeral store.
+    max_entries:
+        LRU eviction threshold; ``None`` disables eviction.
+    """
+
+    def __init__(self, path: str | Path = ":memory:", max_entries: int | None = None):
+        self.path = str(path)
+        self.max_entries = max_entries
+        self.session_hits = 0
+        self.session_misses = 0
+        try:
+            self._conn = sqlite3.connect(self.path, isolation_level=None)
+            self._conn.executescript(_SCHEMA)
+        except sqlite3.DatabaseError as exc:
+            raise ReproError(f"{self.path} is not a result store: {exc}") from exc
+
+    # ------------------------------------------------------------- lifecycle
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ----------------------------------------------------------------- cache
+
+    def get(
+        self,
+        fingerprint: str,
+        method: str,
+        k: int,
+        timeout: float | None,
+        record: bool = True,
+    ) -> StoredResult | None:
+        """Look up one result; counts a hit/miss and touches the LRU clock.
+
+        ``record=False`` peeks without touching the hit/miss counters (the
+        engine's batch replay books its lookups via :meth:`record_hits`
+        only once it knows the whole job was served from cache).
+        """
+        row = self._conn.execute(
+            "SELECT rowid, verdict, seconds, decomposition, extra FROM results "
+            "WHERE fingerprint = ? AND method = ? AND k = ? AND timeout = ?",
+            (fingerprint, method, k, timeout_key(timeout)),
+        ).fetchone()
+        if row is None:
+            # Definite answers are timeout independent; reuse one recorded
+            # under any other budget.
+            row = self._conn.execute(
+                "SELECT rowid, verdict, seconds, decomposition, extra FROM results "
+                "WHERE fingerprint = ? AND method = ? AND k = ? "
+                "AND verdict IN (?, ?) LIMIT 1",
+                (fingerprint, method, k, YES, NO),
+            ).fetchone()
+        if row is None:
+            if record:
+                self.session_misses += 1
+                self._bump_meta("misses")
+            return None
+        rowid, verdict, seconds, decomposition, extra = row
+        self._conn.execute(
+            "UPDATE results SET last_used = ?, use_count = use_count + 1 "
+            "WHERE rowid = ?",
+            (time.time(), rowid),
+        )
+        if record:
+            self.session_hits += 1
+            self._bump_meta("hits")
+        return StoredResult(
+            verdict,
+            seconds,
+            decomposition,
+            json.loads(extra) if extra else None,
+        )
+
+    def put(
+        self,
+        fingerprint: str,
+        method: str,
+        k: int,
+        timeout: float | None,
+        outcome: CheckOutcome,
+        extra: dict | None = None,
+    ) -> None:
+        """Persist one outcome (replacing any stale row under the same key)."""
+        decomposition = (
+            decomposition_to_json(outcome.decomposition)
+            if outcome.decomposition is not None
+            else None
+        )
+        now = time.time()
+        self._conn.execute(
+            "INSERT OR REPLACE INTO results "
+            "(fingerprint, method, k, timeout, verdict, seconds, decomposition,"
+            " extra, created_at, last_used, use_count) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, 0)",
+            (
+                fingerprint,
+                method,
+                k,
+                timeout_key(timeout),
+                outcome.verdict,
+                outcome.seconds,
+                decomposition,
+                json.dumps(extra, sort_keys=True) if extra else None,
+                now,
+                now,
+            ),
+        )
+        self._evict()
+
+    def _evict(self) -> None:
+        if self.max_entries is None:
+            return
+        excess = len(self) - self.max_entries
+        if excess > 0:
+            self._conn.execute(
+                "DELETE FROM results WHERE rowid IN "
+                "(SELECT rowid FROM results ORDER BY last_used ASC LIMIT ?)",
+                (excess,),
+            )
+
+    def clear(self) -> None:
+        """Drop every cached result and reset the lifetime counters."""
+        self._conn.execute("DELETE FROM results")
+        self._conn.execute("DELETE FROM meta")
+
+    # ------------------------------------------------------------ accounting
+
+    def __len__(self) -> int:
+        return self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+
+    def record_hits(self, count: int) -> None:
+        """Book ``count`` cache hits observed via non-recording peeks."""
+        if count > 0:
+            self.session_hits += count
+            self._bump_meta("hits", count)
+
+    def record_misses(self, count: int) -> None:
+        """Book ``count`` cache misses observed via non-recording peeks."""
+        if count > 0:
+            self.session_misses += count
+            self._bump_meta("misses", count)
+
+    def _bump_meta(self, key: str, amount: int = 1) -> None:
+        self._conn.execute(
+            "INSERT INTO meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value = value + ?",
+            (key, amount, amount),
+        )
+
+    def _meta(self, key: str) -> int:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return row[0] if row else 0
+
+    @property
+    def stats(self) -> StoreStats:
+        return StoreStats(
+            entries=len(self),
+            hits=self._meta("hits"),
+            misses=self._meta("misses"),
+            session_hits=self.session_hits,
+            session_misses=self.session_misses,
+        )
+
+    def methods(self) -> dict[str, int]:
+        """Entry counts per method (for ``repro cache stats``)."""
+        return dict(
+            self._conn.execute(
+                "SELECT method, COUNT(*) FROM results GROUP BY method ORDER BY method"
+            ).fetchall()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ResultStore {self.path!r}: {len(self)} entries>"

@@ -1,0 +1,326 @@
+"""Worker-process execution of check functions with *hard* timeouts.
+
+The search algorithms poll a cooperative :class:`~repro.utils.deadline.Deadline`
+at their backtracking points, but a cooperative budget cannot preempt a tight
+inner loop (subedge enumeration, cover search) that goes long between polls.
+Running each attempt in its own worker process lets the parent *kill* the
+worker when the wall-clock budget is gone — the paper's cluster runs enforce
+their 3600 s timeouts the same way.
+
+Three execution shapes are provided:
+
+* :func:`run_checked` — one attempt in one worker, killed at
+  ``timeout + grace``;
+* :func:`race_checks` — the Table 4 portfolio: one worker per algorithm,
+  first definite answer wins, losers are cancelled;
+* :func:`map_checks` — a bounded pool streaming a task list through at most
+  ``jobs`` concurrent workers, each with its own hard budget.
+
+Per-attempt processes (rather than a long-lived ``ProcessPoolExecutor``) are
+deliberate: an executor cannot kill a single hung task without tearing down
+the whole pool.  For side-effect-free bulk work with no timeouts (e.g.
+parallel benchmark generation) :func:`run_callables` *does* use
+:class:`concurrent.futures.ProcessPoolExecutor`.
+
+Workers resolve check functions from the :data:`CHECK_METHODS` registry by
+name, so only a short string crosses the process boundary; picklable
+callables are accepted too (tests use this to inject uncooperative loops).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing.connection import Connection, wait as _wait_connections
+
+from repro.core.hypergraph import Hypergraph
+from repro.decomp.balsep import check_ghd_balsep
+from repro.decomp.detkdecomp import check_hd
+from repro.decomp.driver import TIMEOUT, CheckFunction, CheckOutcome, timed_check
+from repro.decomp.globalbip import check_ghd_global_bip
+from repro.decomp.hybrid import check_ghd_hybrid
+from repro.decomp.localbip import check_ghd_local_bip
+from repro.errors import ReproError
+
+__all__ = [
+    "CHECK_METHODS",
+    "DEFAULT_GRACE",
+    "register_method",
+    "resolve_method",
+    "run_checked",
+    "race_checks",
+    "map_checks",
+    "run_callables",
+]
+
+#: The canonical name → check-function registry (the CLI shares these names).
+CHECK_METHODS: dict[str, CheckFunction] = {
+    "hd": check_hd,
+    "globalbip": check_ghd_global_bip,
+    "localbip": check_ghd_local_bip,
+    "balsep": check_ghd_balsep,
+    "hybrid": check_ghd_hybrid,
+}
+
+#: Extra seconds past the cooperative budget before the worker is killed.
+DEFAULT_GRACE = 0.5
+
+# ``fork`` keeps worker start-up cheap and passes arguments by inheritance;
+# platforms without it (Windows, some macOS configs) fall back to the default
+# start method, where arguments must be picklable.
+if "fork" in multiprocessing.get_all_start_methods():
+    _CTX = multiprocessing.get_context("fork")
+else:  # pragma: no cover - non-POSIX fallback
+    _CTX = multiprocessing.get_context()
+
+
+def register_method(name: str, check: CheckFunction) -> None:
+    """Register a custom check function under ``name`` (e.g. for experiments)."""
+    CHECK_METHODS[name] = check
+
+
+def resolve_method(method: str | CheckFunction) -> CheckFunction:
+    """Map a registry name (or pass a callable through) to a check function."""
+    if callable(method):
+        return method
+    try:
+        return CHECK_METHODS[method]
+    except KeyError:
+        raise ReproError(
+            f"unknown check method {method!r}; known: {sorted(CHECK_METHODS)}"
+        ) from None
+
+
+# ---------------------------------------------------------------- primitives
+
+
+def _child_check(
+    conn: Connection,
+    method: str | CheckFunction,
+    hypergraph: Hypergraph,
+    k: int,
+    timeout: float | None,
+) -> None:
+    """Worker entry point: run one timed check, ship the outcome back.
+
+    Exceptions are shipped back too, so a programming error inside a check
+    function surfaces in the parent instead of masquerading as a timeout;
+    only a worker that *dies* (OOM kill, crash) reads as a timeout.
+    """
+    try:
+        try:
+            outcome = timed_check(resolve_method(method), hypergraph, k, timeout)
+        except Exception as exc:  # noqa: BLE001 - forwarded to the parent
+            conn.send(exc)
+        else:
+            # The decomposition travels back serialized by pickle; drop nothing.
+            conn.send(outcome)
+    finally:
+        conn.close()
+
+
+def _reap(process: multiprocessing.Process) -> None:
+    """Terminate (then kill) a worker and wait for it to disappear."""
+    if process.is_alive():
+        process.terminate()
+        process.join(1.0)
+        if process.is_alive():  # pragma: no cover - terminate nearly always works
+            process.kill()
+    process.join()
+
+
+def _hard_budget(timeout: float | None, grace: float) -> float | None:
+    return None if timeout is None else timeout + grace
+
+
+def _spawn(
+    method: str | CheckFunction,
+    hypergraph: Hypergraph,
+    k: int,
+    timeout: float | None,
+) -> tuple[multiprocessing.Process, Connection]:
+    resolve_method(method)  # fail in the parent on unknown method names
+    parent_conn, child_conn = _CTX.Pipe(duplex=False)
+    process = _CTX.Process(
+        target=_child_check,
+        args=(child_conn, method, hypergraph, k, timeout),
+        daemon=True,
+    )
+    process.start()
+    child_conn.close()
+    return process, parent_conn
+
+
+def _receive(conn: Connection, fallback_seconds: float) -> CheckOutcome:
+    """Read a worker's outcome; a dead pipe (crash, OOM-kill) is a timeout.
+
+    The paper treats resource blow-ups the same way (GlobalBIP's subedge
+    explosions are recorded as timeouts), so a worker that dies without an
+    answer gets the same verdict.  A forwarded exception re-raises here.
+    """
+    try:
+        result = conn.recv()
+    except (EOFError, OSError):
+        return CheckOutcome(TIMEOUT, fallback_seconds)
+    if isinstance(result, Exception):
+        raise result
+    return result
+
+
+# -------------------------------------------------------------- single check
+
+
+def run_checked(
+    method: str | CheckFunction,
+    hypergraph: Hypergraph,
+    k: int,
+    timeout: float | None = None,
+    grace: float = DEFAULT_GRACE,
+) -> CheckOutcome:
+    """Run one ``Check(H, k)`` in a worker process with a hard timeout.
+
+    The worker still polls the cooperative deadline (so well-behaved searches
+    stop themselves near ``timeout``); the parent kills it at
+    ``timeout + grace`` regardless.
+    """
+    process, conn = _spawn(method, hypergraph, k, timeout)
+    start = time.perf_counter()
+    try:
+        if conn.poll(_hard_budget(timeout, grace)):
+            return _receive(conn, time.perf_counter() - start)
+        return CheckOutcome(TIMEOUT, time.perf_counter() - start)
+    finally:
+        conn.close()
+        _reap(process)
+
+
+# ---------------------------------------------------------------- portfolio
+
+
+def race_checks(
+    methods: Sequence[str],
+    hypergraph: Hypergraph,
+    k: int,
+    timeout: float | None = None,
+    grace: float = DEFAULT_GRACE,
+) -> tuple[str | None, dict[str, CheckOutcome]]:
+    """Race one worker per method; the first definite answer wins.
+
+    Returns ``(winner, per_method)``.  ``winner`` is ``None`` when nobody
+    answered.  Losers still running when the winner reports are cancelled
+    (killed) and recorded as timeouts at their cancellation time; methods
+    that finished *before* the winner keep their genuine outcomes.
+    """
+    processes: dict[str, multiprocessing.Process] = {}
+    pending: dict[Connection, str] = {}
+    for method in methods:
+        process, conn = _spawn(method, hypergraph, k, timeout)
+        processes[method] = process
+        pending[conn] = method
+    start = time.perf_counter()
+    deadline = None if timeout is None else start + timeout + grace
+    results: dict[str, CheckOutcome] = {}
+    winner: str | None = None
+    try:
+        while pending and winner is None:
+            remaining = None if deadline is None else max(0.0, deadline - time.perf_counter())
+            ready = _wait_connections(list(pending), remaining)
+            if not ready:
+                break  # hard budget exhausted for everyone still running
+            for conn in ready:
+                method = pending.pop(conn)  # type: ignore[arg-type]
+                outcome = _receive(conn, time.perf_counter() - start)  # type: ignore[arg-type]
+                conn.close()  # type: ignore[attr-defined]
+                results[method] = outcome
+                if winner is None and outcome.answered:
+                    winner = method
+        cancelled_at = time.perf_counter() - start
+        still_racing = winner is not None
+        for method in pending.values():
+            results[method] = CheckOutcome(TIMEOUT, cancelled_at, cancelled=still_racing)
+    finally:
+        for conn in pending:
+            conn.close()
+        for process in processes.values():
+            _reap(process)
+    return winner, results
+
+
+# -------------------------------------------------------------- bounded pool
+
+
+def map_checks(
+    tasks: Sequence[tuple[str | CheckFunction, Hypergraph, int, float | None]],
+    jobs: int,
+    grace: float = DEFAULT_GRACE,
+) -> list[CheckOutcome]:
+    """Stream ``(method, hypergraph, k, timeout)`` tasks through ≤ jobs workers.
+
+    Results come back in task order.  Each worker has its own hard budget;
+    a killed or crashed worker yields a timeout verdict for its task.
+    """
+    jobs = max(1, int(jobs))
+    results: list[CheckOutcome | None] = [None] * len(tasks)
+    active: dict[Connection, tuple[int, multiprocessing.Process, float, float | None]] = {}
+    next_task = 0
+    try:
+        while next_task < len(tasks) or active:
+            while next_task < len(tasks) and len(active) < jobs:
+                method, hypergraph, k, timeout = tasks[next_task]
+                process, conn = _spawn(method, hypergraph, k, timeout)
+                started = time.perf_counter()
+                budget = _hard_budget(timeout, grace)
+                active[conn] = (
+                    next_task,
+                    process,
+                    started,
+                    None if budget is None else started + budget,
+                )
+                next_task += 1
+            now = time.perf_counter()
+            deadlines = [d for (_, _, _, d) in active.values() if d is not None]
+            poll = None if not deadlines else max(0.0, min(deadlines) - now)
+            ready = _wait_connections(list(active), poll)
+            now = time.perf_counter()
+            for conn in ready:
+                index, process, started, _ = active.pop(conn)  # type: ignore[arg-type]
+                results[index] = _receive(conn, now - started)  # type: ignore[arg-type]
+                conn.close()  # type: ignore[attr-defined]
+                _reap(process)
+            overdue = [
+                conn
+                for conn, (_, _, _, deadline) in active.items()
+                if deadline is not None and now >= deadline
+            ]
+            for conn in overdue:
+                index, process, started, _ = active.pop(conn)
+                results[index] = CheckOutcome(TIMEOUT, now - started)
+                conn.close()
+                _reap(process)
+    finally:
+        for conn, (_, process, _, _) in active.items():
+            conn.close()
+            _reap(process)
+    return results  # type: ignore[return-value]
+
+
+# ----------------------------------------------------- generic parallel calls
+
+
+def run_callables(
+    calls: Sequence[tuple[Callable, tuple]],
+    jobs: int,
+) -> list[object]:
+    """Run ``fn(*args)`` pairs in a process pool, results in call order.
+
+    For deterministic, side-effect-free bulk work without timeouts (the
+    benchmark generators); uses :class:`concurrent.futures.ProcessPoolExecutor`.
+    """
+    jobs = max(1, int(jobs))
+    if jobs == 1 or len(calls) <= 1:
+        return [fn(*args) for fn, args in calls]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(calls)), mp_context=_CTX) as pool:
+        futures = [pool.submit(fn, *args) for fn, args in calls]
+        return [future.result() for future in futures]

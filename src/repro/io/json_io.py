@@ -9,11 +9,17 @@ from __future__ import annotations
 
 import json
 
-from repro.core.decomposition import Decomposition
+from repro.core.decomposition import Decomposition, DecompositionNode
 from repro.core.hypergraph import Hypergraph
 from repro.errors import ParseError
 
-__all__ = ["hypergraph_to_json", "hypergraph_from_json", "decomposition_to_json"]
+__all__ = [
+    "hypergraph_to_json",
+    "hypergraph_from_json",
+    "decomposition_to_json",
+    "decomposition_from_dict",
+    "decomposition_from_json",
+]
 
 
 def hypergraph_to_json(hypergraph: Hypergraph, indent: int | None = None) -> str:
@@ -42,3 +48,46 @@ def hypergraph_from_json(text: str) -> Hypergraph:
 def decomposition_to_json(decomposition: Decomposition, indent: int | None = None) -> str:
     """Serialise a decomposition (tree, bags, covers) to JSON."""
     return json.dumps(decomposition.to_dict(), indent=indent, sort_keys=True)
+
+
+def decomposition_from_dict(payload: dict, hypergraph: Hypergraph) -> Decomposition:
+    """Rebuild a decomposition from :meth:`Decomposition.to_dict` output.
+
+    The serialised form refers to edges by name only, so the decomposed
+    ``hypergraph`` must be supplied (the engine's result store guarantees
+    this by keying results on the hypergraph's content fingerprint).
+    """
+    if not isinstance(payload, dict) or "root" not in payload:
+        raise ParseError("JSON decomposition must be an object with a 'root' key")
+
+    def parse_node(node_payload: object) -> DecompositionNode:
+        if not isinstance(node_payload, dict):
+            raise ParseError("decomposition nodes must be JSON objects")
+        try:
+            bag = node_payload["bag"]
+            cover = node_payload["cover"]
+        except KeyError as exc:
+            raise ParseError(f"decomposition node lacks {exc} key") from None
+        children = [parse_node(c) for c in node_payload.get("children", [])]
+        try:
+            return DecompositionNode(
+                frozenset(str(v) for v in bag),
+                {str(name): float(weight) for name, weight in cover.items()},
+                children,
+            )
+        except (AttributeError, TypeError, ValueError) as exc:
+            raise ParseError(f"malformed decomposition node: {exc}") from exc
+
+    kind = str(payload.get("kind", "GHD"))
+    if kind not in Decomposition.KINDS:
+        raise ParseError(f"unknown decomposition kind {kind!r}")
+    return Decomposition(hypergraph, parse_node(payload["root"]), kind=kind)
+
+
+def decomposition_from_json(text: str, hypergraph: Hypergraph) -> Decomposition:
+    """Parse the JSON document format of :func:`decomposition_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ParseError(f"invalid JSON: {exc}") from exc
+    return decomposition_from_dict(payload, hypergraph)
