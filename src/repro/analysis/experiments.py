@@ -421,16 +421,21 @@ def run_full_study(
     """Run the entire Section 6 evaluation on a fresh synthetic benchmark.
 
     An optional :class:`repro.engine.DecompositionEngine` threads through
-    the benchmark build (parallel generation), the Figure 4 hw sweep and the
-    Tables 3/4 portfolio (parallel races, cached verdicts) — re-running the
-    study with a persistent result store replays every check from cache.
+    the benchmark build (parallel generation), the Table 2 statistics
+    (crash-isolated worker fan-out), the Figure 4 hw sweep, the Tables 3/4
+    portfolio (parallel races, cached verdicts) and the Tables 5/6
+    fractional study (store-backed warm starts) — re-running the study with
+    a persistent result store replays every check from cache, and checks
+    whose verdicts are implied by stored bounds never run at all.
     """
     repository = build_default_benchmark(scale=scale, seed=seed, engine=engine)
-    repository.compute_all_statistics()
+    repository.compute_all_statistics(jobs=getattr(engine, "jobs", 1))
     hw = run_hw_analysis(repository, max_k=max_k, timeout=timeout, engine=engine)
     ghw = run_ghw_analysis(repository, timeout=timeout, engine=engine)
     fractional = run_fractional_analysis(
-        repository, timeout=frac_timeout if frac_timeout is not None else timeout
+        repository,
+        timeout=frac_timeout if frac_timeout is not None else timeout,
+        engine=engine,
     )
     study = StudyResult(repository, hw, ghw, fractional)
     study.results["table1"] = table1_overview(repository)

@@ -95,7 +95,10 @@ def run_ghw_analysis(
     With an :class:`repro.engine.DecompositionEngine`, each portfolio races
     the three algorithms in parallel worker processes and cached verdicts
     are replayed from the result store (custom ``algorithms`` force the
-    sequential path — the engine only races its registered methods).
+    sequential path — the engine only races its registered methods).  A race
+    whose verdict is already implied by the store's bounds index is skipped
+    entirely; such replays contribute to Table 4 but, carrying no
+    per-algorithm timings for this k, add nothing to Table 3.
     """
     custom = algorithms is not None
     algorithms = algorithms or GHD_ALGORITHMS

@@ -73,8 +73,10 @@ def run_hw_analysis(
 
     An optional :class:`repro.engine.DecompositionEngine` routes every
     ``Check(HD, k)`` through its result store and worker pool, so repeated
-    sweeps over the same instances are served from cache and uncooperative
-    searches are killed at the hard timeout.
+    sweeps over the same instances are served from cache — including answers
+    *implied* by the store's bounds index (a stored yes at k' ≤ k, or no at
+    k' ≥ k, settles k without running anything) — and uncooperative searches
+    are killed at the hard timeout.
     """
     analysis = HwAnalysis(max_k, timeout)
     pending: list[BenchmarkEntry] = list(repository)
@@ -99,7 +101,10 @@ def run_hw_analysis(
                 entry.ghw_high = k  # ghw <= hw
                 if entry.ghw_low is None:
                     entry.ghw_low = 1
-                entry.extra["hd"] = outcome.decomposition
+                if outcome.decomposition is not None:
+                    # A bounds-implied yes whose witness row lost its
+                    # decomposition (eviction) must not erase a stored HD.
+                    entry.extra["hd"] = outcome.decomposition
             elif outcome.verdict == NO:
                 cell.no += 1
                 cell.no_seconds += outcome.seconds

@@ -5,19 +5,23 @@ Subcommands::
     python -m repro analyze FILE.hg              # Table 2 metrics of one file
     python -m repro width FILE.hg --max-k 6      # exact hw (and optionally ghw)
     python -m repro decompose FILE.hg -k 3       # print / export a decomposition
+    python -m repro fractional FILE.hg -k 3      # ImproveHD / FracImproveHD widths
     python -m repro benchmark --scale 0.2 DIR    # build benchmark + CSV + HTML
     python -m repro convert --cq "ans(X):-r(X,Y),s(Y,Z)."   # to .hg format
     python -m repro convert --xcsp FILE.xml
     python -m repro convert --sql FILE.sql --schema SCHEMA.json
     python -m repro cache stats --cache results.db   # inspect the result store
+    python -m repro cache bounds --cache results.db  # derived width bounds
     python -m repro cache clear --cache results.db
 
-The ``width``, ``decompose`` and ``benchmark`` commands accept ``--jobs N``
-(run checks in N killable worker processes with hard timeouts; for
-``benchmark`` this parallelises class generation) and ``--cache PATH`` (a
-SQLite result store: ``width``/``decompose`` cache and replay every verdict
-from it; ``benchmark`` only initialises the store for later runs, since
-generation records no verdicts).  Both route the command through
+The ``width``, ``decompose``, ``fractional`` and ``benchmark`` commands
+accept ``--jobs N`` (run checks in N killable worker processes with hard
+timeouts; for ``benchmark`` this also parallelises class generation and the
+statistics pass) and ``--cache PATH`` (a SQLite result store:
+``width``/``decompose``/``fractional`` cache and replay every verdict from
+it — including verdicts merely *implied* by the store's bounds index;
+``benchmark`` only initialises the store for later runs, since generation
+records no verdicts).  Both route the command through
 :class:`repro.engine.DecompositionEngine`; without these flags everything
 runs sequentially in-process, as before.
 
@@ -37,7 +41,7 @@ from repro.core.properties import compute_statistics
 from repro.decomp.balsep import check_ghd_balsep
 from repro.decomp.detkdecomp import check_hd
 from repro.decomp.driver import exact_width, timed_check
-from repro.decomp.fractional import best_fractional_improvement
+from repro.decomp.fractional import DEFAULT_PRECISION, best_fractional_improvement
 from repro.engine import DecompositionEngine, ResultStore
 from repro.engine.workers import CHECK_METHODS
 from repro.errors import ReproError
@@ -101,6 +105,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_flags(decompose)
 
+    fractional = sub.add_parser(
+        "fractional",
+        help="fractional improvement widths of one instance (Tables 5/6 protocol)",
+    )
+    fractional.add_argument("file", type=Path)
+    fractional.add_argument("-k", type=int, required=True, help="starting integral width")
+    fractional.add_argument("--timeout", type=float, default=None)
+    fractional.add_argument(
+        "--precision", type=float, default=DEFAULT_PRECISION,
+        help=(
+            "bisection precision for FracImproveHD (non-default values "
+            "bypass the result store; ignored with --jobs > 1)"
+        ),
+    )
+    _add_engine_flags(
+        fractional,
+        cache_help=(
+            "SQLite result store; HD and FracImproveHD verdicts are cached, "
+            "replayed, and reused as warm-start seeds"
+        ),
+    )
+
     benchmark = sub.add_parser("benchmark", help="build the synthetic benchmark")
     benchmark.add_argument("out_dir", type=Path)
     benchmark.add_argument("--scale", type=float, default=0.2)
@@ -115,7 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     cache = sub.add_parser("cache", help="inspect or clear a result store")
-    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("action", choices=("stats", "bounds", "clear"))
     cache.add_argument(
         "--cache", type=Path, required=True, metavar="PATH",
         help="SQLite result-store file",
@@ -220,6 +246,78 @@ def _print_tree(node, indent: int = 0) -> None:
         _print_tree(child, indent + 1)
 
 
+def _cmd_fractional(args) -> int:
+    from repro.analysis.fractional_analysis import frac_improve_outcome
+    from repro.decomp.fractional import improve_hd
+    from repro.errors import DeadlineExceeded
+    from repro.utils.deadline import Deadline
+
+    h = read_hypergraph(args.file)
+    engine = _make_engine(args)
+    try:
+        if engine is not None:
+            hd_outcome = engine.check(h, args.k, method="hd", timeout=args.timeout)
+        else:
+            hd_outcome = timed_check(check_hd, h, args.k, args.timeout)
+        if hd_outcome.verdict == "timeout":
+            print(
+                f"Check(HD, {args.k}) timed out after {hd_outcome.seconds:.1f}s",
+                file=sys.stderr,
+            )
+            return 2
+        if hd_outcome.verdict == "no":
+            print(f"no HD of width <= {args.k} exists")
+            return 1
+        print(f"hw({h.name}) <= {args.k}")
+        seed = None
+        if hd_outcome.decomposition is not None:
+            fhd = improve_hd(hd_outcome.decomposition)
+            seed = fhd.width
+            print(f"ImproveHD width      {fhd.width:.3f}")
+        if engine is not None:
+            if engine.parallel:
+                # killable worker with a hard timeout; verdicts replay from
+                # the store (a bounds-implied replay reports a width achieved
+                # at a smaller k — an upper bound on this k's optimum)
+                frac = engine.check(h, args.k, method="fracimprove", timeout=args.timeout)
+            else:
+                # cache-backed in-process run, warm-started with the
+                # ImproveHD width of the HD found above
+                frac = frac_improve_outcome(
+                    h,
+                    args.k,
+                    timeout=args.timeout,
+                    precision=args.precision,
+                    store=engine.store,
+                    upper_seed=seed,
+                )
+            if frac.verdict == "timeout":
+                print(f"FracImproveHD        timeout after {frac.seconds:.1f}s")
+                return 0
+            best = frac.decomposition
+        else:
+            try:
+                best = best_fractional_improvement(
+                    h,
+                    args.k,
+                    precision=args.precision,
+                    deadline=Deadline(args.timeout),
+                    upper_seed=seed,
+                )
+            except DeadlineExceeded:
+                print("FracImproveHD        timeout")
+                return 0
+        if best is not None:
+            print(
+                f"FracImproveHD width  {best.width:.3f} "
+                f"(improvement {args.k - best.width:.3f})"
+            )
+    finally:
+        if engine is not None:
+            engine.close()
+    return 0
+
+
 def _cmd_benchmark(args) -> int:
     engine = _make_engine(args)
     try:
@@ -227,7 +325,7 @@ def _cmd_benchmark(args) -> int:
     finally:
         if engine is not None:
             engine.close()
-    repo.compute_all_statistics()
+    repo.compute_all_statistics(jobs=args.jobs)
     args.out_dir.mkdir(parents=True, exist_ok=True)
     (args.out_dir / "hyperbench.csv").write_text(repo.to_csv(), encoding="utf-8")
     (args.out_dir / "hyperbench.json").write_text(repo.to_json(indent=2), encoding="utf-8")
@@ -286,10 +384,21 @@ def _cmd_cache(args) -> int:
             store.clear()
             print(f"cleared {cleared} cached results from {args.cache}")
             return 0
+        if args.action == "bounds":
+            rows = store.bounds_rows()
+            if not rows:
+                print("no width bounds derived yet")
+                return 0
+            print(f"{'fingerprint':<14} {'method':<12} {'lo':>4} {'hi':>4}")
+            for fp, method, lo, hi in rows:
+                hi_text = "-" if hi is None else str(hi)
+                print(f"{fp[:12] + '..':<14} {method:<12} {lo:>4} {hi_text:>4}")
+            return 0
         stats = store.stats
         print(f"store        {args.cache}")
         print(f"entries      {stats.entries}")
         print(f"hits         {stats.hits}")
+        print(f"  implied    {stats.implied}")
         print(f"misses       {stats.misses}")
         print(f"hit rate     {stats.hit_rate:.1%}")
         for method, count in store.methods().items():
@@ -301,6 +410,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "width": _cmd_width,
     "decompose": _cmd_decompose,
+    "fractional": _cmd_fractional,
     "benchmark": _cmd_benchmark,
     "convert": _cmd_convert,
     "cache": _cmd_cache,

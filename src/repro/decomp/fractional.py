@@ -28,11 +28,19 @@ __all__ = [
     "improve_hd",
     "check_frac_improved",
     "best_fractional_improvement",
+    "check_frac_best",
+    "DEFAULT_PRECISION",
     "FRACTIONAL_TOLERANCE",
 ]
 
 #: Numeric slack when comparing LP optima against thresholds.
 FRACTIONAL_TOLERANCE = 1e-6
+
+#: Default bisection precision of :func:`best_fractional_improvement`.
+#: Cached ``fracimprove`` results are only valid at this precision (the
+#: store key carries no precision dimension), so store-backed callers
+#: bypass the cache for any other value.
+DEFAULT_PRECISION = 0.1
 
 
 def improve_hd(decomposition: Decomposition) -> Decomposition:
@@ -102,19 +110,32 @@ def check_frac_improved(
 def best_fractional_improvement(
     hypergraph: Hypergraph,
     k: int,
-    precision: float = 0.1,
+    precision: float = DEFAULT_PRECISION,
     deadline: Deadline | None = None,
+    upper_seed: float | None = None,
 ) -> Decomposition | None:
     """Minimise k′ over fractionally improved HDs of integral width ≤ k.
 
     Bisects the threshold k′ down to ``precision``, reusing one LP cache
     across probes.  Returns the best FHD found, or ``None`` when not even
     ``k′ = k`` admits an HD (i.e. ``Check(HD, k)`` itself fails).
+
+    ``upper_seed`` warm-starts the bisection with an already-achieved
+    fractional width (e.g. ``improve_hd`` applied to a stored HD from the
+    Figure 4 sweep): the first probe runs at ``min(k, upper_seed)`` instead
+    of the full ``k``, shrinking the initial interval.  A seed the filtered
+    search cannot reproduce falls back to the unseeded first probe, so a
+    stale seed costs one probe but never changes the answer's validity.
     """
     deadline = deadline or Deadline.unlimited()
     cache = _BagWeightCache(hypergraph)
 
-    best = check_frac_improved(hypergraph, k, float(k), deadline=deadline, cache=cache)
+    start = float(k) if upper_seed is None else min(float(k), float(upper_seed))
+    best = check_frac_improved(hypergraph, k, start, deadline=deadline, cache=cache)
+    if best is None and start < float(k):
+        best = check_frac_improved(
+            hypergraph, k, float(k), deadline=deadline, cache=cache
+        )
     if best is None:
         return None
     low, high = 1.0, best.width
@@ -130,3 +151,21 @@ def best_fractional_improvement(
             best = candidate
             high = min(mid, candidate.width)
     return best
+
+
+def check_frac_best(
+    hypergraph: Hypergraph,
+    k: int,
+    deadline: Deadline | None = None,
+) -> Decomposition | None:
+    """``FracImproveHD`` as an engine check function (method ``fracimprove``).
+
+    Matches the :data:`repro.decomp.driver.CheckFunction` signature so the
+    decomposition engine can cache, prune and hard-timeout the Table 6
+    computation like any other ``Check(H, k)``: "yes" means an HD of width
+    ≤ k exists and the returned FHD is the best fractional improvement found
+    (its ``width`` is the Table 6 value); "no" means not even ``Check(HD, k)``
+    succeeds.  Both are monotone in ``k``, so ``fracimprove`` rows feed the
+    store's bounds index.  Uses the default bisection precision.
+    """
+    return best_fractional_improvement(hypergraph, k, deadline=deadline)

@@ -26,9 +26,11 @@ everywhere, so existing callers and tests keep their deterministic behaviour.
 from repro.engine.engine import BatchReport, DecompositionEngine, EngineStats
 from repro.engine.fingerprint import canonical_form, fingerprint, structural_fingerprint
 from repro.engine.jobs import JobResult, JobSpec, Journal
-from repro.engine.store import ResultStore, StoredResult
+from repro.engine.store import MONOTONE_METHODS, ResultStore, StoredResult
 from repro.engine.workers import (
     CHECK_METHODS,
+    CallFailure,
+    map_callables,
     map_checks,
     race_checks,
     register_method,
@@ -43,6 +45,7 @@ __all__ = [
     "BatchReport",
     "ResultStore",
     "StoredResult",
+    "MONOTONE_METHODS",
     "JobSpec",
     "JobResult",
     "Journal",
@@ -55,5 +58,7 @@ __all__ = [
     "run_checked",
     "race_checks",
     "map_checks",
+    "map_callables",
+    "CallFailure",
     "run_callables",
 ]

@@ -41,10 +41,15 @@ _PORTFOLIO_KEY = "portfolio"
 
 @dataclass
 class EngineStats:
-    """Per-engine request accounting (the store keeps its own lifetime stats)."""
+    """Per-engine request accounting (the store keeps its own lifetime stats).
+
+    ``implied`` counts the subset of ``cache_hits`` answered by the store's
+    bounds index (monotonicity) rather than an exactly matching row.
+    """
 
     requests: int = 0
     cache_hits: int = 0
+    implied: int = 0
     executed: int = 0
 
     @property
@@ -61,6 +66,9 @@ class BatchReport:
     resumed: int = 0
     #: Jobs answered entirely from the result store.
     cache_hits: int = 0
+    #: The subset of ``cache_hits`` pruned via the store's bounds index
+    #: (at least one underlying verdict was implied, not stored verbatim).
+    pruned: int = 0
     #: Jobs that actually ran at least one check.
     executed: int = 0
     results: list[JobResult] = field(default_factory=list)
@@ -127,9 +135,10 @@ class DecompositionEngine:
         k: int,
         timeout: float | None,
         record: bool = True,
-    ) -> tuple[CheckOutcome | None, dict | None]:
-        """Consult the store; returns ``(outcome, extra)`` or ``(None, None)``.
+    ) -> tuple[CheckOutcome | None, dict | None, bool]:
+        """Consult the store; returns ``(outcome, extra, implied)``.
 
+        ``implied`` is true when the bounds index (not an exact row) answered.
         ``record=False`` peeks without touching the engine's request/hit
         counters — batch replay uses this and books its lookups only once
         it knows whether the whole job was served from cache.
@@ -137,13 +146,15 @@ class DecompositionEngine:
         if record:
             self.stats.requests += 1
         if self.store is None:
-            return None, None
+            return None, None, False
         stored = self.store.get(fp, method, k, timeout, record=record)
         if stored is None:
-            return None, None
+            return None, None, False
         if record:
             self.stats.cache_hits += 1
-        return stored.outcome(hypergraph), stored.extra
+            if stored.implied:
+                self.stats.implied += 1
+        return stored.outcome(hypergraph), stored.extra, stored.implied
 
     def _remember(
         self,
@@ -166,9 +177,10 @@ class DecompositionEngine:
         method: str = "hd",
         timeout: float | None = None,
     ) -> CheckOutcome:
-        """One ``Check(H, k)`` attempt, cache first, then dispatch."""
+        """One ``Check(H, k)`` attempt: cache first (exact rows, then verdicts
+        implied by stored bounds), dispatch only when neither answers."""
         fp = fingerprint(hypergraph)
-        outcome, _ = self._lookup(fp, hypergraph, method, k, timeout)
+        outcome, _, _ = self._lookup(fp, hypergraph, method, k, timeout)
         if outcome is not None:
             return outcome
         outcome = self._execute(method, hypergraph, k, timeout)
@@ -196,7 +208,25 @@ class DecompositionEngine:
         method: str = "hd",
         timeout: float | None = None,
     ) -> WidthResult:
-        """The Figure 4 protocol, every k-attempt routed through the engine."""
+        """The Figure 4 protocol, every k-attempt routed through the engine.
+
+        When the store's bounds index already brackets the width inside
+        ``[lo, hi]`` with ``hi <= max_k``, the width is located by *binary
+        search* inside that interval instead of the linear k-scan — a warm
+        sweep touches O(log(hi − lo)) keys, all usually answered from the
+        store.  Without a known upper bound the linear protocol runs, but
+        every ``k < lo`` is still answered instantly by an implied "no".
+        A timeout mid-bisection (or stale bounds after eviction) falls back
+        to the linear protocol, whose loose-bounds semantics match the
+        sequential driver exactly.
+        """
+        if self.store is not None:
+            fp = fingerprint(hypergraph)
+            lo, hi = self.store.bounds(fp, method)
+            if hi is not None and hi <= max_k:
+                result = self._bisect_width(hypergraph, max(1, lo), hi, method, timeout)
+                if result is not None:
+                    return result
 
         def runner(_check, h, k, t):
             return self.check(h, k, method=method, timeout=t)
@@ -204,6 +234,41 @@ class DecompositionEngine:
         return driver.exact_width(
             workers.resolve_method(method), hypergraph, max_k, timeout, runner=runner
         )
+
+    def _bisect_width(
+        self,
+        hypergraph: Hypergraph,
+        low: int,
+        high: int,
+        method: str,
+        timeout: float | None,
+    ) -> WidthResult | None:
+        """Find the smallest yes-k in ``[low, high]``, or ``None`` to fall back.
+
+        Preconditions from the bounds index: ``high`` is a known yes and
+        every ``k < low`` a definite no, so the loop invariant (``low - 1``
+        refuted, ``high`` accepted) makes the answer exact.  Any timeout or
+        contradiction (bounds no longer backed by rows) aborts the bisection.
+        """
+        timings: dict[int, CheckOutcome] = {}
+        best: CheckOutcome | None = None
+        while low < high:
+            mid = (low + high) // 2
+            outcome = self.check(hypergraph, mid, method=method, timeout=timeout)
+            timings[mid] = outcome
+            if outcome.verdict == driver.YES:
+                high = mid
+                best = outcome
+            elif outcome.verdict == driver.NO:
+                low = mid + 1
+            else:
+                return None
+        if best is None:
+            best = self.check(hypergraph, high, method=method, timeout=timeout)
+            timings[high] = best
+            if best.verdict != driver.YES:
+                return None
+        return WidthResult(high, high, best.decomposition, timings)
 
     # ------------------------------------------------------------- portfolio
 
@@ -223,8 +288,13 @@ class DecompositionEngine:
         the row's metadata, so Table 3 style accounting survives cache hits).
         """
         fp = fingerprint(hypergraph)
-        outcome, extra = self._lookup(fp, hypergraph, _PORTFOLIO_KEY, k, timeout)
+        outcome, extra, implied = self._lookup(fp, hypergraph, _PORTFOLIO_KEY, k, timeout)
         if outcome is not None:
+            if implied:
+                # A bounds-implied verdict has no per-algorithm race behind
+                # it; the witnessing race ran at a different k, so its
+                # timings must not masquerade as this k's (Table 3 honesty).
+                return outcome, {}
             per_algorithm = {
                 name: CheckOutcome(row[0], row[1], cancelled=bool(row[2]) if len(row) > 2 else False)
                 for name, row in (extra or {}).get("per", {}).items()
@@ -286,9 +356,10 @@ class DecompositionEngine:
         """Execute a job list with journal resume and cache consultation.
 
         Jobs already present in the journal are skipped (``resumed``); the
-        rest are answered from the store when possible (``cache_hits``) and
-        executed otherwise — cache-missed single-check jobs fan out across
-        the worker pool when ``jobs > 1``.
+        rest are answered from the store when possible (``cache_hits``) —
+        including jobs *pruned* because a stored bound already implies their
+        verdict (``pruned``) — and executed otherwise.  Cache-missed
+        single-check jobs fan out across the worker pool when ``jobs > 1``.
         """
         if journal is not None and not isinstance(journal, Journal):
             journal = Journal(journal)
@@ -305,13 +376,16 @@ class DecompositionEngine:
             else:
                 pending.append(index)
 
-        # Serve whole jobs from the store where possible.
+        # Serve whole jobs from the store where possible — either from exact
+        # rows or pruned outright because stored bounds imply the verdict.
         to_run: list[int] = []
         for index in pending:
             result = self._replay_from_cache(specs[index])
             if result is not None:
                 results[index] = result
                 report.cache_hits += 1
+                if result.implied:
+                    report.pruned += 1
                 if journal is not None:
                     journal.append(specs[index], result)
             else:
@@ -370,39 +444,47 @@ class DecompositionEngine:
             return None
         fp = spec.fingerprint
         if spec.kind == CHECK:
-            outcome, _ = self._lookup(
+            outcome, _, implied = self._lookup(
                 fp, spec.hypergraph, spec.method, spec.k, spec.timeout, record=False
             )
             if outcome is None:
                 return None
-            self._book_replay(1)
-            return JobResult(
-                spec, outcome.verdict, outcome.seconds, cached=True, outcome=outcome
-            )
-        if spec.kind == PORTFOLIO:
-            outcome, extra = self._lookup(
-                fp, spec.hypergraph, _PORTFOLIO_KEY, spec.k, spec.timeout, record=False
-            )
-            if outcome is None:
-                return None
-            self._book_replay(1)
+            self._book_replay(1, int(implied))
             return JobResult(
                 spec,
                 outcome.verdict,
                 outcome.seconds,
                 cached=True,
                 outcome=outcome,
-                winner=(extra or {}).get("winner"),
+                implied=implied,
+            )
+        if spec.kind == PORTFOLIO:
+            outcome, extra, implied = self._lookup(
+                fp, spec.hypergraph, _PORTFOLIO_KEY, spec.k, spec.timeout, record=False
+            )
+            if outcome is None:
+                return None
+            self._book_replay(1, int(implied))
+            return JobResult(
+                spec,
+                outcome.verdict,
+                outcome.seconds,
+                cached=True,
+                outcome=outcome,
+                winner=None if implied else (extra or {}).get("winner"),
+                implied=implied,
             )
         # WIDTH: replay the exact_width iteration against the store only.
         lookups = 0
+        implied_lookups = 0
 
         def cache_only_runner(_check, h, k, t):
-            nonlocal lookups
-            outcome, _ = self._lookup(fp, h, spec.method, k, t, record=False)
+            nonlocal lookups, implied_lookups
+            outcome, _, implied = self._lookup(fp, h, spec.method, k, t, record=False)
             if outcome is None:
                 raise _CacheMiss
             lookups += 1
+            implied_lookups += int(implied)
             return outcome
 
         try:
@@ -415,17 +497,20 @@ class DecompositionEngine:
             )
         except _CacheMiss:
             return None
-        self._book_replay(lookups)
-        return self._width_job_result(spec, width_result, cached=True)
+        self._book_replay(lookups, implied_lookups)
+        return self._width_job_result(
+            spec, width_result, cached=True, implied=implied_lookups > 0
+        )
 
-    def _book_replay(self, lookups: int) -> None:
+    def _book_replay(self, lookups: int, implied: int = 0) -> None:
         self.stats.requests += lookups
         self.stats.cache_hits += lookups
+        self.stats.implied += implied
         if self.store is not None:
-            self.store.record_hits(lookups)
+            self.store.record_hits(lookups, implied)
 
     def _width_job_result(
-        self, spec: JobSpec, width_result: WidthResult, cached: bool
+        self, spec: JobSpec, width_result: WidthResult, cached: bool, implied: bool = False
     ) -> JobResult:
         seconds = sum(o.seconds for o in width_result.timings.values())
         verdict = "exact" if width_result.exact else "bounds"
@@ -437,6 +522,7 @@ class DecompositionEngine:
             lower=width_result.lower,
             upper=width_result.upper,
             width_result=width_result,
+            implied=implied,
         )
 
     def _run_spec(self, spec: JobSpec) -> JobResult:

@@ -118,6 +118,10 @@ class JobResult:
     seconds: float
     #: True when every underlying check was served by the result store.
     cached: bool = False
+    #: True when at least one underlying verdict was *implied* by the store's
+    #: bounds index (monotonicity) rather than stored verbatim — the job was
+    #: pruned before any worker dispatch.
+    implied: bool = False
     #: True when the job was skipped because the journal already had it.
     resumed: bool = False
     #: Exact-width bounds, for ``width`` jobs.
@@ -136,6 +140,7 @@ class JobResult:
             "verdict": self.verdict,
             "seconds": round(self.seconds, 6),
             "cached": self.cached,
+            "implied": self.implied,
             "lower": self.lower,
             "upper": self.upper,
             "winner": self.winner,
@@ -148,6 +153,7 @@ class JobResult:
             verdict=str(payload.get("verdict", "")),
             seconds=float(payload.get("seconds", 0.0)),
             cached=bool(payload.get("cached", False)),
+            implied=bool(payload.get("implied", False)),
             resumed=True,
             lower=payload.get("lower"),
             upper=payload.get("upper"),

@@ -15,6 +15,20 @@ in :mod:`repro.core.decomposition`.
 The store keeps lifetime hit/miss counters in a ``meta`` table (surfaced by
 ``repro cache stats``) plus per-session counters, and evicts
 least-recently-used rows once ``max_entries`` is exceeded.
+
+On top of the row cache sits a per-``(fingerprint, method)`` **bounds index**:
+``Check(H, k)`` is monotone in ``k`` for every method whose search space only
+grows with ``k`` (a decomposition of width ≤ k is one of width ≤ k + 1, and a
+definite "no" at k refutes every smaller k), so every stored definite verdict
+implies verdicts at other widths.  The index keeps the derived interval
+``lo <= width <= hi`` — ``lo`` is one past the largest refuted k, ``hi`` the
+smallest accepted k — and :meth:`ResultStore.get` answers *implied* keys from
+it when no row matches: ``k >= hi`` replays the witnessing yes-row (its
+decomposition is valid evidence at any larger k), ``k < lo`` is a derived
+"no".  Only the methods in :data:`MONOTONE_METHODS` participate; custom
+registered methods make no monotonicity promise.  The index is recomputed
+from the surviving rows on every put, eviction and clear, so it never claims
+more than the rows present can justify.
 """
 
 from __future__ import annotations
@@ -30,7 +44,20 @@ from repro.decomp.driver import NO, YES, CheckOutcome
 from repro.errors import ReproError
 from repro.io.json_io import decomposition_from_json, decomposition_to_json
 
-__all__ = ["ResultStore", "StoredResult", "StoreStats", "timeout_key"]
+__all__ = [
+    "MONOTONE_METHODS",
+    "ResultStore",
+    "StoredResult",
+    "StoreStats",
+    "timeout_key",
+]
+
+#: Methods whose ``Check(H, k)`` verdicts are monotone in ``k`` and therefore
+#: feed the bounds index.  Custom methods registered at runtime are excluded:
+#: the store cannot know whether their search spaces are nested.
+MONOTONE_METHODS = frozenset(
+    {"hd", "globalbip", "localbip", "balsep", "hybrid", "portfolio", "fracimprove"}
+)
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS results (
@@ -47,6 +74,13 @@ CREATE TABLE IF NOT EXISTS results (
     use_count   INTEGER NOT NULL DEFAULT 0,
     PRIMARY KEY (fingerprint, method, k, timeout)
 );
+CREATE TABLE IF NOT EXISTS bounds (
+    fingerprint TEXT NOT NULL,
+    method      TEXT NOT NULL,
+    lo          INTEGER NOT NULL,
+    hi          INTEGER,
+    PRIMARY KEY (fingerprint, method)
+);
 CREATE TABLE IF NOT EXISTS meta (
     key   TEXT PRIMARY KEY,
     value INTEGER NOT NULL
@@ -61,12 +95,19 @@ def timeout_key(timeout: float | None) -> str:
 
 @dataclass
 class StoredResult:
-    """One cached verdict, decomposition still in its serialized form."""
+    """One cached verdict, decomposition still in its serialized form.
+
+    ``implied`` marks an answer derived from the bounds index rather than a
+    stored row for the exact key: the verdict is certain (monotonicity), the
+    ``seconds`` are zero (no work was replayed), and for a "yes" the
+    decomposition is the witnessing row's — valid evidence at any larger k.
+    """
 
     verdict: str
     seconds: float
     decomposition_json: str | None = None
     extra: dict | None = None
+    implied: bool = False
 
     def outcome(self, hypergraph: Hypergraph | None = None) -> CheckOutcome:
         """Rebuild the :class:`CheckOutcome` (decomposition needs the graph)."""
@@ -78,13 +119,19 @@ class StoredResult:
 
 @dataclass
 class StoreStats:
-    """Lifetime (persisted) and session hit/miss accounting."""
+    """Lifetime (persisted) and session hit/miss accounting.
+
+    ``implied`` counts the subset of ``hits`` answered by the bounds index
+    rather than an exact row (lifetime and session respectively).
+    """
 
     entries: int
     hits: int
     misses: int
     session_hits: int
     session_misses: int
+    implied: int = 0
+    session_implied: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -108,6 +155,7 @@ class ResultStore:
         self.max_entries = max_entries
         self.session_hits = 0
         self.session_misses = 0
+        self.session_implied = 0
         try:
             self._conn = sqlite3.connect(self.path, isolation_level=None)
             self._conn.executescript(_SCHEMA)
@@ -134,26 +182,44 @@ class ResultStore:
         k: int,
         timeout: float | None,
         record: bool = True,
+        bounds: bool = True,
     ) -> StoredResult | None:
         """Look up one result; counts a hit/miss and touches the LRU clock.
+
+        Lookup order: a definite answer for ``(fingerprint, method, k)``
+        under *any* budget (yes/no are facts about the hypergraph), then —
+        unless ``bounds=False`` — a definite answer implied by the bounds
+        index (see :meth:`implied`), and only then the exact ``(…, timeout)``
+        row, replaying a timeout verdict for its own budget.  Derived
+        definite answers thus dominate stale timeout rows: once some other k
+        settles the verdict, a recorded timeout at this key stops replaying.
 
         ``record=False`` peeks without touching the hit/miss counters (the
         engine's batch replay books its lookups via :meth:`record_hits`
         only once it knows the whole job was served from cache).
         """
+        # Definite answers are timeout independent; prefer one recorded under
+        # any budget over a timeout verdict at the exact key.
         row = self._conn.execute(
             "SELECT rowid, verdict, seconds, decomposition, extra FROM results "
-            "WHERE fingerprint = ? AND method = ? AND k = ? AND timeout = ?",
-            (fingerprint, method, k, timeout_key(timeout)),
+            "WHERE fingerprint = ? AND method = ? AND k = ? "
+            "AND verdict IN (?, ?) LIMIT 1",
+            (fingerprint, method, k, YES, NO),
         ).fetchone()
+        if row is None and bounds:
+            derived = self.implied(fingerprint, method, k)
+            if derived is not None:
+                if record:
+                    self.session_hits += 1
+                    self.session_implied += 1
+                    self._bump_meta("hits")
+                    self._bump_meta("implied")
+                return derived
         if row is None:
-            # Definite answers are timeout independent; reuse one recorded
-            # under any other budget.
             row = self._conn.execute(
                 "SELECT rowid, verdict, seconds, decomposition, extra FROM results "
-                "WHERE fingerprint = ? AND method = ? AND k = ? "
-                "AND verdict IN (?, ?) LIMIT 1",
-                (fingerprint, method, k, YES, NO),
+                "WHERE fingerprint = ? AND method = ? AND k = ? AND timeout = ?",
+                (fingerprint, method, k, timeout_key(timeout)),
             ).fetchone()
         if row is None:
             if record:
@@ -210,6 +276,8 @@ class ResultStore:
                 now,
             ),
         )
+        if method in MONOTONE_METHODS:
+            self._recompute_bounds(fingerprint, method)
         self._evict()
 
     def _evict(self) -> None:
@@ -217,27 +285,133 @@ class ResultStore:
             return
         excess = len(self) - self.max_entries
         if excess > 0:
-            self._conn.execute(
-                "DELETE FROM results WHERE rowid IN "
-                "(SELECT rowid FROM results ORDER BY last_used ASC LIMIT ?)",
+            victims = self._conn.execute(
+                "SELECT rowid, fingerprint, method FROM results "
+                "ORDER BY last_used ASC LIMIT ?",
                 (excess,),
+            ).fetchall()
+            self._conn.executemany(
+                "DELETE FROM results WHERE rowid = ?",
+                [(rowid,) for rowid, _, _ in victims],
             )
+            # Evicted rows may have justified a bound; shrink the index back
+            # to what the surviving rows prove.
+            for fp, method in {(fp, m) for _, fp, m in victims}:
+                if method in MONOTONE_METHODS:
+                    self._recompute_bounds(fp, method)
 
     def clear(self) -> None:
         """Drop every cached result and reset the lifetime counters."""
         self._conn.execute("DELETE FROM results")
+        self._conn.execute("DELETE FROM bounds")
         self._conn.execute("DELETE FROM meta")
+
+    # ---------------------------------------------------------------- bounds
+
+    def _recompute_bounds(self, fingerprint: str, method: str) -> None:
+        """Re-derive ``[lo, hi]`` for one key from the rows currently stored.
+
+        Recomputation (rather than monotone tightening) keeps the index exact
+        under row replacement and LRU eviction: the interval always equals
+        precisely what the surviving definite verdicts justify.
+        """
+        max_no, min_yes = self._conn.execute(
+            "SELECT MAX(CASE WHEN verdict = ? THEN k END),"
+            " MIN(CASE WHEN verdict = ? THEN k END) FROM results"
+            " WHERE fingerprint = ? AND method = ?",
+            (NO, YES, fingerprint, method),
+        ).fetchone()
+        if max_no is None and min_yes is None:
+            self._conn.execute(
+                "DELETE FROM bounds WHERE fingerprint = ? AND method = ?",
+                (fingerprint, method),
+            )
+            return
+        self._conn.execute(
+            "INSERT OR REPLACE INTO bounds (fingerprint, method, lo, hi) "
+            "VALUES (?, ?, ?, ?)",
+            (fingerprint, method, (max_no or 0) + 1, min_yes),
+        )
+
+    def bounds(self, fingerprint: str, method: str) -> tuple[int, int | None]:
+        """Derived width bounds ``(lo, hi)``: ``lo <= width``, ``width <= hi``.
+
+        ``(1, None)`` when nothing definite is stored (every width is ≥ 1 and
+        no upper bound is known).
+        """
+        row = self._conn.execute(
+            "SELECT lo, hi FROM bounds WHERE fingerprint = ? AND method = ?",
+            (fingerprint, method),
+        ).fetchone()
+        return (row[0], row[1]) if row is not None else (1, None)
+
+    def implied(self, fingerprint: str, method: str, k: int) -> StoredResult | None:
+        """A verdict implied by the bounds index, or ``None``.
+
+        ``k >= hi`` is an implied "yes" carrying the witnessing row's
+        decomposition (width ≤ hi ≤ k); ``k < lo`` is an implied "no".
+        Derived answers report zero seconds: no stored attempt ran at this k.
+        """
+        if method not in MONOTONE_METHODS:
+            return None
+        lo, hi = self.bounds(fingerprint, method)
+        if hi is not None and k >= hi:
+            witness = self._conn.execute(
+                "SELECT rowid, decomposition FROM results "
+                "WHERE fingerprint = ? AND method = ? AND k = ? AND verdict = ? "
+                "LIMIT 1",
+                (fingerprint, method, hi, YES),
+            ).fetchone()
+            decomposition = witness[1] if witness is not None else None
+            if witness is not None:
+                self._touch(witness[0])
+            return StoredResult(YES, 0.0, decomposition, implied=True)
+        if k < lo:
+            witness = self._conn.execute(
+                "SELECT rowid FROM results "
+                "WHERE fingerprint = ? AND method = ? AND k = ? AND verdict = ? "
+                "LIMIT 1",
+                (fingerprint, method, lo - 1, NO),
+            ).fetchone()
+            if witness is not None:
+                self._touch(witness[0])
+            return StoredResult(NO, 0.0, implied=True)
+        return None
+
+    def _touch(self, rowid: int) -> None:
+        """Refresh a witness row's LRU clock so implied answers keep it warm."""
+        self._conn.execute(
+            "UPDATE results SET last_used = ?, use_count = use_count + 1 "
+            "WHERE rowid = ?",
+            (time.time(), rowid),
+        )
+
+    def bounds_rows(self) -> list[tuple[str, str, int, int | None]]:
+        """The whole bounds index as ``(fingerprint, method, lo, hi)`` rows."""
+        return [
+            (fp, method, lo, hi)
+            for fp, method, lo, hi in self._conn.execute(
+                "SELECT fingerprint, method, lo, hi FROM bounds "
+                "ORDER BY fingerprint, method"
+            )
+        ]
 
     # ------------------------------------------------------------ accounting
 
     def __len__(self) -> int:
         return self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
 
-    def record_hits(self, count: int) -> None:
-        """Book ``count`` cache hits observed via non-recording peeks."""
+    def record_hits(self, count: int, implied: int = 0) -> None:
+        """Book ``count`` cache hits observed via non-recording peeks.
+
+        ``implied`` says how many of them the bounds index answered.
+        """
         if count > 0:
             self.session_hits += count
             self._bump_meta("hits", count)
+        if implied > 0:
+            self.session_implied += implied
+            self._bump_meta("implied", implied)
 
     def record_misses(self, count: int) -> None:
         """Book ``count`` cache misses observed via non-recording peeks."""
@@ -266,6 +440,8 @@ class ResultStore:
             misses=self._meta("misses"),
             session_hits=self.session_hits,
             session_misses=self.session_misses,
+            implied=self._meta("implied"),
+            session_implied=self.session_implied,
         )
 
     def methods(self) -> dict[str, int]:

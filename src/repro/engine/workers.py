@@ -20,7 +20,10 @@ Per-attempt processes (rather than a long-lived ``ProcessPoolExecutor``) are
 deliberate: an executor cannot kill a single hung task without tearing down
 the whole pool.  For side-effect-free bulk work with no timeouts (e.g.
 parallel benchmark generation) :func:`run_callables` *does* use
-:class:`concurrent.futures.ProcessPoolExecutor`.
+:class:`concurrent.futures.ProcessPoolExecutor`; :func:`map_callables` is its
+fault-isolating sibling — generic calls streamed through killable workers,
+where a crash or overrun yields a :class:`CallFailure` in that slot instead
+of poisoning the batch (the repository's parallel statistics use it).
 
 Workers resolve check functions from the :data:`CHECK_METHODS` registry by
 name, so only a short string crosses the process boundary; picklable
@@ -33,12 +36,14 @@ import multiprocessing
 import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from multiprocessing.connection import Connection, wait as _wait_connections
 
 from repro.core.hypergraph import Hypergraph
 from repro.decomp.balsep import check_ghd_balsep
 from repro.decomp.detkdecomp import check_hd
 from repro.decomp.driver import TIMEOUT, CheckFunction, CheckOutcome, timed_check
+from repro.decomp.fractional import check_frac_best
 from repro.decomp.globalbip import check_ghd_global_bip
 from repro.decomp.hybrid import check_ghd_hybrid
 from repro.decomp.localbip import check_ghd_local_bip
@@ -47,11 +52,13 @@ from repro.errors import ReproError
 __all__ = [
     "CHECK_METHODS",
     "DEFAULT_GRACE",
+    "CallFailure",
     "register_method",
     "resolve_method",
     "run_checked",
     "race_checks",
     "map_checks",
+    "map_callables",
     "run_callables",
 ]
 
@@ -62,6 +69,7 @@ CHECK_METHODS: dict[str, CheckFunction] = {
     "localbip": check_ghd_local_bip,
     "balsep": check_ghd_balsep,
     "hybrid": check_ghd_hybrid,
+    "fracimprove": check_frac_best,
 }
 
 #: Extra seconds past the cooperative budget before the worker is killed.
@@ -251,27 +259,28 @@ def race_checks(
 # -------------------------------------------------------------- bounded pool
 
 
-def map_checks(
-    tasks: Sequence[tuple[str | CheckFunction, Hypergraph, int, float | None]],
+def _stream_pool(
+    count: int,
     jobs: int,
-    grace: float = DEFAULT_GRACE,
-) -> list[CheckOutcome]:
-    """Stream ``(method, hypergraph, k, timeout)`` tasks through ≤ jobs workers.
+    start: Callable[[int], tuple[multiprocessing.Process, Connection, float | None]],
+    receive: Callable[[Connection, float], object],
+    expire: Callable[[float], object],
+) -> list[object]:
+    """Stream ``count`` tasks through ≤ ``jobs`` workers, results in order.
 
-    Results come back in task order.  Each worker has its own hard budget;
-    a killed or crashed worker yields a timeout verdict for its task.
+    ``start(index)`` spawns task ``index`` and returns ``(process, conn,
+    hard budget in seconds or None)``; ``receive(conn, elapsed)`` reads a
+    finished worker's result; ``expire(elapsed)`` is the result recorded for
+    a worker killed at its hard budget.
     """
-    jobs = max(1, int(jobs))
-    results: list[CheckOutcome | None] = [None] * len(tasks)
+    results: list[object] = [None] * count
     active: dict[Connection, tuple[int, multiprocessing.Process, float, float | None]] = {}
     next_task = 0
     try:
-        while next_task < len(tasks) or active:
-            while next_task < len(tasks) and len(active) < jobs:
-                method, hypergraph, k, timeout = tasks[next_task]
-                process, conn = _spawn(method, hypergraph, k, timeout)
+        while next_task < count or active:
+            while next_task < count and len(active) < jobs:
+                process, conn, budget = start(next_task)
                 started = time.perf_counter()
-                budget = _hard_budget(timeout, grace)
                 active[conn] = (
                     next_task,
                     process,
@@ -286,7 +295,7 @@ def map_checks(
             now = time.perf_counter()
             for conn in ready:
                 index, process, started, _ = active.pop(conn)  # type: ignore[arg-type]
-                results[index] = _receive(conn, now - started)  # type: ignore[arg-type]
+                results[index] = receive(conn, now - started)  # type: ignore[arg-type]
                 conn.close()  # type: ignore[attr-defined]
                 _reap(process)
             overdue = [
@@ -296,14 +305,39 @@ def map_checks(
             ]
             for conn in overdue:
                 index, process, started, _ = active.pop(conn)
-                results[index] = CheckOutcome(TIMEOUT, now - started)
+                results[index] = expire(now - started)
                 conn.close()
                 _reap(process)
     finally:
         for conn, (_, process, _, _) in active.items():
             conn.close()
             _reap(process)
-    return results  # type: ignore[return-value]
+    return results
+
+
+def map_checks(
+    tasks: Sequence[tuple[str | CheckFunction, Hypergraph, int, float | None]],
+    jobs: int,
+    grace: float = DEFAULT_GRACE,
+) -> list[CheckOutcome]:
+    """Stream ``(method, hypergraph, k, timeout)`` tasks through ≤ jobs workers.
+
+    Results come back in task order.  Each worker has its own hard budget;
+    a killed or crashed worker yields a timeout verdict for its task.
+    """
+
+    def start(index: int):
+        method, hypergraph, k, timeout = tasks[index]
+        process, conn = _spawn(method, hypergraph, k, timeout)
+        return process, conn, _hard_budget(timeout, grace)
+
+    return _stream_pool(  # type: ignore[return-value]
+        len(tasks),
+        max(1, int(jobs)),
+        start,
+        _receive,
+        lambda elapsed: CheckOutcome(TIMEOUT, elapsed),
+    )
 
 
 # ----------------------------------------------------- generic parallel calls
@@ -324,3 +358,69 @@ def run_callables(
     with ProcessPoolExecutor(max_workers=min(jobs, len(calls)), mp_context=_CTX) as pool:
         futures = [pool.submit(fn, *args) for fn, args in calls]
         return [future.result() for future in futures]
+
+
+@dataclass(frozen=True)
+class CallFailure:
+    """One failed slot in a :func:`map_callables` batch (returned, not raised).
+
+    ``reason`` is ``"timeout"`` (hard budget exhausted), ``"crash"`` (the
+    worker died without reporting), or the ``repr`` of the exception the
+    call raised.
+    """
+
+    reason: str
+
+
+def _child_call(conn: Connection, fn: Callable, args: tuple) -> None:
+    """Worker entry point for :func:`map_callables`: report value or error."""
+    try:
+        try:
+            result = fn(*args)
+        except Exception as exc:  # noqa: BLE001 - reported, not raised
+            conn.send(("error", repr(exc)))
+        else:
+            conn.send(("ok", result))
+    finally:
+        conn.close()
+
+
+def map_callables(
+    calls: Sequence[tuple[Callable, tuple]],
+    jobs: int,
+    timeout: float | None = None,
+    grace: float = DEFAULT_GRACE,
+) -> list[object]:
+    """Stream ``fn(*args)`` pairs through ≤ jobs workers, isolating failures.
+
+    Unlike :func:`run_callables`, every call runs in its own killable worker
+    with an optional per-call hard ``timeout``; a call that raises, crashes
+    its worker (OOM kill, ``os._exit``), or overruns the budget yields a
+    :class:`CallFailure` in its slot instead of poisoning the whole batch —
+    mirroring the engine convention that a dead worker reads as a timeout.
+    """
+
+    def start(index: int):
+        fn, args = calls[index]
+        parent_conn, child_conn = _CTX.Pipe(duplex=False)
+        process = _CTX.Process(
+            target=_child_call, args=(child_conn, fn, tuple(args)), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        return process, parent_conn, _hard_budget(timeout, grace)
+
+    def receive(conn: Connection, elapsed: float) -> object:
+        try:
+            kind, payload = conn.recv()
+        except (EOFError, OSError):
+            return CallFailure("crash")
+        return payload if kind == "ok" else CallFailure(payload)
+
+    return _stream_pool(
+        len(calls),
+        max(1, int(jobs)),
+        start,
+        receive,
+        lambda elapsed: CallFailure("timeout"),
+    )

@@ -452,8 +452,10 @@ class TestCliEngineFlags:
         assert "hw(tri) = 2" in capsys.readouterr().out
         assert main(args) == 0  # second run: served from the store
         assert "hw(tri) = 2" in capsys.readouterr().out
+        # the bounds index lets the warm run answer with a single lookup
+        # (binary search inside the stored [lo, hi] interval)
         with ResultStore(cache) as store:
-            assert store.stats.hits >= 2
+            assert store.stats.hits >= 1
 
     def test_decompose_with_cache_replays_decomposition(self, triangle_file, tmp_path, capsys):
         cache = tmp_path / "cache.db"
