@@ -17,7 +17,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
-from repro.core.components import components
+from repro.core.bitset import HypergraphView, mask_components_from
 from repro.core.hypergraph import Hypergraph
 from repro.utils.deadline import Deadline
 
@@ -46,19 +46,28 @@ def count_balanced_separators(
 
     A subset counts as *balanced* when every [B(λ)]-component of the full
     hypergraph contains at most half of the edges.  The enumeration is
-    exponential in k (like the search it models); use small k.
+    exponential in k (like the search it models), and runs on the bitset
+    kernel — each candidate is one mask union plus a mask component sweep.
     """
     deadline = deadline or Deadline.unlimited()
-    family = hypergraph.edges
-    names = sorted(family)
-    limit = len(family) / 2
+    view = HypergraphView.of(hypergraph)
+    masks = view.edge_masks
+    # Sorted edge-name order, matching the historical enumeration.
+    order = sorted(range(len(masks)), key=lambda i: view.edge_names[i])
+    entries = [(1 << i, m) for i, m in enumerate(masks)]
+    limit = len(masks) / 2
     total = 0
     balanced = 0
     for size in range(1, k + 1):
-        for combo in itertools.combinations(names, size):
+        for combo in itertools.combinations(order, size):
             deadline.check()
             total += 1
-            bag = frozenset().union(*(family[n] for n in combo))
-            if all(len(c) <= limit for c in components(family, bag)):
+            bag = 0
+            for i in combo:
+                bag |= masks[i]
+            if all(
+                members.bit_count() <= limit
+                for members, _ in mask_components_from(entries, bag)
+            ):
                 balanced += 1
     return SeparatorCensus(total, balanced)

@@ -1,12 +1,25 @@
 """Core hypergraph machinery: the paper's Section 3 as code.
 
 ``Hypergraph`` is the central data structure; ``components`` implements
-[U]-components and balanced separators; ``covers`` the (fractional) edge
-cover LP; ``subedges`` the ``f(H,k)`` sets of the tractable GHD algorithm;
-``properties`` the structural invariants of Table 2; ``decomposition`` the
-decomposition objects with independent validators.
+[U]-components and balanced separators (frozenset reference kernel);
+``bitset`` the integer-mask compute kernel the searches actually run on;
+``covers`` the (fractional) edge cover LP; ``subedges`` the ``f(H,k)`` sets
+of the tractable GHD algorithm; ``properties`` the structural invariants of
+Table 2; ``decomposition`` the decomposition objects with independent
+validators.
 """
 
+from repro.core.bitset import (
+    FamilyIndex,
+    HypergraphView,
+    iter_bits,
+    mask_components,
+    mask_components_from,
+    mask_covering_combinations,
+    mask_is_balanced,
+    mask_minimum_cover,
+    mask_separate,
+)
 from repro.core.components import (
     components,
     connected_components,
@@ -41,6 +54,15 @@ from repro.core.treewidth import (
 
 __all__ = [
     "Hypergraph",
+    "HypergraphView",
+    "FamilyIndex",
+    "iter_bits",
+    "mask_components",
+    "mask_components_from",
+    "mask_covering_combinations",
+    "mask_is_balanced",
+    "mask_minimum_cover",
+    "mask_separate",
     "Decomposition",
     "DecompositionNode",
     "components",

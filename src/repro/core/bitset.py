@@ -1,0 +1,541 @@
+"""Integer-bitset compute kernel for the Section 3.3 primitives.
+
+The decomposition searches spend almost all of their time in two loops:
+computing ``[U]``-components of an edge family and enumerating ≤k edge
+subsets that cover a connector.  The frozenset implementations in
+:mod:`repro.core.components` / :mod:`repro.decomp.detkdecomp` churn through
+hash-based set operations over vertex *names*; this module replaces them with
+dense integer masks.
+
+* A :class:`HypergraphView` maps the vertices and edges of one
+  :class:`~repro.core.hypergraph.Hypergraph` to bit positions **once** (the
+  view is cached on the hypergraph), after which every vertex set and every
+  edge set is a plain Python ``int`` and union / intersection / difference /
+  subset become single CPU-friendly bitwise operations.
+* A :class:`FamilyIndex` does the same for a free-standing edge family
+  mapping (``{name: frozenset}``), which is what the subedge closure, cover
+  search and simplification pipeline operate on.
+* The ``mask_*`` functions are the mask-native counterparts of
+  :func:`repro.core.components.components` / ``separate`` /
+  ``is_balanced_separator`` and of the separator enumeration
+  :func:`repro.decomp.detkdecomp.covering_combinations`.
+
+The frozenset implementations remain in place as the *reference kernel*: the
+equivalence suite (``tests/test_bitset.py``) checks the two agree, and the
+microbench harness (:mod:`repro.perf.harness`) measures the gap.
+
+Conventions: vertex bit ``i`` is the ``i``-th vertex in sorted name order;
+edge bit ``j`` is the ``j``-th edge in insertion order.  Functions that take
+a list of *member masks* (vertex masks of the members of an extended
+subhypergraph) return component masks over the member *positions*.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING
+
+from repro.perf import counters
+from repro.utils.deadline import Deadline
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.hypergraph import Hypergraph
+
+__all__ = [
+    "HypergraphView",
+    "FamilyIndex",
+    "iter_bits",
+    "mask_components",
+    "mask_components_from",
+    "mask_separate",
+    "mask_is_balanced",
+    "mask_covering_combinations",
+    "mask_minimum_cover",
+    "scoped_candidates",
+    "dedupe_effective",
+    "ComponentCache",
+]
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of the set bits of ``mask``, lowest first."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class _BitIndex:
+    """Shared vertex/edge indexing machinery of the two view classes."""
+
+    __slots__ = (
+        "vertex_names",
+        "vertex_bit",
+        "edge_names",
+        "edge_bit",
+        "edge_masks",
+        "incidence",
+        "all_vertices",
+        "all_edges",
+    )
+
+    def _build(self, named_edges: Iterable[tuple[str, frozenset[str]]]) -> None:
+        pairs = list(named_edges)
+        vertex_names: list[str] = sorted({v for _, e in pairs for v in e})
+        self.vertex_names = tuple(vertex_names)
+        self.vertex_bit = {v: i for i, v in enumerate(vertex_names)}
+        self.edge_names = tuple(name for name, _ in pairs)
+        self.edge_bit = {name: j for j, name in enumerate(self.edge_names)}
+        incidence = [0] * len(vertex_names)
+        masks: list[int] = []
+        for j, (_, edge) in enumerate(pairs):
+            m = 0
+            for v in edge:
+                b = self.vertex_bit[v]
+                m |= 1 << b
+                incidence[b] |= 1 << j
+            masks.append(m)
+        self.edge_masks = tuple(masks)
+        self.incidence = tuple(incidence)
+        self.all_vertices = (1 << len(vertex_names)) - 1
+        self.all_edges = (1 << len(masks)) - 1
+
+    # -------------------------------------------------------- conversions
+
+    def vertices_mask(self, names: Iterable[str]) -> int:
+        """Vertex-name iterable → vertex mask."""
+        bit = self.vertex_bit
+        m = 0
+        for v in names:
+            m |= 1 << bit[v]
+        return m
+
+    def edges_mask(self, names: Iterable[str]) -> int:
+        """Edge-name iterable → edge mask."""
+        bit = self.edge_bit
+        m = 0
+        for n in names:
+            m |= 1 << bit[n]
+        return m
+
+    def vertex_names_of(self, mask: int) -> frozenset[str]:
+        """Vertex mask → frozenset of names (the Decomposition boundary)."""
+        names = self.vertex_names
+        return frozenset(names[i] for i in iter_bits(mask))
+
+    def edge_names_of(self, mask: int) -> frozenset[str]:
+        """Edge mask → frozenset of edge names."""
+        names = self.edge_names
+        return frozenset(names[i] for i in iter_bits(mask))
+
+    def union_vertices(self, edge_mask: int) -> int:
+        """Union of the vertex masks of the edges in ``edge_mask``."""
+        masks = self.edge_masks
+        m = 0
+        while edge_mask:
+            low = edge_mask & -edge_mask
+            m |= masks[low.bit_length() - 1]
+            edge_mask ^= low
+        return m
+
+    def degree(self, vertex_bit: int) -> int:
+        """Number of edges containing the vertex with bit index ``vertex_bit``."""
+        return self.incidence[vertex_bit].bit_count()
+
+
+class HypergraphView(_BitIndex):
+    """Dense-index view of one hypergraph, cached on the hypergraph.
+
+    Use :meth:`of` instead of the constructor: building the view is O(total
+    edge size) and every algorithm on the same hypergraph shares one view, so
+    the index is computed exactly once per hypergraph.
+    """
+
+    __slots__ = ("hypergraph",)
+
+    def __init__(self, hypergraph: "Hypergraph"):
+        self.hypergraph = hypergraph
+        self._build((name, hypergraph.edge(name)) for name in hypergraph.edge_names)
+
+    @classmethod
+    def of(cls, hypergraph: "Hypergraph") -> "HypergraphView":
+        """The cached view of ``hypergraph`` (built on first use)."""
+        view = hypergraph._view
+        if view is None:
+            view = cls(hypergraph)
+            hypergraph._view = view
+        return view
+
+
+class FamilyIndex(_BitIndex):
+    """Dense-index view of a free-standing edge family mapping."""
+
+    __slots__ = ()
+
+    def __init__(self, family: Mapping[str, frozenset[str]]):
+        self._build(family.items())
+
+
+def scoped_candidates(
+    edge_masks: Sequence[int],
+    scope: int,
+    names: Sequence[str],
+    seen_effective: set[int],
+) -> tuple[list[int], list[int]]:
+    """λ-candidate edges for a scope: sorted, deduplicated, effective masks.
+
+    Shared by the GHD searches: edges intersecting ``scope``, ordered by
+    descending effective coverage (name tie-break), keeping one
+    representative per *effective mask* (``edge ∩ scope``) — candidates
+    sharing an effective mask yield identical bags, connector coverage and
+    child states, so the others are redundant.  ``seen_effective`` is
+    updated in place so a subsequent subedge phase can dedupe against it.
+    Returns ``(edge_indices, effective_masks)``.
+    """
+    order = sorted(
+        (i for i in range(len(edge_masks)) if edge_masks[i] & scope),
+        key=lambda i: (-(edge_masks[i] & scope).bit_count(), names[i]),
+    )
+    indices: list[int] = []
+    effective: list[int] = []
+    for i in order:
+        mask = edge_masks[i] & scope
+        if mask in seen_effective:
+            continue
+        seen_effective.add(mask)
+        indices.append(i)
+        effective.append(mask)
+    return indices, effective
+
+
+def dedupe_effective(
+    pairs: Iterable[tuple[int, int]],
+    scope: int,
+    seen_effective: set[int],
+) -> tuple[list[int], list[int]]:
+    """One representative per effective mask among ``(key, mask)`` pairs.
+
+    Used for the subedge phase: a subedge whose effective mask a full edge
+    (or an earlier subedge) already provides cannot produce a new bag.
+    Returns ``(keys, effective_masks)``; updates ``seen_effective``.
+    """
+    keys: list[int] = []
+    effective: list[int] = []
+    for key, mask in pairs:
+        eff = mask & scope
+        if not eff or eff in seen_effective:
+            continue
+        seen_effective.add(eff)
+        keys.append(key)
+        effective.append(eff)
+    return keys, effective
+
+
+class ComponentCache:
+    """Memoised per-component vertex unions and component-entry lists.
+
+    Search states recur (failure memos aside, sibling branches revisit the
+    same component masks), so the union-of-vertices and the
+    ``(position bit, mask)`` entry lists handed to
+    :func:`mask_components_from` are cached per component edge-mask.
+    """
+
+    __slots__ = ("_index", "_vertices", "_entries")
+
+    def __init__(self, index: _BitIndex):
+        self._index = index
+        self._vertices: dict[int, int] = {}
+        self._entries: dict[int, list[tuple[int, int]]] = {}
+
+    def vertices(self, comp: int) -> int:
+        cached = self._vertices.get(comp)
+        if cached is None:
+            cached = self._index.union_vertices(comp)
+            self._vertices[comp] = cached
+        return cached
+
+    def entries(self, comp: int) -> list[tuple[int, int]]:
+        cached = self._entries.get(comp)
+        if cached is None:
+            masks = self._index.edge_masks
+            cached = [(1 << i, masks[i]) for i in iter_bits(comp)]
+            self._entries[comp] = cached
+        return cached
+
+
+# ------------------------------------------------------------- components
+
+
+def mask_components(
+    member_masks: Sequence[int],
+    separator: int,
+    active: int | None = None,
+) -> list[list[int]]:
+    """The [U]-components of a member family w.r.t. the vertex mask ``separator``.
+
+    ``member_masks[p]`` is the vertex mask of member ``p``; ``active``
+    restricts the family to a subset of member positions (default: all).
+    Members whose vertices all lie inside the separator are absorbed and
+    belong to no component, exactly as in
+    :func:`repro.core.components.components`.
+
+    Returns ``[(members, outside), ...]`` where ``members`` is the mask of
+    member positions in the component and ``outside`` the union of their
+    vertices outside the separator.  Components are ordered by their smallest
+    member position (matching the reference's first-seen order).
+    """
+    if active is None:
+        active = (1 << len(member_masks)) - 1
+    entries: list[tuple[int, int]] = []
+    rem = active
+    while rem:
+        low = rem & -rem
+        rem ^= low
+        entries.append((low, member_masks[low.bit_length() - 1]))
+    return mask_components_from(entries, separator)
+
+
+def mask_components_from(
+    entries: Sequence[tuple[int, int]], separator: int
+) -> list[list[int]]:
+    """:func:`mask_components` over precomputed ``(position bit, mask)`` pairs.
+
+    The searches cache the entry list per component state, so the per-call
+    work reduces to one AND per member plus the incremental merge: partial
+    components stay pairwise vertex-disjoint, hence each new member can merge
+    every component its outside-vertices touch in a single pass (components
+    it connects only transitively already share vertices with one it touches
+    directly).  Returns ``[members, outside]`` pairs (internal lists — do not
+    mutate).
+    """
+    counters.components_calls += 1
+    comps: list[list[int]] = []  # [members mask, outside vertices mask]
+    notsep = ~separator
+    for bit, mask in entries:
+        outside = mask & notsep
+        if not outside:
+            continue  # absorbed by the separator bag
+        hit: list[int] | None = None
+        multi = False
+        for comp in comps:
+            if comp[1] & outside:
+                if hit is None:
+                    hit = comp
+                else:
+                    multi = True
+                    break
+        if hit is None:
+            comps.append([bit, outside])
+        elif not multi:
+            hit[0] |= bit
+            hit[1] |= outside
+        else:
+            members = bit
+            keep: list[list[int]] = []
+            for comp in comps:
+                if comp[1] & outside:
+                    members |= comp[0]
+                    outside |= comp[1]
+                else:
+                    keep.append(comp)
+            keep.append([members, outside])
+            comps = keep
+    if len(comps) > 1:
+        comps.sort(key=lambda c: c[0] & -c[0])
+    return comps
+
+
+def mask_separate(
+    member_masks: Sequence[int],
+    separator: int,
+    active: int | None = None,
+) -> tuple[list[tuple[int, int]], int]:
+    """Like :func:`mask_components` plus the mask of absorbed members."""
+    if active is None:
+        active = (1 << len(member_masks)) - 1
+    comps = mask_components(member_masks, separator, active)
+    in_component = 0
+    for members, _ in comps:
+        in_component |= members
+    return comps, active & ~in_component
+
+
+def mask_is_balanced(
+    member_masks: Sequence[int],
+    separator: int,
+    total: int | None = None,
+    active: int | None = None,
+) -> bool:
+    """Definition 7 on masks: no component holds more than half the members."""
+    if active is None:
+        active = (1 << len(member_masks)) - 1
+    if total is None:
+        total = active.bit_count()
+    limit = total / 2
+    return all(
+        members.bit_count() <= limit
+        for members, _ in mask_components(member_masks, separator, active)
+    )
+
+
+# ------------------------------------------------------------ enumeration
+
+
+def mask_covering_combinations(
+    candidate_masks: Sequence[int],
+    n_primary: int,
+    conn: int,
+    k: int,
+    deadline: Deadline,
+    require_primary: bool = True,
+) -> Iterator[tuple[int, ...]]:
+    """Mask-native :func:`repro.decomp.detkdecomp.covering_combinations`.
+
+    ``candidate_masks`` holds the vertex masks of the candidates, primaries
+    first (``n_primary`` of them); yields index tuples into that list whose
+    masks jointly cover the connector mask ``conn``, with the same pruning
+    (suffix-max coverage gain bounds the reachable remainder) and the same
+    enumeration order as the reference.
+    """
+    counters.cover_enumerations += 1
+    n = len(candidate_masks)
+    if not n or (require_primary and not n_primary):
+        return iter(())
+    gains = [(m & conn).bit_count() for m in candidate_masks]
+    suffix_max = [0] * (n + 1)
+    for i in range(n - 1, -1, -1):
+        suffix_max[i] = max(suffix_max[i + 1], gains[i])
+
+    # Primaries come first, so in DFS pre-order the first member of every
+    # valid combo is a primary whenever one is required — which reduces the
+    # common k=1 / k=2 cases to plain loops with no frame bookkeeping.
+    first_end = n_primary if require_primary else n
+
+    if k == 1:
+
+        def generate_k1() -> Iterator[tuple[int, ...]]:
+            for i in range(first_end):
+                if not conn & ~candidate_masks[i]:
+                    yield (i,)
+
+        return generate_k1()
+
+    if k == 2:
+
+        def generate_k2() -> Iterator[tuple[int, ...]]:
+            tick = 0
+            for i in range(first_end):
+                tick += 1
+                if not tick & 31:
+                    deadline.check()
+                uncovered = conn & ~candidate_masks[i]
+                if not uncovered:
+                    yield (i,)
+                    for j in range(i + 1, n):
+                        yield (i, j)
+                else:
+                    need = uncovered.bit_count()
+                    for j in range(i + 1, n):
+                        # suffix_max is non-increasing: once it cannot cover
+                        # the remainder, no later candidate can either.
+                        if suffix_max[j] < need:
+                            break
+                        if not uncovered & ~candidate_masks[j]:
+                            yield (i, j)
+
+        return generate_k2()
+
+    def generate() -> Iterator[tuple[int, ...]]:
+        # Explicit-stack DFS (pre-order, ascending candidate index — children
+        # are pushed in descending order so the smallest pops first).  One
+        # generator frame total instead of one per recursion level, and
+        # deadline polling gated to every 32nd node: the node count *is* the
+        # work unit.
+        tick = 0
+        stack: list[tuple[tuple[int, ...], int, int, bool]] = [
+            ((), 0, conn, not require_primary)
+        ]
+        pop = stack.pop
+        push = stack.append
+        while stack:
+            tick += 1
+            if not tick & 31:
+                deadline.check()
+            chosen, start, uncovered, has_primary = pop()
+            if chosen and has_primary and not uncovered:
+                yield chosen
+            depth = len(chosen)
+            if depth == k:
+                continue
+            slots = k - depth
+            need = uncovered.bit_count()
+            # Without a primary yet, only primary candidates may extend.
+            end = n if has_primary else n_primary
+            for i in range(end - 1, start - 1, -1):
+                # Prune: remaining slots cannot cover the connector remainder.
+                if need and suffix_max[i] * slots < need:
+                    continue
+                push(
+                    (
+                        chosen + (i,),
+                        i + 1,
+                        uncovered & ~candidate_masks[i],
+                        has_primary or i < n_primary,
+                    )
+                )
+
+    return generate()
+
+
+def mask_minimum_cover(
+    candidate_masks: Sequence[int],
+    bag: int,
+    max_size: int | None = None,
+) -> tuple[int, ...] | None:
+    """A minimum-cardinality cover of the vertex mask ``bag``.
+
+    Mask counterpart of :func:`repro.core.covers.minimum_integral_cover`:
+    greedy upper bound, then exhaustive search below it.  Returns candidate
+    indices, ``None`` when no cover of size ≤ ``max_size`` exists.  Greedy
+    ties break towards the highest index (callers pass name-sorted
+    candidates when they need the reference's name tie-break).
+    """
+    counters.cover_enumerations += 1
+    if not bag:
+        return ()
+    useful = [i for i, m in enumerate(candidate_masks) if m & bag]
+    union = 0
+    for i in useful:
+        union |= candidate_masks[i]
+    if bag & ~union:
+        return None
+
+    uncovered = bag
+    greedy: list[int] = []
+    while uncovered:
+        best = max(useful, key=lambda i: ((candidate_masks[i] & uncovered).bit_count(), i))
+        gain = candidate_masks[best] & uncovered
+        if not gain:  # pragma: no cover - cannot happen given the union check
+            return None
+        greedy.append(best)
+        uncovered &= ~gain
+
+    bound = len(greedy) if max_size is None else min(len(greedy), max_size)
+
+    for size in range(1, bound):
+        for combo in itertools.combinations(useful, size):
+            covered = 0
+            for i in combo:
+                covered |= candidate_masks[i]
+            if not bag & ~covered:
+                return combo
+    if max_size is not None and len(greedy) > max_size:
+        for combo in itertools.combinations(useful, max_size):
+            covered = 0
+            for i in combo:
+                covered |= candidate_masks[i]
+            if not bag & ~covered:
+                return combo
+        return None
+    return tuple(greedy)

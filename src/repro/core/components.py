@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
 
+from repro.perf import counters
+
 __all__ = [
     "connected_components",
     "components",
@@ -42,7 +44,11 @@ def components(family: EdgeFamily, separator: frozenset[str]) -> list[frozenset[
 
     Returns a list of frozensets of edge *names*, in deterministic order
     (sorted by the smallest first-seen edge).
+
+    This is the frozenset *reference* implementation (see
+    :mod:`repro.core.bitset` for the mask-native kernel the searches use).
     """
+    counters.components_calls += 1
     # Build vertex -> incident-edge index restricted to vertices outside U.
     incidence: dict[str, list[str]] = {}
     active: list[str] = []

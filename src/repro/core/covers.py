@@ -22,7 +22,9 @@ from collections.abc import Iterable, Mapping
 import numpy as np
 from scipy.optimize import linprog
 
+from repro.core.bitset import FamilyIndex
 from repro.errors import HypergraphError
+from repro.perf import counters
 
 __all__ = [
     "FractionalCover",
@@ -154,37 +156,60 @@ def minimum_integral_cover(
     occur in decompositions (``max_size`` defaults to the greedy bound).
     Returns ``None`` when no cover of size ``<= max_size`` exists.
     """
+    counters.cover_enumerations += 1
     bag_set = frozenset(bag)
     if not bag_set:
         return ()
-    candidates = [name for name, e in family.items() if e & bag_set]
-    union = frozenset().union(*(family[n] for n in candidates)) if candidates else frozenset()
-    if not bag_set <= union:
+    # Mask-native search via a one-off dense index: the exhaustive phase
+    # tests O(candidates^size) combinations, each now a few AND/OR ops.
+    index = FamilyIndex(family)
+    bit = index.vertex_bit
+    bag_mask = 0
+    for v in bag_set:
+        b = bit.get(v)
+        if b is None:
+            return None  # vertex occurs in no edge at all
+        bag_mask |= 1 << b
+    masks = index.edge_masks
+    names = index.edge_names
+    candidates = [j for j in range(len(masks)) if masks[j] & bag_mask]
+    union = 0
+    for j in candidates:
+        union |= masks[j]
+    if bag_mask & ~union:
         return None
 
-    # Greedy: repeatedly take the edge covering most uncovered vertices.
-    uncovered = set(bag_set)
-    greedy: list[str] = []
+    # Greedy: repeatedly take the edge covering most uncovered vertices
+    # (name tie-break, matching the historical frozenset behaviour).
+    uncovered = bag_mask
+    greedy: list[int] = []
     while uncovered:
-        best = max(candidates, key=lambda n: (len(family[n] & uncovered), n))
-        gain = family[best] & uncovered
+        best = max(
+            candidates,
+            key=lambda j: ((masks[j] & uncovered).bit_count(), names[j]),
+        )
+        gain = masks[best] & uncovered
         if not gain:  # pragma: no cover - cannot happen given the union check
             return None
         greedy.append(best)
-        uncovered -= gain
+        uncovered &= ~gain
 
     bound = len(greedy) if max_size is None else min(len(greedy), max_size)
-    if max_size is not None and len(greedy) > max_size:
-        bound = max_size
 
     # Exhaustive improvement below the greedy bound.
     for size in range(1, bound):
         for combo in itertools.combinations(candidates, size):
-            if is_integral_cover(family, combo, bag_set):
-                return combo
+            covered = 0
+            for j in combo:
+                covered |= masks[j]
+            if not bag_mask & ~covered:
+                return tuple(names[j] for j in combo)
     if max_size is not None and len(greedy) > max_size:
         for combo in itertools.combinations(candidates, max_size):
-            if is_integral_cover(family, combo, bag_set):
-                return combo
+            covered = 0
+            for j in combo:
+                covered |= masks[j]
+            if not bag_mask & ~covered:
+                return tuple(names[j] for j in combo)
         return None
-    return tuple(greedy)
+    return tuple(names[j] for j in greedy)

@@ -14,6 +14,7 @@ memoise on.
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Mapping
+from types import MappingProxyType
 
 from repro.errors import HypergraphError
 
@@ -41,6 +42,11 @@ def _freeze_edges(
     return frozen
 
 
+def _unpickle(frozen: dict[str, frozenset[str]], name: str) -> "Hypergraph":
+    """Pickle helper: rebuild per-process caches (edges view, bitset view)."""
+    return Hypergraph._from_frozen(frozen, name)
+
+
 class Hypergraph:
     """An immutable hypergraph with named edges.
 
@@ -62,24 +68,59 @@ class Hypergraph:
     2
     """
 
-    __slots__ = ("_edges", "_incidence", "_vertices", "name", "_hash")
+    __slots__ = (
+        "_edges",
+        "_edges_view",
+        "_incidence",
+        "_vertices",
+        "name",
+        "_hash",
+        "_view",
+    )
 
     def __init__(
         self,
         edges: Mapping[str, Iterable[str]] | Iterable[Iterable[str]],
         name: str = "",
     ):
-        self._edges = _freeze_edges(edges)
+        self._init_frozen(_freeze_edges(edges), name)
+
+    def _init_frozen(self, frozen: dict[str, frozenset[str]], name: str) -> None:
+        """Shared initialisation from an already-normalised edge mapping."""
+        self._edges = frozen
+        self._edges_view = MappingProxyType(frozen)
         self.name = name
         vertices: set[str] = set()
         incidence: dict[str, list[str]] = {}
-        for edge_name, vertex_set in self._edges.items():
+        for edge_name, vertex_set in frozen.items():
             vertices.update(vertex_set)
             for v in vertex_set:
                 incidence.setdefault(v, []).append(edge_name)
         self._vertices = frozenset(vertices)
         self._incidence = {v: tuple(names) for v, names in incidence.items()}
         self._hash: int | None = None
+        #: Cached :class:`repro.core.bitset.HypergraphView` (built on demand).
+        self._view = None
+
+    @classmethod
+    def _from_frozen(
+        cls, frozen: dict[str, frozenset[str]], name: str = ""
+    ) -> "Hypergraph":
+        """Fast constructor for edge mappings that are already frozen.
+
+        Skips :func:`_freeze_edges` entirely — callers guarantee the values
+        are non-empty ``frozenset[str]`` taken from an existing hypergraph
+        (or otherwise validated).  This is the hot path behind
+        :meth:`induced`, :meth:`dedupe` and the simplification pipeline.
+        """
+        h = cls.__new__(cls)
+        h._init_frozen(frozen, name)
+        return h
+
+    def __reduce__(self):
+        # The cached MappingProxyType view is not picklable, and the cached
+        # bitset view is per-process state; rebuild both on unpickling.
+        return (_unpickle, (dict(self._edges), self.name))
 
     # ------------------------------------------------------------------ basic
 
@@ -90,8 +131,12 @@ class Hypergraph:
 
     @property
     def edges(self) -> Mapping[str, frozenset[str]]:
-        """Read-only view of the edge mapping ``{name: vertices}``."""
-        return dict(self._edges)
+        """Read-only view of the edge mapping ``{name: vertices}``.
+
+        A single :class:`types.MappingProxyType` built at construction —
+        repeated property access inside hot loops is O(1), not an O(m) copy.
+        """
+        return self._edges_view
 
     @property
     def edge_names(self) -> tuple[str, ...]:
@@ -145,8 +190,20 @@ class Hypergraph:
         Per Section 3.1 a subhypergraph is simply a subset of the edges; its
         vertex set is the union of the retained edges.
         """
-        names = list(edge_names)
-        return Hypergraph({n: self.edge(n) for n in names}, name=name or self.name)
+        return self.induced(edge_names, name=name)
+
+    def induced(self, edge_names: Iterable[str], name: str = "") -> "Hypergraph":
+        """Subhypergraph of the given edges via the frozen fast path.
+
+        Unlike constructing ``Hypergraph({n: self.edge(n) ...})``, the
+        already-frozen vertex sets are reused directly and never re-validated
+        through ``_freeze_edges`` — O(edges kept) dictionary work plus the
+        incidence rebuild.
+        """
+        frozen: dict[str, frozenset[str]] = {}
+        for n in edge_names:
+            frozen[n] = self.edge(n)
+        return Hypergraph._from_frozen(frozen, name=name or self.name)
 
     def with_edges(
         self, extra: Mapping[str, Iterable[str]], name: str = ""
@@ -173,7 +230,7 @@ class Hypergraph:
                 continue
             seen.add(vertex_set)
             kept[edge_name] = vertex_set
-        return Hypergraph(kept, name=name or self.name)
+        return Hypergraph._from_frozen(kept, name=name or self.name)
 
     def remove_covered_edges(self, name: str = "") -> "Hypergraph":
         """Drop edges strictly contained in another edge.
@@ -182,21 +239,23 @@ class Hypergraph:
         decomposition notions: any bag covering the superset edge covers the
         subset edge.  Used by the generators and available as preprocessing.
         """
-        names = list(self._edges)
+        from repro.core.bitset import HypergraphView
+
+        view = HypergraphView.of(self)
+        masks = view.edge_masks
         kept: dict[str, frozenset[str]] = {}
-        for i, edge_name in enumerate(names):
-            vertex_set = self._edges[edge_name]
+        for i, edge_name in enumerate(view.edge_names):
+            mask = masks[i]
             contained = False
-            for j, other_name in enumerate(names):
-                if i == j:
-                    continue
-                other = self._edges[other_name]
-                if vertex_set < other or (vertex_set == other and j < i):
+            for j, other in enumerate(masks):
+                if i == j or mask & ~other:
+                    continue  # not a subset of edge j
+                if mask != other or j < i:
                     contained = True
                     break
             if not contained:
-                kept[edge_name] = vertex_set
-        return Hypergraph(kept, name=name or self.name)
+                kept[edge_name] = self._edges[edge_name]
+        return Hypergraph._from_frozen(kept, name=name or self.name)
 
     # ------------------------------------------------------------- comparison
 
@@ -211,9 +270,19 @@ class Hypergraph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Hypergraph):
             return NotImplemented
+        if self is other:
+            return True
+        if (
+            self._hash is not None
+            and other._hash is not None
+            and self._hash != other._hash
+        ):
+            return False
         return self._edges == other._edges
 
     def __hash__(self) -> int:
+        # Cached once per instance; immutability makes this safe, and the
+        # engine's memoisation hashes the same hypergraph many times.
         if self._hash is None:
             self._hash = hash(frozenset(self._edges.items()))
         return self._hash

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.bitset import HypergraphView, iter_bits
 from repro.core.decomposition import Decomposition, DecompositionNode
 from repro.core.hypergraph import Hypergraph
 
@@ -47,51 +48,58 @@ class SimplificationTrace:
 
 
 def _drop_duplicates_and_covered(
-    edges: dict[str, frozenset[str]], trace: SimplificationTrace
-) -> dict[str, frozenset[str]]:
-    names = list(edges)
-    kept: dict[str, frozenset[str]] = {}
+    view: HypergraphView, trace: SimplificationTrace
+) -> dict[str, int]:
+    """Mask pass 1: drop duplicate/covered edges; returns ``{name: mask}``."""
+    names = view.edge_names
+    masks = view.edge_masks
+    kept: dict[str, int] = {}
     for i, name in enumerate(names):
-        edge = edges[name]
+        mask = masks[i]
         survivor: str | None = None
-        for j, other_name in enumerate(names):
-            if i == j or other_name in trace.dropped_edges:
-                continue
-            other = edges[other_name]
-            if edge < other or (edge == other and j < i):
-                survivor = other_name
+        for j, other in enumerate(masks):
+            if i == j or names[j] in trace.dropped_edges or mask & ~other:
+                continue  # self, already dropped, or not a subset
+            if mask != other or j < i:
+                survivor = names[j]
                 break
         if survivor is None:
-            kept[name] = edge
+            kept[name] = mask
         else:
             trace.dropped_edges[name] = survivor
     return kept
 
 
 def _drop_degree_one_vertices(
-    edges: dict[str, frozenset[str]],
-    original_degree: dict[str, int],
+    view: HypergraphView,
+    edges: dict[str, int],
     trace: SimplificationTrace,
-) -> dict[str, frozenset[str]]:
+) -> dict[str, int]:
     """Remove vertices that are degree-1 *in the original hypergraph*.
 
     Using original degrees (not degrees after edge dropping) keeps the lift
     sound: a removed vertex provably occurs in exactly one original edge, so
     re-adding it in a single fresh leaf cannot break connectedness.
     """
+    degree_one = 0
+    for b, incident in enumerate(view.incidence):
+        if incident.bit_count() == 1:
+            degree_one |= 1 << b
     result = dict(edges)
-    for name, edge in edges.items():
-        removable = {v for v in edge if original_degree[v] == 1}
-        if removable == edge:
-            removable = removable - {min(edge)}  # never empty an edge
+    for name, mask in edges.items():
+        removable = mask & degree_one
+        if removable == mask:
+            # Never empty an edge; the lowest bit is the lexicographically
+            # smallest vertex (vertex bits follow sorted name order).
+            removable ^= removable & -removable
         if not removable:
             continue
-        shrunk = edge - removable
+        shrunk = mask & ~removable
         if any(shrunk == other for n, other in result.items() if n != name):
             continue  # would create a duplicate edge; skip
-        result[name] = frozenset(shrunk)
-        for v in removable:
-            trace.dropped_vertices[v] = name
+        result[name] = shrunk
+        for b in iter_bits(removable):
+            trace.dropped_vertices[view.vertex_names[b]] = name
     return result
 
 
@@ -102,21 +110,28 @@ def simplify(hypergraph: Hypergraph) -> SimplificationTrace:
     of its *original* survivor), then vertices of original degree 1 are
     removed from the surviving edges.  The reduced hypergraph has the same
     ghw/fhw as the input (and the same hw for hw >= 1); it is never larger.
+    Both passes run on the bitset kernel: subset/duplicate tests and the
+    degree-one sweep are single AND/compare operations per edge pair.
     """
     trace = SimplificationTrace(hypergraph, hypergraph)
-    edges = dict(hypergraph.edges)
-    original_degree = {
-        v: hypergraph.degree_of(v) for v in hypergraph.vertices
-    }
-    edges = _drop_duplicates_and_covered(edges, trace)
-    edges = _drop_degree_one_vertices(edges, original_degree, trace)
+    view = HypergraphView.of(hypergraph)
+    edges = _drop_duplicates_and_covered(view, trace)
+    edges = _drop_degree_one_vertices(view, edges, trace)
     # Resolve dropped-edge survivor chains (a -> b -> c becomes a -> c).
     for name in list(trace.dropped_edges):
         target = trace.dropped_edges[name]
         while target in trace.dropped_edges:
             target = trace.dropped_edges[target]
         trace.dropped_edges[name] = target
-    trace.reduced = Hypergraph(edges, name=hypergraph.name)
+    # Convert back at the Hypergraph boundary, reusing untouched frozensets.
+    reduced: dict[str, frozenset[str]] = {}
+    for name, mask in edges.items():
+        original = hypergraph.edge(name)
+        if len(original) == mask.bit_count():
+            reduced[name] = original
+        else:
+            reduced[name] = view.vertex_names_of(mask)
+    trace.reduced = Hypergraph._from_frozen(reduced, name=hypergraph.name)
     return trace
 
 

@@ -12,6 +12,14 @@ sets are exactly unions of at most ``k`` pairwise intersections of ``e`` with
 other edges, so we enumerate the (deduplicated) pairwise intersections and
 their ≤k-unions, then expand subsets of the *maximal* unions only.
 
+The closure itself runs on the integer-bitset kernel: vertex sets are int
+masks, subset tests are ``a & ~b``, and the powerset expansion walks the
+submasks of each maximal union with the classic ``sub = (sub - 1) & m``
+trick.  :func:`mask_subedge_entries` is the mask-native entry point used by
+the decomposition searches (it also reports, per subedge, a parent edge
+containing it); :func:`subedge_family` / :func:`augment_with_subedges` keep
+the established frozenset API on top of it.
+
 For bounded intersection size ``d`` this is polynomial, but the constant
 ``2^(d·k)`` bites in practice — the paper reports exactly this as the source
 of ``GlobalBIP`` timeouts.  We therefore enforce a configurable budget and
@@ -22,15 +30,18 @@ analysis harness treats that as a timeout.
 from __future__ import annotations
 
 import itertools
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sequence
 
+from repro.core.bitset import FamilyIndex, iter_bits
 from repro.errors import SubedgeLimitError
+from repro.perf import counters
 from repro.utils.deadline import Deadline
 
 __all__ = [
     "pairwise_intersections",
     "subedges_for_edge",
     "subedge_family",
+    "mask_subedge_entries",
     "augment_with_subedges",
     "DEFAULT_SUBEDGE_BUDGET",
 ]
@@ -62,20 +73,59 @@ def pairwise_intersections(
     return maximal
 
 
-def _max_unions(
-    intersections: list[frozenset[str]], k: int, budget: int, deadline: Deadline
-) -> set[frozenset[str]]:
-    """All maximal unions of at most ``k`` of the given intersections."""
-    unions: set[frozenset[str]] = set()
+def _mask_max_unions(
+    intersections: list[int], k: int, budget: int, deadline: Deadline
+) -> list[int]:
+    """All maximal unions of at most ``k`` of the given intersection masks."""
+    unions: set[int] = set()
     for size in range(1, min(k, len(intersections)) + 1):
         for combo in itertools.combinations(intersections, size):
             deadline.check()
-            unions.add(frozenset().union(*combo))
+            u = 0
+            for m in combo:
+                u |= m
+            unions.add(u)
             if len(unions) > budget:
                 raise SubedgeLimitError(
                     f"more than {budget} candidate unions while building f(H,k)"
                 )
-    return {u for u in unions if not any(u < w for w in unions)}
+    return [u for u in unions if not any(u != w and not u & ~w for w in unions)]
+
+
+def _mask_subedges_for_edge(
+    edge: int,
+    others: Iterable[int],
+    k: int,
+    budget: int,
+    deadline: Deadline,
+) -> set[int]:
+    """All proper subedge masks of ``edge`` contributed to ``f(H, k)``."""
+    distinct: set[int] = set()
+    for other in others:
+        common = edge & other
+        if common and common != edge:
+            distinct.add(common)
+    intersections = [
+        s for s in distinct if not any(s != t and not s & ~t for t in distinct)
+    ]
+    result: set[int] = set()
+    for union in _mask_max_unions(intersections, k, budget, deadline):
+        if 1 << union.bit_count() > 4 * budget:
+            raise SubedgeLimitError(
+                f"subedge base of size {union.bit_count()} would expand past the budget"
+            )
+        # Enumerate every non-empty submask of the union.
+        sub = union
+        while sub:
+            result.add(sub)
+            if len(result) > budget:
+                raise SubedgeLimitError(
+                    f"more than {budget} subedges for a single edge"
+                )
+            sub = (sub - 1) & union
+        deadline.check()
+    result.discard(edge)
+    return result
 
 
 def subedges_for_edge(
@@ -92,24 +142,76 @@ def subedges_for_edge(
     nothing, the latter is already an edge).
     """
     deadline = deadline or Deadline.unlimited()
-    intersections = pairwise_intersections(edge, others)
-    result: set[frozenset[str]] = set()
-    for union in _max_unions(intersections, k, budget, deadline):
-        members = sorted(union)
-        if 2 ** len(members) > 4 * budget:
-            raise SubedgeLimitError(
-                f"subedge base of size {len(members)} would expand past the budget"
-            )
-        for size in range(1, len(members) + 1):
-            for combo in itertools.combinations(members, size):
-                result.add(frozenset(combo))
-                if len(result) > budget:
-                    raise SubedgeLimitError(
-                        f"more than {budget} subedges for a single edge"
-                    )
+    other_list = list(others)
+    index = FamilyIndex(
+        {
+            "__edge": edge,
+            **{f"__o{i}": frozenset(o) for i, o in enumerate(other_list)},
+        }
+    )
+    edge_mask = index.vertices_mask(edge)
+    other_masks = [index.vertices_mask(o) for o in other_list]
+    subs = _mask_subedges_for_edge(edge_mask, other_masks, k, budget, deadline)
+    return {index.vertex_names_of(s) for s in subs}
+
+
+def mask_subedge_entries(
+    edge_masks: Sequence[int],
+    k: int,
+    restrict_to: int | None = None,
+    budget: int = DEFAULT_SUBEDGE_BUDGET,
+    deadline: Deadline | None = None,
+) -> list[tuple[int, int]]:
+    """Mask-native ``f(H, k)`` / ``f_u(H, k)`` closure (Equations 1 / 2).
+
+    Parameters
+    ----------
+    edge_masks:
+        Vertex masks of the hypergraph's edges, in edge-index order.
+    k:
+        The width parameter: unions of up to ``k`` other edges are considered.
+    restrict_to:
+        Edge-index mask of the current component ``H_u``; when given, only
+        intersections with *component* edges are taken (Equation 2's
+        ``f_u(H, k)``), while subedges are still generated for every edge of
+        ``H`` (any edge may appear in a λ-label).
+    budget:
+        Global cap on the number of produced subedges.
+
+    Returns
+    -------
+    ``[(subedge_mask, parent_edge_index), ...]`` deduplicated against the
+    original edges, sorted larger-first (better λ-label candidates) with the
+    mask value as the deterministic tie-break.  The parent is the first edge
+    containing the subedge — the "fixing" step of Algorithm 1 swaps subedges
+    back to full edges in final GHDs.
+    """
+    counters.subedge_closures += 1
+    deadline = deadline or Deadline.unlimited()
+    original = set(edge_masks)
+    if restrict_to is None:
+        pool = list(range(len(edge_masks)))
+    else:
+        pool = list(iter_bits(restrict_to))
+
+    produced: set[int] = set()
+    for ei, edge in enumerate(edge_masks):
         deadline.check()
-    result.discard(edge)
-    return result
+        others = [edge_masks[oi] for oi in pool if oi != ei]
+        for sub in _mask_subedges_for_edge(edge, others, k, budget, deadline):
+            if sub not in original:
+                produced.add(sub)
+                if len(produced) > budget:
+                    raise SubedgeLimitError(
+                        f"f(H,{k}) exceeded the budget of {budget} subedges"
+                    )
+
+    ordered = sorted(produced, key=lambda s: (-s.bit_count(), s))
+    entries: list[tuple[int, int]] = []
+    for sub in ordered:
+        parent = next(i for i, e in enumerate(edge_masks) if not sub & ~e)
+        entries.append((sub, parent))
+    return entries
 
 
 def subedge_family(
@@ -121,46 +223,23 @@ def subedge_family(
 ) -> list[frozenset[str]]:
     """The full subedge set of Equation 1 (or Equation 2 when restricted).
 
-    Parameters
-    ----------
-    family:
-        The hypergraph's edges ``{name: vertices}``.
-    k:
-        The width parameter: unions of up to ``k`` other edges are considered.
-    restrict_to:
-        Edge names of the current component ``H_u``; when given, only
-        intersections with *component* edges are taken (Equation 2's
-        ``f_u(H, k)``), while subedges are still generated for every edge of
-        ``H`` (any edge may appear in a λ-label).
-    budget:
-        Global cap on the number of produced subedges.
-
-    Returns
-    -------
-    list of frozensets, deduplicated against the original edges and sorted
-    deterministically (larger subedges first — better λ-label candidates).
+    Frozenset façade over :func:`mask_subedge_entries` — same parameters as
+    before the bitset kernel, same results: a deduplicated list of vertex
+    sets sorted deterministically (larger subedges first — better λ-label
+    candidates, with the sorted vertex names breaking ties).
     """
-    deadline = deadline or Deadline.unlimited()
-    original = set(family.values())
+    index = FamilyIndex(family)
     if restrict_to is None:
-        other_pool: list[tuple[str, frozenset[str]]] = list(family.items())
+        restrict_mask = None
     else:
-        restrict = set(restrict_to)
-        other_pool = [(n, vs) for n, vs in family.items() if n in restrict]
-
-    produced: set[frozenset[str]] = set()
-    for name, edge in family.items():
-        deadline.check()
-        others = [vs for n, vs in other_pool if n != name]
-        for sub in subedges_for_edge(edge, others, k, budget=budget, deadline=deadline):
-            if sub not in original:
-                produced.add(sub)
-                if len(produced) > budget:
-                    raise SubedgeLimitError(
-                        f"f(H,{k}) exceeded the budget of {budget} subedges"
-                    )
-    ordered = sorted(produced, key=lambda s: (-len(s), sorted(s)))
-    return ordered
+        restrict_mask = index.edges_mask(restrict_to)
+    entries = mask_subedge_entries(
+        index.edge_masks, k, restrict_to=restrict_mask, budget=budget,
+        deadline=deadline,
+    )
+    subs = [index.vertex_names_of(mask) for mask, _ in entries]
+    subs.sort(key=lambda s: (-len(s), sorted(s)))
+    return subs
 
 
 def augment_with_subedges(
@@ -176,12 +255,14 @@ def augment_with_subedges(
     the "fixing" step of Algorithm 1 (lines 6–10) uses it to swap subedges
     back to full edges in the final GHD.
     """
-    subs = subedge_family(family, k, budget=budget, deadline=deadline)
+    index = FamilyIndex(family)
+    entries = mask_subedge_entries(
+        index.edge_masks, k, budget=budget, deadline=deadline
+    )
     augmented: dict[str, frozenset[str]] = dict(family)
     parent_map: dict[str, str] = {}
-    for i, sub in enumerate(subs):
+    for i, (mask, parent_idx) in enumerate(entries):
         sub_name = f"__sub{i}"
-        parent = next(name for name, e in family.items() if sub <= e)
-        augmented[sub_name] = sub
-        parent_map[sub_name] = parent
+        augmented[sub_name] = index.vertex_names_of(mask)
+        parent_map[sub_name] = index.edge_names[parent_idx]
     return augmented, parent_map

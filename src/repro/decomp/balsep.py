@@ -13,6 +13,14 @@ Balancedness halves the instance at every level, which is why the paper
 finds ``BalSep`` particularly fast at *refuting* ``ghw ≤ k`` — there are far
 fewer balanced separators than arbitrary ones.
 
+The search state lives on the integer-bitset kernel
+(:mod:`repro.core.bitset`): a state is a ``(real_edges_mask,
+special_edges_mask)`` int pair (specials are interned per distinct vertex
+set and indexed into a side table), balancedness checks are popcounts over
+mask components, and names only reappear when :class:`DecompositionNode`
+objects are built.  The pre-bitset implementation is preserved as
+:class:`repro.decomp.reference.ReferenceBalSep`.
+
 Like the BIP variants, the separator iterator first tries combinations of
 full edges of ``H`` and falls back to combinations containing subedges from
 ``f(H, k)`` (restricted to the edges that can matter for the current
@@ -23,11 +31,17 @@ from __future__ import annotations
 
 from collections.abc import Iterator
 
-from repro.core.components import components, vertices_of
+from repro.core.bitset import (
+    HypergraphView,
+    dedupe_effective,
+    iter_bits,
+    mask_components_from,
+    mask_covering_combinations,
+    scoped_candidates,
+)
 from repro.core.decomposition import Decomposition, DecompositionNode
 from repro.core.hypergraph import Hypergraph
-from repro.core.subedges import DEFAULT_SUBEDGE_BUDGET, subedge_family
-from repro.decomp.detkdecomp import covering_combinations
+from repro.core.subedges import DEFAULT_SUBEDGE_BUDGET, mask_subedge_entries
 from repro.errors import ValidationError
 from repro.utils.deadline import Deadline
 
@@ -50,25 +64,26 @@ class BalSep:
         self.k = k
         self.deadline = deadline or Deadline.unlimited()
         self.subedge_budget = subedge_budget
-        self._family = dict(hypergraph.edges)
-        # Special edges: canonical name per distinct vertex set.
-        self._special_vertices: dict[str, frozenset[str]] = {}
-        self._special_ids: dict[frozenset[str], str] = {}
-        # Subedges used inside λ-labels, mapped back to a parent real edge.
-        self._subedge_vertices: dict[str, frozenset[str]] = {}
-        self._subedge_parent: dict[str, str] = {}
-        self._subedge_pool: list[str] | None = None
-        self._failures: set[tuple[frozenset[str], frozenset[str]]] = set()
+        self._view = HypergraphView.of(hypergraph)
+        self._masks = self._view.edge_masks
+        # Special edges: one id per distinct vertex mask.
+        self._special_masks: list[int] = []
+        self._special_ids: dict[int, int] = {}
+        # Subedges used inside λ-labels: vertex mask + parent edge index.
+        self._subedge_masks: list[int] = []
+        self._subedge_parent_idx: list[int] = []
+        self._subedge_pool: list[int] | None = None
+        self._failures: set[tuple[int, int]] = set()
 
     # ------------------------------------------------------------------- API
 
     def decompose(self) -> Decomposition | None:
         """Return a GHD of width ≤ k, or ``None`` when ``ghw(H) > k``."""
-        if not self._family:
+        if not self._masks:
             return Decomposition(
                 self.hypergraph, DecompositionNode(frozenset(), {}), kind="GHD"
             )
-        root = self._decompose(frozenset(self._family), frozenset())
+        root = self._decompose(self._view.all_edges, 0)
         if root is None:
             return None
         self._fix_covers(root)
@@ -77,71 +92,92 @@ class BalSep:
     # ------------------------------------------------------------- plumbing
 
     def _special_name(self, vertices: frozenset[str]) -> str:
-        name = self._special_ids.get(vertices)
-        if name is None:
-            name = f"__sp{len(self._special_ids)}"
-            self._special_ids[vertices] = name
-            self._special_vertices[name] = vertices
-        return name
+        """Canonical ``__spN`` name for a special edge's vertex set."""
+        return f"__sp{self._special_id(self._view.vertices_mask(vertices))}"
 
-    def _lookup(self, name: str) -> frozenset[str]:
-        if name in self._family:
-            return self._family[name]
-        if name in self._special_vertices:
-            return self._special_vertices[name]
-        return self._subedge_vertices[name]
+    def _special_id(self, vertices: int) -> int:
+        sid = self._special_ids.get(vertices)
+        if sid is None:
+            sid = len(self._special_masks)
+            self._special_ids[vertices] = sid
+            self._special_masks.append(vertices)
+        return sid
 
-    def _member_family(
-        self, real: frozenset[str], special: frozenset[str]
-    ) -> dict[str, frozenset[str]]:
-        family = {name: self._family[name] for name in real}
-        family.update({name: self._special_vertices[name] for name in special})
-        return family
+    def _member_lists(
+        self, real: int, special: int
+    ) -> tuple[list[int], list[int], list[int]]:
+        """Edge indices, special ids, and vertex masks of a state's members."""
+        real_idx = list(iter_bits(real))
+        spec_idx = list(iter_bits(special))
+        masks = self._masks
+        specials = self._special_masks
+        member_masks = [masks[i] for i in real_idx]
+        member_masks.extend(specials[j] for j in spec_idx)
+        return real_idx, spec_idx, member_masks
+
+    def _member_name(self, real_idx: list[int], spec_idx: list[int], p: int) -> str:
+        if p < len(real_idx):
+            return self._view.edge_names[real_idx[p]]
+        return f"__sp{spec_idx[p - len(real_idx)]}"
 
     # ---------------------------------------------------------------- search
 
-    def _decompose(
-        self, real: frozenset[str], special: frozenset[str]
-    ) -> DecompositionNode | None:
+    def _decompose(self, real: int, special: int) -> DecompositionNode | None:
         """Decompose the extended subhypergraph ``real ∪ special``."""
         self.deadline.check()
         key = (real, special)
         if key in self._failures:
             return None
-        members = self._member_family(real, special)
+        view = self._view
+        real_idx, spec_idx, member_masks = self._member_lists(real, special)
+        total = len(member_masks)
 
         # Base cases (Algorithm 2, lines 5–12).
-        if len(members) == 1:
-            (name, vertices), = members.items()
-            return DecompositionNode(vertices, {name: 1.0})
-        if len(members) == 2:
-            (n1, v1), (n2, v2) = members.items()
-            child = DecompositionNode(v2, {n2: 1.0})
-            return DecompositionNode(v1, {n1: 1.0}, [child])
+        if total == 1:
+            return DecompositionNode(
+                view.vertex_names_of(member_masks[0]),
+                {self._member_name(real_idx, spec_idx, 0): 1.0},
+            )
+        if total == 2:
+            child = DecompositionNode(
+                view.vertex_names_of(member_masks[1]),
+                {self._member_name(real_idx, spec_idx, 1): 1.0},
+            )
+            return DecompositionNode(
+                view.vertex_names_of(member_masks[0]),
+                {self._member_name(real_idx, spec_idx, 0): 1.0},
+                [child],
+            )
 
-        total = len(members)
-        seen_bags: set[frozenset[str]] = set()
-        scope = vertices_of(members)
+        scope = 0
+        for m in member_masks:
+            scope |= m
+        entries = [(1 << p, m) for p, m in enumerate(member_masks)]
+        seen_bags: set[int] = set()
+        n_real = len(real_idx)
 
-        for separator in self._balanced_separators(members, scope, total):
+        for bag_full, cover_names in self._balanced_separators(entries, scope, total):
             self.deadline.check()
             # Restrict the bag to the current scope: λ-edges are global and
             # may contain vertices foreign to this extended subhypergraph;
             # keeping them would break connectedness across sibling subtrees.
-            bag = frozenset().union(*(self._lookup(n) for n in separator)) & scope
+            bag = bag_full & scope
             if bag in seen_bags:
                 continue
             seen_bags.add(bag)
 
-            child_states = components(members, bag)
-            new_special = self._special_name(bag)
+            child_states = mask_components_from(entries, bag)
+            new_special = self._special_id(bag)
             sub_decomps: list[DecompositionNode] = []
             success = True
-            for comp in child_states:
-                comp_real = frozenset(n for n in comp if n in self._family)
-                comp_special = frozenset(
-                    n for n in comp if n not in self._family
-                ) | {new_special}
+            for comp_members, _ in child_states:
+                comp_real = 0
+                comp_special = 1 << new_special
+                for p in iter_bits(comp_members):
+                    if p < n_real:
+                        comp_real |= 1 << real_idx[p]
+                    else:
+                        comp_special |= 1 << spec_idx[p - n_real]
                 child = self._decompose(comp_real, comp_special)
                 if child is None:
                     success = False
@@ -149,74 +185,88 @@ class BalSep:
                 sub_decomps.append(child)
             if not success:
                 continue
-            cover = {name: 1.0 for name in separator}
-            return self._build_ghd(bag, cover, sub_decomps, new_special)
+            cover = {name: 1.0 for name in cover_names}
+            return self._build_ghd(
+                view.vertex_names_of(bag), cover, sub_decomps, new_special
+            )
 
         self._failures.add(key)
         return None
 
     # ----------------------------------------------------------- enumeration
 
-    def _subedges(self) -> list[str]:
-        """Global ``f(H, k)`` subedge names, generated once on demand."""
+    def _subedges(self) -> list[int]:
+        """Global ``f(H, k)`` subedge ids, generated once on demand."""
         if self._subedge_pool is None:
-            pool: list[str] = []
-            for i, vertices in enumerate(
-                subedge_family(
-                    self._family,
-                    self.k,
-                    budget=self.subedge_budget,
-                    deadline=self.deadline,
-                )
+            pool: list[int] = []
+            for mask, parent in mask_subedge_entries(
+                self._masks,
+                self.k,
+                budget=self.subedge_budget,
+                deadline=self.deadline,
             ):
-                name = f"__bsub{i}"
-                parent = next(
-                    e_name for e_name, e in self._family.items() if vertices <= e
-                )
-                self._subedge_vertices[name] = vertices
-                self._subedge_parent[name] = parent
-                pool.append(name)
+                pool.append(len(self._subedge_masks))
+                self._subedge_masks.append(mask)
+                self._subedge_parent_idx.append(parent)
             self._subedge_pool = pool
         return self._subedge_pool
 
     def _balanced_separators(
         self,
-        members: dict[str, frozenset[str]],
-        scope: frozenset[str],
+        entries: list[tuple[int, int]],
+        scope: int,
         total: int,
-    ) -> Iterator[tuple[str, ...]]:
-        """All λ-candidates (≤ k edges of ``H`` / subedges) that balance."""
-        full = sorted(
-            (name for name, edge in self._family.items() if edge & scope),
-            key=lambda n: (-len(self._family[n] & scope), n),
-        )
-        lookup = dict(self._family)
+    ) -> Iterator[tuple[int, tuple[str, ...]]]:
+        """All λ-candidates (≤ k edges of ``H`` / subedges) that balance.
+
+        Yields ``(bag_union_mask, cover_names)`` pairs; the caller restricts
+        the bag to the scope and converts at the node boundary.
+        """
+        masks = self._masks
+        names = self._view.edge_names
+        # One representative per effective mask (candidate ∩ scope): the bag
+        # is scope-restricted and the members live inside the scope, so
+        # candidates sharing an effective mask yield identical bags,
+        # components and balance verdicts.
+        seen_effective: set[int] = set()
+        full, full_masks = scoped_candidates(masks, scope, names, seen_effective)
         limit = total / 2
 
-        def balanced(candidate: tuple[str, ...]) -> bool:
-            bag = frozenset().union(*(lookup[n] for n in candidate))
-            return all(len(c) <= limit for c in components(members, bag))
+        def balanced(bag: int) -> bool:
+            return all(
+                members.bit_count() <= limit
+                for members, _ in mask_components_from(entries, bag)
+            )
 
-        for candidate in covering_combinations(
-            lookup, full, [], frozenset(), self.k, self.deadline,
-            require_primary=False,
+        for combo in mask_covering_combinations(
+            full_masks, 0, 0, self.k, self.deadline, require_primary=False
         ):
-            if balanced(candidate):
-                yield candidate
+            bag = 0
+            for j in combo:
+                bag |= full_masks[j]
+            if balanced(bag):
+                yield bag, tuple(names[full[j]] for j in combo)
 
-        sub_names = [
-            name for name in self._subedges()
-            if self._subedge_vertices[name] & scope
-        ]
-        if not sub_names:
+        sub_ids, sub_masks = dedupe_effective(
+            ((s, self._subedge_masks[s]) for s in self._subedges()),
+            scope,
+            seen_effective,
+        )
+        if not sub_ids:
             return
-        lookup.update({name: self._subedge_vertices[name] for name in sub_names})
-        for candidate in covering_combinations(
-            lookup, sub_names, full, frozenset(), self.k, self.deadline,
-            require_primary=True,
+        n_sub = len(sub_ids)
+        candidate_masks = sub_masks + full_masks
+        for combo in mask_covering_combinations(
+            candidate_masks, n_sub, 0, self.k, self.deadline, require_primary=True
         ):
-            if balanced(candidate):
-                yield candidate
+            bag = 0
+            for j in combo:
+                bag |= candidate_masks[j]
+            if balanced(bag):
+                yield bag, tuple(
+                    f"__bsub{sub_ids[j]}" if j < n_sub else names[full[j - n_sub]]
+                    for j in combo
+                )
 
     # ------------------------------------------------------------- assembly
 
@@ -225,7 +275,7 @@ class BalSep:
         bag: frozenset[str],
         cover: dict[str, float],
         sub_decomps: list[DecompositionNode],
-        special_name: str,
+        special_id: int,
     ) -> DecompositionNode:
         """Function ``BuildGHD``: merge the child GHDs below a new root.
 
@@ -237,7 +287,8 @@ class BalSep:
         all shared vertices connected through the new root).
         """
         node = DecompositionNode(bag, cover)
-        special_set = self._special_vertices[special_name]
+        special_name = f"__sp{special_id}"
+        special_set = self._view.vertex_names_of(self._special_masks[special_id])
         for child in sub_decomps:
             target = _find_special_leaf(child, special_name)
             if target is not None:
@@ -254,13 +305,14 @@ class BalSep:
 
     def _fix_covers(self, root: DecompositionNode) -> None:
         """Swap subedges in λ-labels for their original parent edges."""
+        edge_names = self._view.edge_names
         stack = [root]
         while stack:
             node = stack.pop()
             fixed: dict[str, float] = {}
             for name, weight in node.cover.items():
-                if name in self._subedge_parent:
-                    name = self._subedge_parent[name]
+                if name.startswith("__bsub") and name not in self._view.edge_bit:
+                    name = edge_names[self._subedge_parent_idx[int(name[6:])]]
                 elif name.startswith("__sp"):  # pragma: no cover - invariant
                     raise ValidationError("special edge survived into the final GHD")
                 fixed[name] = max(fixed.get(name, 0.0), weight)

@@ -5,8 +5,8 @@ algorithm of Gottlob & Samer (the paper's ``NewDetKDecomp`` base layer).  For
 a fixed ``k`` it constructs an HD top-down:
 
 * the state of the search is a pair ``(component, connector)`` where
-  ``component`` is a set of edge names still to be decomposed and
-  ``connector`` the vertices shared with the parent bag;
+  ``component`` is a set of edges still to be decomposed and ``connector``
+  the vertices shared with the parent bag;
 * at each node it guesses a separator ``λ ⊆ E(H)`` with ``|λ| ≤ k``
   containing **at least one component edge** (this is the classical
   progress/normal-form restriction) and covering the connector;
@@ -16,21 +16,39 @@ a fixed ``k`` it constructs an HD top-down:
 * the ``[B_u]``-components of the current component become the child search
   states, and failures are memoised on ``(component, connector)``.
 
-The optional ``bag_filter`` hook rejects candidate bags; ``FracImproveHD``
-(Section 6.5) uses it to only accept bags whose *fractional* cover weight
-stays below ``k'``.
+The search runs entirely on the integer-bitset kernel
+(:mod:`repro.core.bitset`): components and connectors are int masks, the
+failure memo keys are ``(component_mask, connector_mask)`` pairs, and vertex
+names only reappear at the :class:`DecompositionNode` boundary.  The original
+frozenset implementation survives as
+:class:`repro.decomp.reference.ReferenceDetKDecomp` for benchmarking and
+differential testing.
+
+The optional ``bag_filter`` hook rejects candidate bags (it still receives
+the bag as a ``frozenset`` of vertex names — the conversion happens at this
+boundary only when a filter is installed); ``FracImproveHD`` (Section 6.5)
+uses it to only accept bags whose *fractional* cover weight stays below
+``k'``.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Iterator
 
-from repro.core.components import components, vertices_of
+from repro.core.bitset import (
+    ComponentCache,
+    HypergraphView,
+    iter_bits,
+    mask_components,
+    mask_components_from,
+    mask_covering_combinations,
+)
 from repro.core.decomposition import Decomposition, DecompositionNode
 from repro.core.hypergraph import Hypergraph
+from repro.perf import counters
 from repro.utils.deadline import Deadline
 
-__all__ = ["DetKDecomp", "check_hd"]
+__all__ = ["DetKDecomp", "check_hd", "covering_combinations"]
 
 BagFilter = Callable[[frozenset[str]], bool]
 
@@ -48,9 +66,10 @@ class DetKDecomp:
         Cooperative timeout; :class:`~repro.errors.DeadlineExceeded` is raised
         from within the search when it expires.
     bag_filter:
-        Optional predicate on candidate bags; bags failing it are skipped.
-        Must be monotone in the sense that rejecting a bag never hides the
-        *only* HD — used by ``FracImproveHD`` where this holds by design.
+        Optional predicate on candidate bags (as vertex-name frozensets);
+        bags failing it are skipped.  Must be monotone in the sense that
+        rejecting a bag never hides the *only* HD — used by ``FracImproveHD``
+        where this holds by design.
     heuristic:
         Separator candidate ordering (the paper adds such heuristics on top
         of the basic algorithm): ``"coverage"`` (default) tries edges with
@@ -79,34 +98,43 @@ class DetKDecomp:
         self.deadline = deadline or Deadline.unlimited()
         self.bag_filter = bag_filter
         self.heuristic = heuristic
-        self._family = dict(hypergraph.edges)
-        self._degree = {
-            v: len(hypergraph.incident_edges(v)) for v in hypergraph.vertices
-        }
-        self._failures: set[tuple[frozenset[str], frozenset[str]]] = set()
+        self._view = HypergraphView.of(hypergraph)
+        self._masks = self._view.edge_masks
+        self._failures: set[tuple[int, int]] = set()
+        self._comps = ComponentCache(self._view)
 
-    def _order_key(self, comp_vertices: frozenset[str]):
-        """The candidate ordering selected by ``self.heuristic``."""
+    # ------------------------------------------------------------- plumbing
+
+    def _order_key(self, comp_vertices: int):
+        """The candidate ordering selected by ``self.heuristic``.
+
+        Keys take edge *indices*.  Ties break on the edge index (candidate
+        lists are generated in ascending index order and Python's sort is
+        stable), which is deterministic; the verdict never depends on the
+        order anyway.
+        """
+        masks = self._masks
         if self.heuristic == "coverage":
-            return lambda n: (-len(self._family[n] & comp_vertices), n)
+            return lambda i: -(masks[i] & comp_vertices).bit_count()
         if self.heuristic == "degree":
-            return lambda n: (
-                -sum(self._degree[v] for v in self._family[n] & comp_vertices),
-                n,
+            view = self._view
+            return lambda i: -sum(
+                view.degree(b) for b in iter_bits(masks[i] & comp_vertices)
             )
-        return lambda n: n  # "name"
+        names = self._view.edge_names
+        return lambda i: names[i]  # "name"
 
     # ------------------------------------------------------------------- API
 
     def decompose(self) -> Decomposition | None:
         """Return an HD of width ≤ k, or ``None`` when none exists."""
-        if not self._family:
+        if not self._masks:
             root = DecompositionNode(frozenset(), {})
             return Decomposition(self.hypergraph, root, kind="HD")
 
         roots: list[DecompositionNode] = []
-        for comp in components(self._family, frozenset()):
-            node = self._decompose(comp, frozenset())
+        for comp, _ in mask_components(self._masks, 0):
+            node = self._decompose(comp, 0)
             if node is None:
                 return None
             roots.append(node)
@@ -122,37 +150,55 @@ class DetKDecomp:
 
     # ---------------------------------------------------------------- search
 
-    def _decompose(
-        self, comp: frozenset[str], conn: frozenset[str]
-    ) -> DecompositionNode | None:
+    def _decompose(self, comp: int, conn: int) -> DecompositionNode | None:
         """Decompose one ``(component, connector)`` state; ``None`` on failure."""
         self.deadline.check()
         key = (comp, conn)
         if key in self._failures:
             return None
 
-        comp_vertices = vertices_of(self._family, comp)
+        view = self._view
+        comp_vertices = self._comps.vertices(comp)
 
         # Base case: the whole component fits in a single λ-label.
-        if len(comp) <= self.k:
-            bag = comp_vertices
-            if self.bag_filter is None or self.bag_filter(bag):
-                return DecompositionNode(bag, {name: 1.0 for name in comp})
+        if comp.bit_count() <= self.k:
+            if self.bag_filter is None or self.bag_filter(
+                view.vertex_names_of(comp_vertices)
+            ):
+                return DecompositionNode(
+                    view.vertex_names_of(comp_vertices),
+                    {view.edge_names[i]: 1.0 for i in iter_bits(comp)},
+                )
 
-        for separator in self._separators(comp, conn):
-            self.deadline.check()
-            bag = vertices_of(self._family, separator) & comp_vertices
-            if not conn <= bag:
+        candidates, candidate_masks, n_inner = self._candidates(comp, conn, comp_vertices)
+        entries = self._comps.entries(comp)
+        seen_bags: set[int] = set()
+        for combo in mask_covering_combinations(
+            candidate_masks, n_inner, conn, self.k, self.deadline,
+            require_primary=True,
+        ):
+            # The effective candidate masks are already intersected with the
+            # component's vertices, so their union IS the make-safe bag, and
+            # the enumeration has guaranteed connector coverage.
+            bag = 0
+            for j in combo:
+                bag |= candidate_masks[j]
+            # Children depend only on the bag, so a bag that already failed
+            # at this state fails for every other λ producing it (and the
+            # make-safe bag keeps the special condition for any such λ).
+            if bag in seen_bags:
                 continue
-            if self.bag_filter is not None and not self.bag_filter(bag):
+            seen_bags.add(bag)
+            if self.bag_filter is not None and not self.bag_filter(
+                view.vertex_names_of(bag)
+            ):
                 continue
 
-            sub_family = {name: self._family[name] for name in comp}
-            child_states = components(sub_family, bag)
+            child_states = mask_components_from(entries, bag)
             children: list[DecompositionNode] = []
             success = True
-            for child_comp in child_states:
-                child_conn = vertices_of(self._family, child_comp) & bag
+            for child_comp, _ in child_states:
+                child_conn = self._comps.vertices(child_comp) & bag
                 child = self._decompose(child_comp, child_conn)
                 if child is None:
                     success = False
@@ -160,7 +206,9 @@ class DetKDecomp:
                 children.append(child)
             if success:
                 return DecompositionNode(
-                    bag, {name: 1.0 for name in separator}, children
+                    view.vertex_names_of(bag),
+                    {view.edge_names[candidates[j]]: 1.0 for j in combo},
+                    children,
                 )
 
         self._failures.add(key)
@@ -168,32 +216,53 @@ class DetKDecomp:
 
     # ----------------------------------------------------------- enumeration
 
-    def _separators(
-        self, comp: frozenset[str], conn: frozenset[str]
-    ) -> Iterator[tuple[str, ...]]:
-        """Enumerate candidate λ-labels for the current state.
+    def _candidates(
+        self, comp: int, conn: int, comp_vertices: int
+    ) -> tuple[list[int], list[int], int]:
+        """The λ-candidate list for one state: indices, effective masks, #inner.
 
         Candidates contain at least one *inner* edge (an edge of the
         component) plus up to ``k - 1`` further edges intersecting the
         component, and must jointly cover the connector.  Edges are ordered
         by decreasing overlap with the component — the paper's heuristic of
         trying "promising" covers first.
+
+        Only a candidate's intersection with the component's vertices ever
+        matters (bag, connector coverage and child components are all
+        intersected with them), so candidates sharing an *effective mask*
+        are interchangeable: one representative is kept per effective mask,
+        inner edges first (they also satisfy the progress rule).
         """
-        comp_vertices = vertices_of(self._family, comp)
+        masks = self._masks
         order_key = self._order_key(comp_vertices)
-        inner = sorted(comp, key=order_key)
+        inner = sorted(iter_bits(comp), key=order_key)
         outer = sorted(
             (
-                name
-                for name, edge in self._family.items()
-                if name not in comp and edge & comp_vertices
+                i
+                for i in iter_bits(self._view.all_edges & ~comp)
+                if masks[i] & comp_vertices
             ),
             key=order_key,
         )
-        yield from covering_combinations(
-            self._family, inner, outer, conn, self.k, self.deadline,
-            require_primary=True,
-        )
+        seen_effective: set[int] = set()
+        candidates: list[int] = []
+        candidate_masks: list[int] = []
+        for i in inner:
+            effective = masks[i]  # inner edges lie inside the component
+            if effective in seen_effective:
+                continue
+            seen_effective.add(effective)
+            candidates.append(i)
+            candidate_masks.append(effective)
+        n_inner = len(candidates)
+        for i in outer:
+            effective = masks[i] & comp_vertices
+            if effective in seen_effective:
+                continue
+            seen_effective.add(effective)
+            candidates.append(i)
+            candidate_masks.append(effective)
+        return candidates, candidate_masks, n_inner
 
 
 def covering_combinations(
@@ -207,6 +276,11 @@ def covering_combinations(
 ) -> Iterator[tuple[str, ...]]:
     """Yield all ≤k-subsets of ``primary + secondary`` whose union covers ``conn``.
 
+    This is the frozenset *reference* enumeration, kept for the reference
+    kernel (:mod:`repro.decomp.reference`) and for differential tests; the
+    production searches use
+    :func:`repro.core.bitset.mask_covering_combinations`.
+
     With ``require_primary`` the subsets must contain at least one primary
     edge — ``DetKDecomp`` uses this for the "≥1 component edge" progress rule
     and ``LocalBIP``/``BalSep`` for their "≥1 subedge" second phase.  The
@@ -214,6 +288,7 @@ def covering_combinations(
     uncovered connector vertices, and prunes branches that cannot cover the
     remainder with the slots left.
     """
+    counters.cover_enumerations += 1
     candidates = primary + secondary
     n_primary = len(primary)
     if not candidates or (require_primary and not primary):

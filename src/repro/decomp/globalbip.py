@@ -56,7 +56,11 @@ def check_ghd_global_bip(
     augmented_family, parent_map = augment_with_subedges(
         hypergraph.edges, k, budget=subedge_budget, deadline=deadline
     )
-    augmented = Hypergraph(augmented_family, name=hypergraph.name or "H'")
+    # The augmented family reuses already-frozen vertex sets; skip the
+    # re-validating constructor (f(H,k) can hold tens of thousands of edges).
+    augmented = Hypergraph._from_frozen(
+        dict(augmented_family), name=hypergraph.name or "H'"
+    )
     hd = DetKDecomp(augmented, k, deadline=deadline).decompose()
     if hd is None:
         return None

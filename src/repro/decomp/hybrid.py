@@ -14,17 +14,28 @@ version: :class:`HybridBalSep` runs the balanced-separator recursion down to
 The handoff must still respect the special edges of the extended
 subhypergraph, so the inner search is a GHD search over the component's
 *real* edges plus the inherited special edges treated as extra edges that
-only need covering (they may not be used in λ-labels).
+only need covering (they may not be used in λ-labels).  Both layers share
+the outer :class:`~repro.decomp.balsep.BalSep` mask state: inner search
+states are ``(real_mask, special_mask, connector_mask)`` int triples over
+the same edge/special/subedge index tables.
 """
 
 from __future__ import annotations
 
-from repro.core.components import components, vertices_of
+from collections.abc import Iterator
+
+from repro.core.bitset import (
+    dedupe_effective,
+    iter_bits,
+    mask_components_from,
+    mask_covering_combinations,
+    mask_minimum_cover,
+    scoped_candidates,
+)
 from repro.core.decomposition import Decomposition, DecompositionNode
 from repro.core.hypergraph import Hypergraph
-from repro.core.subedges import DEFAULT_SUBEDGE_BUDGET, subedge_family
+from repro.core.subedges import DEFAULT_SUBEDGE_BUDGET
 from repro.decomp.balsep import BalSep
-from repro.decomp.detkdecomp import covering_combinations
 from repro.utils.deadline import Deadline
 
 __all__ = ["HybridBalSep", "check_ghd_hybrid"]
@@ -36,106 +47,132 @@ class _InnerGHDSearch:
     ``special`` members behave like edges of the instance (they must be
     covered by some bag, they participate in components) but cannot appear
     in λ-labels — λ-labels draw from the global hypergraph's edges and the
-    local subedge pool, exactly as in the outer ``BalSep`` search.
+    shared subedge pool, exactly as in the outer ``BalSep`` search.
     """
 
     def __init__(self, balsep: "HybridBalSep"):
         self.balsep = balsep
         self.k = balsep.k
         self.deadline = balsep.deadline
-        self._failures: set[tuple[frozenset[str], frozenset[str], frozenset[str]]] = set()
+        self._failures: set[tuple[int, int, int]] = set()
 
     def decompose(
-        self, real: frozenset[str], special: frozenset[str], conn: frozenset[str]
+        self, real: int, special: int, conn: int
     ) -> DecompositionNode | None:
         self.deadline.check()
         key = (real, special, conn)
         if key in self._failures:
             return None
         owner = self.balsep
-        members = owner.member_family(real, special)
-        member_vertices = vertices_of(members)
+        view = owner._view
+        masks = owner._masks
+        real_idx, spec_idx, member_masks = owner._member_lists(real, special)
+        n_real = len(real_idx)
+        member_vertices = 0
+        for m in member_masks:
+            member_vertices |= m
 
         # Base case: few members and all specials coverable?  A single node
         # whose λ consists of (at most k) real edges covering everything.
-        if len(real) <= self.k and all(
-            owner.special_vertices(s) <= member_vertices for s in special
+        if real.bit_count() <= self.k and all(
+            not owner._special_masks[j] & ~member_vertices for j in spec_idx
         ):
             bag = member_vertices | conn
-            cover_pool = {
-                name: owner.family[name]
-                for name in owner.family
-                if owner.family[name] & bag
-            }
-            chosen = _greedy_cover(cover_pool, bag, self.k)
+            candidates = [i for i in range(len(masks)) if masks[i] & bag]
+            chosen = mask_minimum_cover(
+                [masks[i] for i in candidates], bag, max_size=self.k
+            )
             if chosen is not None:
-                return DecompositionNode(bag, {name: 1.0 for name in chosen})
+                return DecompositionNode(
+                    view.vertex_names_of(bag),
+                    {view.edge_names[candidates[j]]: 1.0 for j in chosen},
+                )
 
-        for separator, lookup in self._separators(members, conn):
+        entries = [(1 << p, m) for p, m in enumerate(member_masks)]
+        all_members = (1 << len(member_masks)) - 1
+        seen_bags: set[int] = set()
+
+        for bag_full, cover_names in self._separators(member_vertices, conn):
             self.deadline.check()
-            bag = frozenset().union(*(lookup[n] for n in separator))
-            bag &= member_vertices | conn
-            if not conn <= bag:
+            bag = bag_full & (member_vertices | conn)
+            if conn & ~bag:
                 continue
-            child_states = components(members, bag)
-            if any(state == frozenset(members) for state in child_states):
+            if bag in seen_bags:
+                continue  # child states depend only on the bag
+            seen_bags.add(bag)
+            child_states = mask_components_from(entries, bag)
+            if any(members == all_members for members, _ in child_states):
                 continue  # no progress
             children: list[DecompositionNode] = []
             success = True
-            for state in child_states:
-                child_real = frozenset(n for n in state if n in owner.family)
-                child_special = state - child_real
-                child_conn = vertices_of(members, state) & bag
+            for comp_members, _ in child_states:
+                child_real = 0
+                child_special = 0
+                child_vertices = 0
+                for p in iter_bits(comp_members):
+                    child_vertices |= member_masks[p]
+                    if p < n_real:
+                        child_real |= 1 << real_idx[p]
+                    else:
+                        child_special |= 1 << spec_idx[p - n_real]
+                child_conn = child_vertices & bag
                 child = self.decompose(child_real, child_special, child_conn)
                 if child is None:
                     success = False
                     break
                 children.append(child)
             if success:
-                cover: dict[str, float] = {}
-                for name in separator:
-                    cover[owner.resolve_parent(name)] = 1.0
-                return DecompositionNode(bag, cover, children)
+                cover = {name: 1.0 for name in cover_names}
+                return DecompositionNode(view.vertex_names_of(bag), cover, children)
 
         self._failures.add(key)
         return None
 
-    def _separators(self, members, conn):
+    def _separators(
+        self, member_vertices: int, conn: int
+    ) -> Iterator[tuple[int, tuple[str, ...]]]:
+        """Full-edge combinations first, then subedge-containing ones.
+
+        Yields ``(bag_union_mask, cover_names)`` with subedges resolved to
+        their parent edge names.
+        """
         owner = self.balsep
-        scope = vertices_of(members) | conn
-        full = sorted(
-            (name for name, edge in owner.family.items() if edge & scope),
-            key=lambda n: (-len(owner.family[n] & scope), n),
+        masks = owner._masks
+        names = owner._view.edge_names
+        scope = member_vertices | conn
+        # One representative per effective mask (∩ scope) — bags, connector
+        # coverage and child states are all scope-restricted.
+        seen_effective: set[int] = set()
+        full, full_masks = scoped_candidates(masks, scope, names, seen_effective)
+        for combo in mask_covering_combinations(
+            full_masks, 0, conn, self.k, self.deadline, require_primary=False
+        ):
+            bag = 0
+            for j in combo:
+                bag |= full_masks[j]
+            yield bag, tuple(names[full[j]] for j in combo)
+
+        sub_ids, sub_masks = dedupe_effective(
+            ((s, owner._subedge_masks[s]) for s in owner._subedges()),
+            scope,
+            seen_effective,
         )
-        lookup = dict(owner.family)
-        for combo in covering_combinations(
-            lookup, full, [], conn, self.k, self.deadline, require_primary=False
-        ):
-            yield combo, lookup
-
-        sub_names = [
-            name
-            for name in owner.subedge_pool()
-            if owner.subedge_vertices(name) & scope
-        ]
-        if not sub_names:
+        if not sub_ids:
             return
-        lookup = dict(lookup)
-        lookup.update({name: owner.subedge_vertices(name) for name in sub_names})
-        for combo in covering_combinations(
-            lookup, sub_names, full, conn, self.k, self.deadline, require_primary=True
+        n_sub = len(sub_ids)
+        candidate_masks = sub_masks + full_masks
+        for combo in mask_covering_combinations(
+            candidate_masks, n_sub, conn, self.k, self.deadline,
+            require_primary=True,
         ):
-            yield combo, lookup
-
-
-def _greedy_cover(
-    pool: dict[str, frozenset[str]], bag: frozenset[str], k: int
-) -> tuple[str, ...] | None:
-    """A ≤k integral cover of ``bag`` from ``pool``, or None (greedy+exact)."""
-    from repro.core.covers import minimum_integral_cover
-
-    cover = minimum_integral_cover(pool, bag, max_size=k)
-    return cover
+            bag = 0
+            for j in combo:
+                bag |= candidate_masks[j]
+            yield bag, tuple(
+                names[owner._subedge_parent_idx[sub_ids[j]]] if j < n_sub
+                else names[full[j - n_sub]]
+                for j in combo
+            )
 
 
 class HybridBalSep(BalSep):
@@ -154,34 +191,14 @@ class HybridBalSep(BalSep):
         self._depth = 0
         self._inner = _InnerGHDSearch(self)
 
-    # ------------------------------------------------- accessors for inner
-
-    @property
-    def family(self) -> dict[str, frozenset[str]]:
-        return self._family
-
-    def member_family(self, real: frozenset[str], special: frozenset[str]):
-        return self._member_family(real, special)
-
-    def special_vertices(self, name: str) -> frozenset[str]:
-        return self._special_vertices[name]
-
-    def subedge_vertices(self, name: str) -> frozenset[str]:
-        return self._subedge_vertices[name]
-
-    def subedge_pool(self) -> list[str]:
-        return self._subedges()
-
-    def resolve_parent(self, name: str) -> str:
-        return self._subedge_parent.get(name, name)
-
     # ------------------------------------------------------------ recursion
 
-    def _decompose(
-        self, real: frozenset[str], special: frozenset[str]
-    ) -> DecompositionNode | None:
-        if self._depth >= self.switch_depth and len(real) + len(special) > 2:
-            return self._inner.decompose(real, special, frozenset())
+    def _decompose(self, real: int, special: int) -> DecompositionNode | None:
+        if (
+            self._depth >= self.switch_depth
+            and real.bit_count() + special.bit_count() > 2
+        ):
+            return self._inner.decompose(real, special, 0)
         self._depth += 1
         try:
             return super()._decompose(real, special)

@@ -12,17 +12,29 @@ This is a GHD search (no special condition), so the bag at a node is
 ``B(λ) ∩ V(component)`` and completeness relies on a reduced normal form in
 which every child component is a *proper* subset of the current one; the
 search skips separators violating that, which also guarantees termination.
+
+Like ``DetKDecomp``, the search state is mask-native: components are edge
+masks, connectors vertex masks, the failure memo keys
+``(component_mask, connector_mask)`` int pairs, and the per-component
+subedge pools are keyed by the component mask.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterator
 
-from repro.core.components import components, vertices_of
+from repro.core.bitset import (
+    ComponentCache,
+    HypergraphView,
+    dedupe_effective,
+    iter_bits,
+    mask_components_from,
+    mask_covering_combinations,
+    scoped_candidates,
+)
 from repro.core.decomposition import Decomposition, DecompositionNode
 from repro.core.hypergraph import Hypergraph
-from repro.core.subedges import DEFAULT_SUBEDGE_BUDGET, subedge_family
-from repro.decomp.detkdecomp import covering_combinations
+from repro.core.subedges import DEFAULT_SUBEDGE_BUDGET, mask_subedge_entries
 from repro.utils.deadline import Deadline
 
 __all__ = ["LocalBIP", "check_ghd_local_bip"]
@@ -44,28 +56,28 @@ class LocalBIP:
         self.k = k
         self.deadline = deadline or Deadline.unlimited()
         self.subedge_budget = subedge_budget
-        self._family = dict(hypergraph.edges)
-        self._failures: set[tuple[frozenset[str], frozenset[str]]] = set()
-        # Lazily generated subedge pools keyed by component; entries are
-        # (name, vertices, parent_edge_name) triples.
-        self._subedge_cache: dict[
-            frozenset[str], list[tuple[str, frozenset[str], str]]
-        ] = {}
-        self._subedge_vertices: dict[str, frozenset[str]] = {}
-        self._subedge_parent: dict[str, str] = {}
-        self._next_subedge_id = 0
+        self._view = HypergraphView.of(hypergraph)
+        self._masks = self._view.edge_masks
+        self._failures: set[tuple[int, int]] = set()
+        # Lazily generated subedge pools keyed by component mask; ids index
+        # the (mask, parent edge index) side tables.
+        self._subedge_cache: dict[int, list[int]] = {}
+        self._subedge_masks: list[int] = []
+        self._subedge_parent_idx: list[int] = []
+        self._comps = ComponentCache(self._view)
 
     # ------------------------------------------------------------------- API
 
     def decompose(self) -> Decomposition | None:
         """Return a GHD of width ≤ k, or ``None`` when none exists."""
-        if not self._family:
+        if not self._masks:
             return Decomposition(
                 self.hypergraph, DecompositionNode(frozenset(), {}), kind="GHD"
             )
         roots: list[DecompositionNode] = []
-        for comp in components(self._family, frozenset()):
-            node = self._decompose(comp, frozenset())
+        all_entries = [(1 << i, m) for i, m in enumerate(self._masks)]
+        for comp, _ in mask_components_from(all_entries, 0):
+            node = self._decompose(comp, 0)
             if node is None:
                 return None
             roots.append(node)
@@ -74,112 +86,118 @@ class LocalBIP:
 
     # ---------------------------------------------------------------- search
 
-    def _lookup(self, name: str) -> frozenset[str]:
-        if name in self._family:
-            return self._family[name]
-        return self._subedge_vertices[name]
-
-    def _decompose(
-        self, comp: frozenset[str], conn: frozenset[str]
-    ) -> DecompositionNode | None:
+    def _decompose(self, comp: int, conn: int) -> DecompositionNode | None:
         self.deadline.check()
         key = (comp, conn)
         if key in self._failures:
             return None
 
-        comp_vertices = vertices_of(self._family, comp)
+        view = self._view
+        comp_vertices = self._comps.vertices(comp)
 
-        if len(comp) <= self.k:
-            return DecompositionNode(comp_vertices, {name: 1.0 for name in comp})
+        if comp.bit_count() <= self.k:
+            return DecompositionNode(
+                view.vertex_names_of(comp_vertices),
+                {view.edge_names[i]: 1.0 for i in iter_bits(comp)},
+            )
 
-        for separator in self._separators(comp, conn):
+        seen_bags: set[int] = set()
+        for bag_full, cover_names in self._separators(comp, conn, comp_vertices):
             self.deadline.check()
-            bag = frozenset().union(*(self._lookup(n) for n in separator)) & comp_vertices
-            if not conn <= bag:
+            bag = bag_full & comp_vertices
+            if conn & ~bag:
                 continue
+            # Child states depend only on the bag: a bag whose children
+            # already failed at this state fails for every λ producing it.
+            if bag in seen_bags:
+                continue
+            seen_bags.add(bag)
 
-            sub_family = {name: self._family[name] for name in comp}
-            child_states = components(sub_family, bag)
-            if any(child == comp for child in child_states):
+            child_states = mask_components_from(self._comps.entries(comp), bag)
+            if any(members == comp for members, _ in child_states):
                 continue  # no progress: reduced normal form forbids this
             children: list[DecompositionNode] = []
             success = True
-            for child_comp in child_states:
-                child_conn = vertices_of(self._family, child_comp) & bag
+            for child_comp, _ in child_states:
+                child_conn = self._comps.vertices(child_comp) & bag
                 child = self._decompose(child_comp, child_conn)
                 if child is None:
                     success = False
                     break
                 children.append(child)
             if success:
-                cover: dict[str, float] = {}
-                for name in separator:
-                    real = self._subedge_parent.get(name, name)
-                    cover[real] = 1.0
-                return DecompositionNode(bag, cover, children)
+                cover = {name: 1.0 for name in cover_names}
+                return DecompositionNode(view.vertex_names_of(bag), cover, children)
 
         self._failures.add(key)
         return None
 
     # ----------------------------------------------------------- enumeration
 
-    def _component_subedges(
-        self, comp: frozenset[str]
-    ) -> list[tuple[str, frozenset[str], str]]:
-        """``f_u(H, k)`` for the current component, generated once and cached."""
+    def _component_subedges(self, comp: int) -> list[int]:
+        """``f_u(H, k)`` ids for the current component, generated once."""
         cached = self._subedge_cache.get(comp)
         if cached is not None:
             return cached
-        subs = subedge_family(
-            self._family,
+        ids: list[int] = []
+        for mask, parent in mask_subedge_entries(
+            self._masks,
             self.k,
             restrict_to=comp,
             budget=self.subedge_budget,
             deadline=self.deadline,
-        )
-        entries: list[tuple[str, frozenset[str], str]] = []
-        for vertices in subs:
-            name = f"__lsub{self._next_subedge_id}"
-            self._next_subedge_id += 1
-            parent = next(
-                e_name for e_name, e in self._family.items() if vertices <= e
-            )
-            self._subedge_vertices[name] = vertices
-            self._subedge_parent[name] = parent
-            entries.append((name, vertices, parent))
-        self._subedge_cache[comp] = entries
-        return entries
+        ):
+            ids.append(len(self._subedge_masks))
+            self._subedge_masks.append(mask)
+            self._subedge_parent_idx.append(parent)
+        self._subedge_cache[comp] = ids
+        return ids
 
     def _separators(
-        self, comp: frozenset[str], conn: frozenset[str]
-    ) -> Iterator[tuple[str, ...]]:
-        """Full-edge combinations first; subedge-containing ones afterwards."""
-        comp_vertices = vertices_of(self._family, comp)
-        full = sorted(
-            (
-                name
-                for name, edge in self._family.items()
-                if edge & comp_vertices
-            ),
-            key=lambda n: (-len(self._family[n] & comp_vertices), n),
-        )
-        lookup = dict(self._family)
-        yield from covering_combinations(
-            lookup, full, [], conn, self.k, self.deadline, require_primary=False
-        )
+        self, comp: int, conn: int, comp_vertices: int
+    ) -> Iterator[tuple[int, tuple[str, ...]]]:
+        """Full-edge combinations first; subedge-containing ones afterwards.
+
+        Yields ``(bag_union_mask, cover_names)``; subedges are already
+        resolved to their parent edge name (only the parent ever appears in
+        a returned λ-label).
+        """
+        masks = self._masks
+        names = self._view.edge_names
+        seen_effective: set[int] = set()
+        full, full_masks = scoped_candidates(masks, comp_vertices, names, seen_effective)
+        for combo in mask_covering_combinations(
+            full_masks, 0, conn, self.k, self.deadline, require_primary=False
+        ):
+            bag = 0
+            for j in combo:
+                bag |= full_masks[j]
+            yield bag, tuple(names[full[j]] for j in combo)
 
         # Phase 2: at least one subedge per separator (pure full-edge
-        # combinations were exhausted above).
-        sub_entries = self._component_subedges(comp)
-        if not sub_entries:
-            return
-        sub_names = [name for name, vertices, _ in sub_entries
-                     if vertices & comp_vertices]
-        lookup.update({name: self._subedge_vertices[name] for name in sub_names})
-        yield from covering_combinations(
-            lookup, sub_names, full, conn, self.k, self.deadline,
-            require_primary=True,
+        # combinations were exhausted above; subedges whose effective mask a
+        # full edge already provides cannot produce a new bag either).
+        sub_ids, sub_masks = dedupe_effective(
+            ((s, self._subedge_masks[s]) for s in self._component_subedges(comp)),
+            comp_vertices,
+            seen_effective,
         )
+        if not sub_ids:
+            return
+        n_sub = len(sub_ids)
+        candidate_masks = sub_masks + full_masks
+        for combo in mask_covering_combinations(
+            candidate_masks, n_sub, conn, self.k, self.deadline,
+            require_primary=True,
+        ):
+            bag = 0
+            for j in combo:
+                bag |= candidate_masks[j]
+            yield bag, tuple(
+                names[self._subedge_parent_idx[sub_ids[j]]] if j < n_sub
+                else names[full[j - n_sub]]
+                for j in combo
+            )
 
 
 def check_ghd_local_bip(

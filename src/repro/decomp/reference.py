@@ -1,0 +1,383 @@
+"""Frozen *reference kernel*: the pre-bitset frozenset search algorithms.
+
+When the decomposition searches were rewritten on the integer-bitset kernel
+(:mod:`repro.core.bitset`), the original ``frozenset[str]``-based
+implementations of ``DetKDecomp`` and ``BalSep`` were preserved here,
+verbatim apart from their class names.  They serve two purposes:
+
+* **Perf baseline** — the microbench harness (:mod:`repro.perf.harness`)
+  times cold ``Check(H, k)`` runs of both kernels on the same workload and
+  reports the speedup in ``BENCH_kernel.json``.
+* **Equivalence oracle** — ``tests/test_bitset.py`` cross-checks that the
+  mask-native searches return the same verdicts (and equally valid
+  decompositions) as these references on random hypergraphs.
+
+Nothing in the production path imports this module; do not "optimise" it —
+its value is precisely that it stays the slow, obviously-correct version.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.components import components, vertices_of
+from repro.core.decomposition import Decomposition, DecompositionNode
+from repro.core.hypergraph import Hypergraph
+from repro.core.subedges import DEFAULT_SUBEDGE_BUDGET, subedge_family
+from repro.decomp.detkdecomp import covering_combinations
+from repro.errors import ValidationError
+from repro.utils.deadline import Deadline
+
+__all__ = [
+    "ReferenceDetKDecomp",
+    "ReferenceBalSep",
+    "check_hd_reference",
+    "check_ghd_balsep_reference",
+]
+
+
+class ReferenceDetKDecomp:
+    """The original frozenset ``Check(HD, k)`` search (see module docstring)."""
+
+    HEURISTICS = ("coverage", "degree", "name")
+
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        k: int,
+        deadline: Deadline | None = None,
+        bag_filter=None,
+        heuristic: str = "coverage",
+    ):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if heuristic not in self.HEURISTICS:
+            raise ValueError(f"unknown heuristic {heuristic!r}")
+        self.hypergraph = hypergraph
+        self.k = k
+        self.deadline = deadline or Deadline.unlimited()
+        self.bag_filter = bag_filter
+        self.heuristic = heuristic
+        self._family = dict(hypergraph.edges)
+        self._degree = {
+            v: len(hypergraph.incident_edges(v)) for v in hypergraph.vertices
+        }
+        self._failures: set[tuple[frozenset[str], frozenset[str]]] = set()
+
+    def _order_key(self, comp_vertices: frozenset[str]):
+        if self.heuristic == "coverage":
+            return lambda n: (-len(self._family[n] & comp_vertices), n)
+        if self.heuristic == "degree":
+            return lambda n: (
+                -sum(self._degree[v] for v in self._family[n] & comp_vertices),
+                n,
+            )
+        return lambda n: n  # "name"
+
+    def decompose(self) -> Decomposition | None:
+        if not self._family:
+            root = DecompositionNode(frozenset(), {})
+            return Decomposition(self.hypergraph, root, kind="HD")
+
+        roots: list[DecompositionNode] = []
+        for comp in components(self._family, frozenset()):
+            node = self._decompose(comp, frozenset())
+            if node is None:
+                return None
+            roots.append(node)
+
+        if len(roots) == 1:
+            root = roots[0]
+        else:
+            root = DecompositionNode(frozenset(), {}, roots)
+        return Decomposition(self.hypergraph, root, kind="HD")
+
+    def _decompose(
+        self, comp: frozenset[str], conn: frozenset[str]
+    ) -> DecompositionNode | None:
+        self.deadline.check()
+        key = (comp, conn)
+        if key in self._failures:
+            return None
+
+        comp_vertices = vertices_of(self._family, comp)
+
+        if len(comp) <= self.k:
+            bag = comp_vertices
+            if self.bag_filter is None or self.bag_filter(bag):
+                return DecompositionNode(bag, {name: 1.0 for name in comp})
+
+        for separator in self._separators(comp, conn):
+            self.deadline.check()
+            bag = vertices_of(self._family, separator) & comp_vertices
+            if not conn <= bag:
+                continue
+            if self.bag_filter is not None and not self.bag_filter(bag):
+                continue
+
+            sub_family = {name: self._family[name] for name in comp}
+            child_states = components(sub_family, bag)
+            children: list[DecompositionNode] = []
+            success = True
+            for child_comp in child_states:
+                child_conn = vertices_of(self._family, child_comp) & bag
+                child = self._decompose(child_comp, child_conn)
+                if child is None:
+                    success = False
+                    break
+                children.append(child)
+            if success:
+                return DecompositionNode(
+                    bag, {name: 1.0 for name in separator}, children
+                )
+
+        self._failures.add(key)
+        return None
+
+    def _separators(
+        self, comp: frozenset[str], conn: frozenset[str]
+    ) -> Iterator[tuple[str, ...]]:
+        comp_vertices = vertices_of(self._family, comp)
+        order_key = self._order_key(comp_vertices)
+        inner = sorted(comp, key=order_key)
+        outer = sorted(
+            (
+                name
+                for name, edge in self._family.items()
+                if name not in comp and edge & comp_vertices
+            ),
+            key=order_key,
+        )
+        yield from covering_combinations(
+            self._family, inner, outer, conn, self.k, self.deadline,
+            require_primary=True,
+        )
+
+
+class ReferenceBalSep:
+    """The original frozenset balanced-separator ``Check(GHD, k)`` search."""
+
+    def __init__(
+        self,
+        hypergraph: Hypergraph,
+        k: int,
+        deadline: Deadline | None = None,
+        subedge_budget: int = DEFAULT_SUBEDGE_BUDGET,
+    ):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.hypergraph = hypergraph
+        self.k = k
+        self.deadline = deadline or Deadline.unlimited()
+        self.subedge_budget = subedge_budget
+        self._family = dict(hypergraph.edges)
+        self._special_vertices: dict[str, frozenset[str]] = {}
+        self._special_ids: dict[frozenset[str], str] = {}
+        self._subedge_vertices: dict[str, frozenset[str]] = {}
+        self._subedge_parent: dict[str, str] = {}
+        self._subedge_pool: list[str] | None = None
+        self._failures: set[tuple[frozenset[str], frozenset[str]]] = set()
+
+    def decompose(self) -> Decomposition | None:
+        if not self._family:
+            return Decomposition(
+                self.hypergraph, DecompositionNode(frozenset(), {}), kind="GHD"
+            )
+        root = self._decompose(frozenset(self._family), frozenset())
+        if root is None:
+            return None
+        self._fix_covers(root)
+        return Decomposition(self.hypergraph, root, kind="GHD")
+
+    def _special_name(self, vertices: frozenset[str]) -> str:
+        name = self._special_ids.get(vertices)
+        if name is None:
+            name = f"__sp{len(self._special_ids)}"
+            self._special_ids[vertices] = name
+            self._special_vertices[name] = vertices
+        return name
+
+    def _lookup(self, name: str) -> frozenset[str]:
+        if name in self._family:
+            return self._family[name]
+        if name in self._special_vertices:
+            return self._special_vertices[name]
+        return self._subedge_vertices[name]
+
+    def _member_family(
+        self, real: frozenset[str], special: frozenset[str]
+    ) -> dict[str, frozenset[str]]:
+        family = {name: self._family[name] for name in real}
+        family.update({name: self._special_vertices[name] for name in special})
+        return family
+
+    def _decompose(
+        self, real: frozenset[str], special: frozenset[str]
+    ) -> DecompositionNode | None:
+        self.deadline.check()
+        key = (real, special)
+        if key in self._failures:
+            return None
+        members = self._member_family(real, special)
+
+        if len(members) == 1:
+            (name, vertices), = members.items()
+            return DecompositionNode(vertices, {name: 1.0})
+        if len(members) == 2:
+            (n1, v1), (n2, v2) = members.items()
+            child = DecompositionNode(v2, {n2: 1.0})
+            return DecompositionNode(v1, {n1: 1.0}, [child])
+
+        total = len(members)
+        seen_bags: set[frozenset[str]] = set()
+        scope = vertices_of(members)
+
+        for separator in self._balanced_separators(members, scope, total):
+            self.deadline.check()
+            bag = frozenset().union(*(self._lookup(n) for n in separator)) & scope
+            if bag in seen_bags:
+                continue
+            seen_bags.add(bag)
+
+            child_states = components(members, bag)
+            new_special = self._special_name(bag)
+            sub_decomps: list[DecompositionNode] = []
+            success = True
+            for comp in child_states:
+                comp_real = frozenset(n for n in comp if n in self._family)
+                comp_special = frozenset(
+                    n for n in comp if n not in self._family
+                ) | {new_special}
+                child = self._decompose(comp_real, comp_special)
+                if child is None:
+                    success = False
+                    break
+                sub_decomps.append(child)
+            if not success:
+                continue
+            cover = {name: 1.0 for name in separator}
+            return self._build_ghd(bag, cover, sub_decomps, new_special)
+
+        self._failures.add(key)
+        return None
+
+    def _subedges(self) -> list[str]:
+        if self._subedge_pool is None:
+            pool: list[str] = []
+            for i, vertices in enumerate(
+                subedge_family(
+                    self._family,
+                    self.k,
+                    budget=self.subedge_budget,
+                    deadline=self.deadline,
+                )
+            ):
+                name = f"__bsub{i}"
+                parent = next(
+                    e_name for e_name, e in self._family.items() if vertices <= e
+                )
+                self._subedge_vertices[name] = vertices
+                self._subedge_parent[name] = parent
+                pool.append(name)
+            self._subedge_pool = pool
+        return self._subedge_pool
+
+    def _balanced_separators(
+        self,
+        members: dict[str, frozenset[str]],
+        scope: frozenset[str],
+        total: int,
+    ) -> Iterator[tuple[str, ...]]:
+        full = sorted(
+            (name for name, edge in self._family.items() if edge & scope),
+            key=lambda n: (-len(self._family[n] & scope), n),
+        )
+        lookup = dict(self._family)
+        limit = total / 2
+
+        def balanced(candidate: tuple[str, ...]) -> bool:
+            bag = frozenset().union(*(lookup[n] for n in candidate))
+            return all(len(c) <= limit for c in components(members, bag))
+
+        for candidate in covering_combinations(
+            lookup, full, [], frozenset(), self.k, self.deadline,
+            require_primary=False,
+        ):
+            if balanced(candidate):
+                yield candidate
+
+        sub_names = [
+            name for name in self._subedges()
+            if self._subedge_vertices[name] & scope
+        ]
+        if not sub_names:
+            return
+        lookup.update({name: self._subedge_vertices[name] for name in sub_names})
+        for candidate in covering_combinations(
+            lookup, sub_names, full, frozenset(), self.k, self.deadline,
+            require_primary=True,
+        ):
+            if balanced(candidate):
+                yield candidate
+
+    def _build_ghd(
+        self,
+        bag: frozenset[str],
+        cover: dict[str, float],
+        sub_decomps: list[DecompositionNode],
+        special_name: str,
+    ) -> DecompositionNode:
+        from repro.decomp.balsep import (
+            _find_covering_node,
+            _find_special_leaf,
+            _reroot,
+        )
+
+        node = DecompositionNode(bag, cover)
+        special_set = self._special_vertices[special_name]
+        for child in sub_decomps:
+            target = _find_special_leaf(child, special_name)
+            if target is not None:
+                rerooted = _reroot(child, target)
+                node.children.extend(rerooted.children)
+                continue
+            target = _find_covering_node(child, special_set)
+            if target is None:  # pragma: no cover - contract of Decompose
+                raise ValidationError(
+                    "child decomposition does not cover its connecting special edge"
+                )
+            node.children.append(_reroot(child, target))
+        return node
+
+    def _fix_covers(self, root: DecompositionNode) -> None:
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            fixed: dict[str, float] = {}
+            for name, weight in node.cover.items():
+                if name in self._subedge_parent:
+                    name = self._subedge_parent[name]
+                elif name.startswith("__sp"):  # pragma: no cover - invariant
+                    raise ValidationError("special edge survived into the final GHD")
+                fixed[name] = max(fixed.get(name, 0.0), weight)
+            node.cover = fixed
+            stack.extend(node.children)
+
+
+def check_hd_reference(
+    hypergraph: Hypergraph, k: int, deadline: Deadline | None = None
+) -> Decomposition | None:
+    """Reference-kernel ``Check(HD, k)`` (frozenset implementation)."""
+    return ReferenceDetKDecomp(hypergraph, k, deadline=deadline).decompose()
+
+
+def check_ghd_balsep_reference(
+    hypergraph: Hypergraph,
+    k: int,
+    deadline: Deadline | None = None,
+    subedge_budget: int = DEFAULT_SUBEDGE_BUDGET,
+) -> Decomposition | None:
+    """Reference-kernel ``Check(GHD, k)`` via balanced separators."""
+    return ReferenceBalSep(
+        hypergraph, k, deadline=deadline, subedge_budget=subedge_budget
+    ).decompose()

@@ -1,0 +1,46 @@
+"""Kernel instrumentation for the perf harness.
+
+The bitset kernel (:mod:`repro.core.bitset`) and the frozenset reference
+implementations both report how often the two hot primitives run — the
+[U]-component computation and the cover/separator enumeration — through the
+module-level :data:`counters` singleton.  The microbench harness
+(:mod:`repro.perf.harness`) resets the counters around each timed case and
+stores the deltas next to the wall time in ``BENCH_kernel.json``, so a perf
+regression can be attributed to "more work" vs "slower work".
+
+The counters are plain attribute increments: cheap enough to leave enabled
+unconditionally, and per-process (worker processes report nothing back —
+the harness runs its cases in-process precisely so the counts are exact).
+"""
+
+from __future__ import annotations
+
+__all__ = ["KernelCounters", "counters"]
+
+
+class KernelCounters:
+    """Call counters for the decomposition hot-path primitives."""
+
+    __slots__ = ("components_calls", "cover_enumerations", "subedge_closures")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.components_calls = 0
+        self.cover_enumerations = 0
+        self.subedge_closures = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "components_calls": self.components_calls,
+            "cover_enumerations": self.cover_enumerations,
+            "subedge_closures": self.subedge_closures,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"KernelCounters({self.snapshot()})"
+
+
+#: Process-global counter singleton, shared by both kernels.
+counters = KernelCounters()
