@@ -49,7 +49,10 @@ __all__ = [
 
 BUCKETS = (">=1", "[0.5,1)", "[0.1,0.5)", "no", "timeout")
 
-#: Store method key for cached ``FracImproveHD`` verdicts.
+#: Store method key for cached ``FracImproveHD`` verdicts — the name the
+#: :mod:`repro.engine.methods` registry declares for the Table 6 method
+#: (registered there with ``kind="fhw"`` but ``decision_kind="hw"``: its
+#: verdicts are exactly ``Check(HD, k)``'s and propagate as hw evidence).
 FRAC_METHOD = "fracimprove"
 
 

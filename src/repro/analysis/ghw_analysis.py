@@ -19,11 +19,11 @@ from dataclasses import dataclass, field
 
 from repro.benchmark.repository import BenchmarkEntry, HyperBenchRepository
 from repro.decomp.driver import (
-    GHD_ALGORITHMS,
     NO,
     TIMEOUT,
     YES,
     CheckOutcome,
+    _portfolio_algorithms,
     ghd_portfolio,
 )
 
@@ -101,7 +101,9 @@ def run_ghw_analysis(
     per-algorithm timings for this k, add nothing to Table 3.
     """
     custom = algorithms is not None
-    algorithms = algorithms or GHD_ALGORITHMS
+    # Resolved at call time from the method registry, so a method registered
+    # as portfolio-eligible after import participates in the Table 3 cells.
+    algorithms = algorithms or _portfolio_algorithms()
     analysis = GhwAnalysis(list(ks), timeout)
     for k in ks:
         candidates: list[BenchmarkEntry] = [

@@ -12,7 +12,14 @@ Subcommands::
     python -m repro convert --sql FILE.sql --schema SCHEMA.json
     python -m repro cache stats --cache results.db   # inspect the result store
     python -m repro cache bounds --cache results.db  # derived width bounds
+    python -m repro cache bounds --cache results.db --kind ghw  # one width kind
     python -m repro cache clear --cache results.db
+
+``cache bounds`` lists two tables: the per-method intervals each method's
+own rows prove, and the *cross-method* intervals derived per width kind via
+the paper's inequalities (fhw ≤ ghw ≤ hw ≤ 3·ghw + 1) — an hw "yes" caps
+the ghw interval, a ghw "no" lifts the hw one.  ``--kind hw|ghw|fhw``
+restricts both tables to one width kind.
 
 The ``width``, ``decompose``, ``fractional`` and ``benchmark`` commands
 accept ``--jobs N`` (run checks in N killable worker processes with hard
@@ -42,16 +49,17 @@ from repro.decomp.balsep import check_ghd_balsep
 from repro.decomp.detkdecomp import check_hd
 from repro.decomp.driver import exact_width, timed_check
 from repro.decomp.fractional import DEFAULT_PRECISION, best_fractional_improvement
-from repro.engine import DecompositionEngine, ResultStore
-from repro.engine.workers import CHECK_METHODS
+from repro.engine import CHECK_METHODS, DecompositionEngine, ResultStore
+from repro.engine import methods as _methods
 from repro.errors import ReproError
 from repro.io.hg_format import format_hypergraph, read_hypergraph
 from repro.io.json_io import decomposition_to_json
 
 __all__ = ["main", "build_parser"]
 
-#: Algorithm-name → check-function mapping; shared with the engine's worker
-#: registry so ``--algorithm`` names and engine method names never diverge.
+#: Algorithm-name → check-function mapping: a live view over the
+#: :mod:`repro.engine.methods` registry, so ``--algorithm`` names and engine
+#: method names never diverge (virtual keys like ``portfolio`` are excluded).
 ALGORITHMS = CHECK_METHODS
 
 
@@ -146,6 +154,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache", type=Path, required=True, metavar="PATH",
         help="SQLite result-store file",
     )
+    cache.add_argument(
+        "--kind", choices=_methods.WIDTH_KINDS, default=None,
+        help=(
+            "restrict 'bounds' to one width kind: per-method rows whose "
+            "verdicts decide that kind plus its cross-method interval"
+        ),
+    )
 
     convert = sub.add_parser("convert", help="convert CQ/XCSP/SQL to hypergraphs")
     source = convert.add_mutually_exclusive_group(required=True)
@@ -224,6 +239,24 @@ def _cmd_decompose(args) -> int:
         print(f"no {kind} of width <= {args.k} exists")
         return 1
     decomposition = outcome.decomposition
+    if decomposition is None:
+        # A cross-method implied "yes" can be witnessless: another method's
+        # rows prove the width bound, but no stored tree of the right kind
+        # exists to print.  The verdict stands; rerun without --cache (or at
+        # the witnessing k) for an explicit decomposition.
+        if args.json:
+            print(json.dumps(
+                {"verdict": "yes", "k": args.k, "implied": True,
+                 "decomposition": None},
+                sort_keys=True,
+            ))
+        else:
+            print(
+                f"width <= {args.k} confirmed from cached bounds; "
+                "no stored decomposition of this kind (rerun without --cache "
+                "to construct one)"
+            )
+        return 0
     decomposition.validate()
     if args.json:
         print(decomposition_to_json(decomposition, indent=2))
@@ -386,13 +419,27 @@ def _cmd_cache(args) -> int:
             return 0
         if args.action == "bounds":
             rows = store.bounds_rows()
-            if not rows:
+            kind_rows = store.kind_bounds_rows()
+            if args.kind is not None:
+                rows = [
+                    r for r in rows
+                    if _methods.decision_kind_of(r[1]) == args.kind
+                ]
+                kind_rows = [r for r in kind_rows if r[1] == args.kind]
+            if not rows and not kind_rows:
                 print("no width bounds derived yet")
                 return 0
             print(f"{'fingerprint':<14} {'method':<12} {'lo':>4} {'hi':>4}")
             for fp, method, lo, hi in rows:
                 hi_text = "-" if hi is None else str(hi)
                 print(f"{fp[:12] + '..':<14} {method:<12} {lo:>4} {hi_text:>4}")
+            if kind_rows:
+                # Cross-method intervals: what the paper's inequalities
+                # (fhw <= ghw <= hw <= 3*ghw + 1) derive across methods.
+                print(f"\n{'fingerprint':<14} {'kind':<12} {'lo':>4} {'hi':>4}")
+                for fp, kind, lo, hi in kind_rows:
+                    hi_text = "-" if hi is None else str(hi)
+                    print(f"{fp[:12] + '..':<14} {kind:<12} {lo:>4} {hi_text:>4}")
             return 0
         stats = store.stats
         print(f"store        {args.cache}")

@@ -40,11 +40,15 @@ from repro.perf import counters
 from repro.utils.deadline import Deadline
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.decomposition import Decomposition
     from repro.core.hypergraph import Hypergraph
 
 __all__ = [
     "HypergraphView",
     "FamilyIndex",
+    "PackedHypergraph",
+    "pack_decomposition",
+    "unpack_decomposition",
     "iter_bits",
     "mask_components",
     "mask_components_from",
@@ -167,6 +171,33 @@ class HypergraphView(_BitIndex):
             hypergraph._view = view
         return view
 
+    @classmethod
+    def _from_packed(
+        cls, hypergraph: "Hypergraph", packed: "PackedHypergraph"
+    ) -> "HypergraphView":
+        """Rebuild a view from packed tables without re-deriving the index.
+
+        The packed name tables and edge masks are adopted as-is (they came
+        from a view in the first place, so the sorted-vertex / insertion-edge
+        conventions hold); only the incidence lists are re-derived, a single
+        pass over the set bits.
+        """
+        view = cls.__new__(cls)
+        view.hypergraph = hypergraph
+        view.vertex_names = packed.vertex_names
+        view.vertex_bit = {v: i for i, v in enumerate(packed.vertex_names)}
+        view.edge_names = packed.edge_names
+        view.edge_bit = {name: j for j, name in enumerate(packed.edge_names)}
+        view.edge_masks = packed.edge_masks
+        incidence = [0] * len(packed.vertex_names)
+        for j, mask in enumerate(packed.edge_masks):
+            for b in iter_bits(mask):
+                incidence[b] |= 1 << j
+        view.incidence = tuple(incidence)
+        view.all_vertices = (1 << len(packed.vertex_names)) - 1
+        view.all_edges = (1 << len(packed.edge_masks)) - 1
+        return view
+
 
 class FamilyIndex(_BitIndex):
     """Dense-index view of a free-standing edge family mapping."""
@@ -175,6 +206,156 @@ class FamilyIndex(_BitIndex):
 
     def __init__(self, family: Mapping[str, frozenset[str]]):
         self._build(family.items())
+
+
+# ------------------------------------------------------------ wire format
+
+
+class PackedHypergraph:
+    """Compact, picklable wire form of one hypergraph and its dense view.
+
+    The engine's worker protocol ships these instead of full
+    :class:`~repro.core.hypergraph.Hypergraph` objects: the name tables plus
+    one integer mask per edge are all a worker needs to rebuild both the
+    hypergraph *and* its :class:`HypergraphView` — without re-validating the
+    edges (``_freeze_edges``), re-deriving the view, or re-hashing the
+    canonical form (the content ``fingerprint`` rides along, so the store
+    key is free on the other side).
+
+    Conventions match :class:`HypergraphView`: vertex bit ``i`` is
+    ``vertex_names[i]``, edge bit ``j`` is ``edge_names[j]``, and
+    ``edge_masks[j]`` is edge ``j``'s vertex mask.
+    """
+
+    __slots__ = ("vertex_names", "edge_names", "edge_masks", "name", "fingerprint")
+
+    def __init__(
+        self,
+        vertex_names: tuple[str, ...],
+        edge_names: tuple[str, ...],
+        edge_masks: tuple[int, ...],
+        name: str,
+        fingerprint: str,
+    ):
+        self.vertex_names = vertex_names
+        self.edge_names = edge_names
+        self.edge_masks = edge_masks
+        self.name = name
+        self.fingerprint = fingerprint
+
+    @classmethod
+    def pack(cls, hypergraph: "Hypergraph") -> "PackedHypergraph":
+        """Pack one hypergraph (reusing its cached view and fingerprint)."""
+        # Engine-layer import kept local: the fingerprint function caches on
+        # the hypergraph, so repeated packs of one instance hash only once.
+        from repro.engine.fingerprint import fingerprint
+
+        view = HypergraphView.of(hypergraph)
+        return cls(
+            view.vertex_names,
+            view.edge_names,
+            view.edge_masks,
+            hypergraph.name,
+            fingerprint(hypergraph),
+        )
+
+    def unpack(self) -> "Hypergraph":
+        """Rebuild the named hypergraph with its view and fingerprint cached.
+
+        The frozen edge mapping is reconstructed straight from the masks
+        (no ``_freeze_edges`` validation pass), the view is rebuilt from the
+        packed tables (no sorting, no incidence-from-names derivation), and
+        the fingerprint is installed so the first store lookup on the other
+        side of the pipe does not recompute the canonical form.
+        """
+        from repro.core.hypergraph import Hypergraph
+
+        vertex_names = self.vertex_names
+        frozen = {
+            name: frozenset(vertex_names[b] for b in iter_bits(mask))
+            for name, mask in zip(self.edge_names, self.edge_masks)
+        }
+        hypergraph = Hypergraph._from_frozen(frozen, self.name)
+        hypergraph._fingerprint = self.fingerprint
+        hypergraph._view = HypergraphView._from_packed(hypergraph, self)
+        return hypergraph
+
+    def __reduce__(self):
+        return (
+            PackedHypergraph,
+            (self.vertex_names, self.edge_names, self.edge_masks,
+             self.name, self.fingerprint),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PackedHypergraph):
+            return NotImplemented
+        return (
+            self.vertex_names == other.vertex_names
+            and self.edge_names == other.edge_names
+            and self.edge_masks == other.edge_masks
+            and self.name == other.name
+            and self.fingerprint == other.fingerprint
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.vertex_names, self.edge_names, self.edge_masks))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<PackedHypergraph{label}: {len(self.vertex_names)} vertices, "
+            f"{len(self.edge_names)} edges>"
+        )
+
+
+def pack_decomposition(decomposition: "Decomposition") -> tuple:
+    """Serialize a decomposition into the mask wire form.
+
+    Bags become vertex masks over the decomposed hypergraph's view; cover
+    entries become ``(edge index, weight)`` pairs (post-``_fix_covers``
+    labels always name original edges; unknown names — defensively — travel
+    as strings).  The hypergraph itself is *not* part of the payload: the
+    receiving side re-names against its own copy, which is the whole point —
+    a worker's yes-answer no longer drags a pickled hypergraph through the
+    result pipe.
+    """
+    view = HypergraphView.of(decomposition.hypergraph)
+    vertex_bit = view.vertex_bit
+    edge_bit = view.edge_bit
+
+    def pack_node(node) -> tuple:
+        bag = 0
+        for v in node.bag:
+            bag |= 1 << vertex_bit[v]
+        cover = tuple(
+            (edge_bit.get(name, name), weight) for name, weight in node.cover.items()
+        )
+        return (bag, cover, tuple(pack_node(c) for c in node.children))
+
+    return (decomposition.kind, pack_node(decomposition.root))
+
+
+def unpack_decomposition(payload: tuple, hypergraph: "Hypergraph") -> "Decomposition":
+    """Rebuild a :func:`pack_decomposition` payload against ``hypergraph``."""
+    from repro.core.decomposition import Decomposition, DecompositionNode
+
+    view = HypergraphView.of(hypergraph)
+    edge_names = view.edge_names
+    kind, root = payload
+
+    def unpack_node(node_payload: tuple) -> DecompositionNode:
+        bag, cover, children = node_payload
+        return DecompositionNode(
+            view.vertex_names_of(bag),
+            {
+                (edge_names[key] if isinstance(key, int) else key): weight
+                for key, weight in cover
+            },
+            [unpack_node(c) for c in children],
+        )
+
+    return Decomposition(hypergraph, unpack_node(root), kind=kind)
 
 
 def scoped_candidates(
@@ -445,6 +626,47 @@ def mask_covering_combinations(
                             yield (i, j)
 
         return generate_k2()
+
+    if k == 3:
+
+        def generate_k3() -> Iterator[tuple[int, ...]]:
+            # Explicit triple loop in DFS pre-order, mirroring the k=1/k=2
+            # fast paths: the suffix-max prune is applied with 2 slots left
+            # after the first pick and 1 after the second, exactly as the
+            # general DFS would at depths 1 and 2.
+            tick = 0
+            for i in range(first_end):
+                tick += 1
+                if not tick & 31:
+                    deadline.check()
+                uncovered1 = conn & ~candidate_masks[i]
+                if not uncovered1:
+                    yield (i,)
+                need1 = uncovered1.bit_count()
+                for j in range(i + 1, n):
+                    # suffix_max is non-increasing, so once two slots cannot
+                    # cover the remainder no later pair can either.
+                    if need1 and suffix_max[j] * 2 < need1:
+                        break
+                    tick += 1
+                    if not tick & 31:
+                        deadline.check()
+                    uncovered2 = uncovered1 & ~candidate_masks[j]
+                    if not uncovered2:
+                        yield (i, j)
+                        for m in range(j + 1, n):
+                            yield (i, j, m)
+                    else:
+                        need2 = uncovered2.bit_count()
+                        for m in range(j + 1, n):
+                            # suffix_max is non-increasing: once it cannot
+                            # cover the remainder, no later candidate can.
+                            if suffix_max[m] < need2:
+                                break
+                            if not uncovered2 & ~candidate_masks[m]:
+                                yield (i, j, m)
+
+        return generate_k3()
 
     def generate() -> Iterator[tuple[int, ...]]:
         # Explicit-stack DFS (pre-order, ascending candidate index — children

@@ -42,9 +42,21 @@ def _freeze_edges(
     return frozen
 
 
-def _unpickle(frozen: dict[str, frozenset[str]], name: str) -> "Hypergraph":
-    """Pickle helper: rebuild per-process caches (edges view, bitset view)."""
-    return Hypergraph._from_frozen(frozen, name)
+def _unpickle(
+    frozen: dict[str, frozenset[str]],
+    name: str,
+    fingerprint: str | None = None,
+) -> "Hypergraph":
+    """Pickle helper: rebuild per-process caches (edges view, bitset view).
+
+    A fingerprint computed before pickling travels along, so an unpickled
+    instance (e.g. in a worker process) answers its first
+    :func:`repro.engine.fingerprint.fingerprint` call without re-deriving
+    the canonical form.
+    """
+    h = Hypergraph._from_frozen(frozen, name)
+    h._fingerprint = fingerprint
+    return h
 
 
 class Hypergraph:
@@ -75,6 +87,7 @@ class Hypergraph:
         "_vertices",
         "name",
         "_hash",
+        "_fingerprint",
         "_view",
     )
 
@@ -99,6 +112,8 @@ class Hypergraph:
         self._vertices = frozenset(vertices)
         self._incidence = {v: tuple(names) for v, names in incidence.items()}
         self._hash: int | None = None
+        #: Cached content fingerprint (filled by ``repro.engine.fingerprint``).
+        self._fingerprint: str | None = None
         #: Cached :class:`repro.core.bitset.HypergraphView` (built on demand).
         self._view = None
 
@@ -119,8 +134,10 @@ class Hypergraph:
 
     def __reduce__(self):
         # The cached MappingProxyType view is not picklable, and the cached
-        # bitset view is per-process state; rebuild both on unpickling.
-        return (_unpickle, (dict(self._edges), self.name))
+        # bitset view is per-process state; rebuild both on unpickling.  The
+        # fingerprint (when already computed) is a pure content hash, so it
+        # survives the round-trip and saves the receiver a canonical-form pass.
+        return (_unpickle, (dict(self._edges), self.name, self._fingerprint))
 
     # ------------------------------------------------------------------ basic
 

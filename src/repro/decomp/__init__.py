@@ -13,7 +13,6 @@
 from repro.decomp.balsep import BalSep, check_ghd_balsep
 from repro.decomp.detkdecomp import DetKDecomp, check_hd
 from repro.decomp.driver import (
-    GHD_ALGORITHMS,
     NO,
     TIMEOUT,
     YES,
@@ -31,6 +30,15 @@ from repro.decomp.fractional import (
 from repro.decomp.globalbip import check_ghd_global_bip
 from repro.decomp.hybrid import HybridBalSep, check_ghd_hybrid
 from repro.decomp.localbip import LocalBIP, check_ghd_local_bip
+
+
+def __getattr__(name: str):
+    # Derived from the method registry; resolved lazily (see decomp.driver).
+    if name == "GHD_ALGORITHMS":
+        from repro.decomp.driver import _portfolio_algorithms
+
+        return _portfolio_algorithms()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "DetKDecomp",

@@ -143,12 +143,29 @@ def exact_width(
     return WidthResult(lower, None, None, timings)
 
 
-#: The three GHD algorithms of Section 4 in the order of Table 3.
-GHD_ALGORITHMS: dict[str, CheckFunction] = {
-    "GlobalBIP": check_ghd_global_bip,
-    "LocalBIP": check_ghd_local_bip,
-    "BalSep": check_ghd_balsep,
-}
+def _portfolio_algorithms() -> dict[str, CheckFunction]:
+    """The raced GHD algorithms (Table 3 order), from the method registry.
+
+    Function-level import: the registry lives in :mod:`repro.engine.methods`
+    (which imports this module's check functions lazily), so resolving it at
+    call time — never at import time — keeps the layering cycle-free.
+    """
+    from repro.engine import methods
+
+    return {
+        spec.display: spec.check
+        for spec in methods.specs()
+        if spec.portfolio and spec.check is not None
+    }
+
+
+def __getattr__(name: str):
+    # ``GHD_ALGORITHMS`` (the three Section 4 GHD algorithms in Table 3
+    # order) is derived from the method registry on access, so a method
+    # registered as portfolio-eligible appears here without a second table.
+    if name == "GHD_ALGORITHMS":
+        return _portfolio_algorithms()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def ghd_portfolio(
@@ -172,7 +189,7 @@ def ghd_portfolio(
     """
     if engine is not None and algorithms is None:
         return engine.portfolio(hypergraph, k, timeout)
-    algorithms = algorithms or GHD_ALGORITHMS
+    algorithms = algorithms or _portfolio_algorithms()
     per_algorithm = {
         name: timed_check(fn, hypergraph, k, timeout)
         for name, fn in algorithms.items()

@@ -26,9 +26,15 @@ everywhere, so existing callers and tests keep their deterministic behaviour.
 from repro.engine.engine import BatchReport, DecompositionEngine, EngineStats
 from repro.engine.fingerprint import canonical_form, fingerprint, structural_fingerprint
 from repro.engine.jobs import JobResult, JobSpec, Journal
-from repro.engine.store import MONOTONE_METHODS, ResultStore, StoredResult
+from repro.engine.methods import CHECK_METHODS, MethodSpec
+from repro.engine.store import (
+    MONOTONE_METHODS,
+    WIDTH_RELATIONS,
+    ResultStore,
+    StoredResult,
+    WidthRelation,
+)
 from repro.engine.workers import (
-    CHECK_METHODS,
     CallFailure,
     map_callables,
     map_checks,
@@ -46,6 +52,9 @@ __all__ = [
     "ResultStore",
     "StoredResult",
     "MONOTONE_METHODS",
+    "WIDTH_RELATIONS",
+    "WidthRelation",
+    "MethodSpec",
     "JobSpec",
     "JobResult",
     "Journal",

@@ -23,20 +23,14 @@ from pathlib import Path
 from repro.core.hypergraph import Hypergraph
 from repro.decomp import driver
 from repro.decomp.driver import CheckOutcome, WidthResult, timed_check
+from repro.engine import methods as _methods
 from repro.engine import workers
 from repro.engine.fingerprint import fingerprint
 from repro.engine.jobs import CHECK, PORTFOLIO, WIDTH, JobResult, JobSpec, Journal
+from repro.engine.methods import PORTFOLIO_KEY as _PORTFOLIO_KEY
 from repro.engine.store import ResultStore
 
 __all__ = ["DecompositionEngine", "EngineStats", "BatchReport"]
-
-#: Table-display name → registry name for the three raced GHD algorithms.
-PORTFOLIO_METHODS = {
-    "GlobalBIP": "globalbip",
-    "LocalBIP": "localbip",
-    "BalSep": "balsep",
-}
-_PORTFOLIO_KEY = "portfolio"
 
 
 @dataclass
@@ -98,6 +92,11 @@ class DecompositionEngine:
         portfolio race, and batch fan-out.
     grace:
         Seconds past the cooperative budget before a worker is killed.
+    packed:
+        Ship hypergraphs to workers as :class:`~repro.core.bitset.\
+PackedHypergraph` wire views and receive decompositions as mask lists
+        (the default).  ``False`` selects the legacy pickle path — kept for
+        the dispatch-overhead microbenchmark in :mod:`repro.perf.harness`.
     """
 
     def __init__(
@@ -105,10 +104,12 @@ class DecompositionEngine:
         store: ResultStore | None = None,
         jobs: int = 1,
         grace: float = workers.DEFAULT_GRACE,
+        packed: bool = True,
     ):
         self.store = store
         self.jobs = max(1, int(jobs))
         self.grace = grace
+        self.packed = packed
         self.stats = EngineStats()
 
     @property
@@ -196,7 +197,9 @@ class DecompositionEngine:
     ) -> CheckOutcome:
         self.stats.executed += 1
         if self.parallel:
-            return workers.run_checked(method, hypergraph, k, timeout, self.grace)
+            return workers.run_checked(
+                method, hypergraph, k, timeout, self.grace, self.packed
+            )
         return timed_check(workers.resolve_method(method), hypergraph, k, timeout)
 
     # ----------------------------------------------------------- exact width
@@ -222,7 +225,9 @@ class DecompositionEngine:
         """
         if self.store is not None:
             fp = fingerprint(hypergraph)
-            lo, hi = self.store.bounds(fp, method)
+            # Effective bounds fold in the cross-method kind interval: an hw
+            # sweep can bisect inside an interval another method established.
+            lo, hi = self.store.effective_bounds(fp, method)
             if hi is not None and hi <= max_k:
                 result = self._bisect_width(hypergraph, max(1, lo), hi, method, timeout)
                 if result is not None:
@@ -304,18 +309,20 @@ class DecompositionEngine:
                 per_algorithm[winner] = outcome
             return outcome, per_algorithm
 
+        portfolio_methods = _methods.portfolio_methods()
         self.stats.executed += 1
         if self.parallel:
             winner_method, raced = workers.race_checks(
-                list(PORTFOLIO_METHODS.values()), hypergraph, k, timeout, self.grace
+                list(portfolio_methods.values()), hypergraph, k, timeout,
+                self.grace, self.packed,
             )
             per_algorithm = {
                 display: raced[registry]
-                for display, registry in PORTFOLIO_METHODS.items()
+                for display, registry in portfolio_methods.items()
             }
             if winner_method is not None:
                 winner = next(
-                    d for d, r in PORTFOLIO_METHODS.items() if r == winner_method
+                    d for d, r in portfolio_methods.items() if r == winner_method
                 )
                 best = per_algorithm[winner]
             else:
@@ -340,7 +347,7 @@ class DecompositionEngine:
         # Definite per-algorithm answers are genuine results; share them with
         # plain check() callers.  Cancelled losers (timeout verdicts observed
         # before the full budget) are *not* cached.
-        for display, registry in PORTFOLIO_METHODS.items():
+        for display, registry in portfolio_methods.items():
             o = per_algorithm[display]
             if o.answered:
                 self._remember(fp, registry, k, timeout, o)
@@ -400,7 +407,7 @@ class DecompositionEngine:
                 (specs[i].method, specs[i].hypergraph, specs[i].k, specs[i].timeout)
                 for i in check_indices
             ]
-            outcomes = workers.map_checks(tasks, self.jobs, self.grace)
+            outcomes = workers.map_checks(tasks, self.jobs, self.grace, self.packed)
             if self.store is not None:
                 # the replay peeks that routed these here were decisive misses
                 self.store.record_misses(len(check_indices))

@@ -56,8 +56,17 @@ def fingerprint(hypergraph: Hypergraph) -> str:
     The instance *name* is deliberately excluded: renaming an instance does
     not change any width, so ``triangle`` and a copy called ``tri2`` share
     all cached results.
+
+    The digest is cached on the (immutable) hypergraph, and both pickling
+    (:meth:`Hypergraph.__reduce__`) and the worker wire format
+    (:class:`repro.core.bitset.PackedHypergraph`) carry it across process
+    boundaries, so each instance is canonicalised at most once per fleet.
     """
-    return _digest(canonical_form(hypergraph))
+    cached = hypergraph._fingerprint
+    if cached is None:
+        cached = _digest(canonical_form(hypergraph))
+        hypergraph._fingerprint = cached
+    return cached
 
 
 def structural_fingerprint(hypergraph: Hypergraph, rounds: int = _WL_ROUNDS) -> str:

@@ -25,10 +25,31 @@ implies verdicts at other widths.  The index keeps the derived interval
 smallest accepted k — and :meth:`ResultStore.get` answers *implied* keys from
 it when no row matches: ``k >= hi`` replays the witnessing yes-row (its
 decomposition is valid evidence at any larger k), ``k < lo`` is a derived
-"no".  Only the methods in :data:`MONOTONE_METHODS` participate; custom
-registered methods make no monotonicity promise.  The index is recomputed
-from the surviving rows on every put, eviction and clear, so it never claims
-more than the rows present can justify.
+"no".  Only methods the :mod:`repro.engine.methods` registry marks monotone
+participate (see :data:`MONOTONE_METHODS`); custom registered methods make
+no monotonicity promise.  The index is recomputed from the surviving rows on
+every put, eviction and clear, so it never claims more than the rows present
+can justify.
+
+On top of the per-method index sits the **cross-method knowledge layer**:
+the paper's width notions are related by the proven inequalities
+
+    fhw(H) ≤ ghw(H) ≤ hw(H) ≤ 3·ghw(H) + 1
+
+so a verdict recorded under one method constrains every method of a related
+*width kind*.  :data:`WIDTH_RELATIONS` encodes the inequalities as interval
+transforms between kinds; ``put`` folds each method's direct bounds into a
+per-``(fingerprint, kind)`` table (``kind_bounds``) and propagates them
+across kinds to a fixpoint.  :meth:`ResultStore.implied` consults these
+cross-method rows after the direct index: an hw "yes" at ``k`` answers a ghw
+check at ``k`` instantly (with the witnessing decomposition borrowed from
+any same-kind method whose witness kind matches), and a ghw "no" at ``k``
+refutes an hw check at ``k`` — closing gaps no single method's rows could.
+
+Stores created before the knowledge layer (no ``kind_bounds`` table) are
+migrated in place on open: the table is created and seeded from the
+surviving per-method bounds, so old ``--cache`` files keep every derived
+fact and gain the cross-method rows for free.
 """
 
 from __future__ import annotations
@@ -41,22 +62,83 @@ from pathlib import Path
 
 from repro.core.hypergraph import Hypergraph
 from repro.decomp.driver import NO, YES, CheckOutcome
+from repro.engine import methods as _methods
 from repro.errors import ReproError
 from repro.io.json_io import decomposition_from_json, decomposition_to_json
 
 __all__ = [
     "MONOTONE_METHODS",
+    "WIDTH_RELATIONS",
+    "WidthRelation",
     "ResultStore",
     "StoredResult",
     "StoreStats",
     "timeout_key",
 ]
 
+
+class _MonotoneMethodsView:
+    """Live set-like view of the registry's monotone method names.
+
+    Replaces the old hand-maintained frozenset: membership follows the
+    :mod:`repro.engine.methods` registry, so a method registered with
+    ``monotone=True`` feeds the bounds index without touching the store.
+    """
+
+    def __contains__(self, name: object) -> bool:
+        if not isinstance(name, str):
+            return False
+        spec = _methods.get_optional(name)
+        return spec is not None and spec.monotone
+
+    def __iter__(self):
+        return iter(sorted(_methods.monotone_names()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MONOTONE_METHODS view: {sorted(self)}>"
+
+
 #: Methods whose ``Check(H, k)`` verdicts are monotone in ``k`` and therefore
-#: feed the bounds index.  Custom methods registered at runtime are excluded:
-#: the store cannot know whether their search spaces are nested.
-MONOTONE_METHODS = frozenset(
-    {"hd", "globalbip", "localbip", "balsep", "hybrid", "portfolio", "fracimprove"}
+#: feed the bounds index (a live view over the method registry).  Custom
+#: methods registered at runtime are excluded by default: the store cannot
+#: know whether their search spaces are nested.
+MONOTONE_METHODS = _MonotoneMethodsView()
+
+
+@dataclass(frozen=True)
+class WidthRelation:
+    """One provable interval transform between two width kinds.
+
+    A source-kind fact ``width_src ≥ lo`` yields ``width_dst ≥ lo_map(lo)``;
+    ``width_src ≤ hi`` yields ``width_dst ≤ hi_map(hi)``.  A relation carries
+    one direction only (``None`` for the other).
+    """
+
+    src: str
+    dst: str
+    lo_map: "callable | None" = None
+    hi_map: "callable | None" = None
+
+
+def _ghw_lower_from_hw(lo: int) -> int:
+    # hw ≥ lo and hw ≤ 3·ghw + 1  ⇒  ghw ≥ ⌈(lo − 1) / 3⌉.
+    return max(1, -(-(lo - 1) // 3))
+
+
+#: The paper's inter-width inequalities (fhw ≤ ghw ≤ hw ≤ 3·ghw + 1) as
+#: interval transforms.  Upper bounds flow *down* the chain (an hw "yes"
+#: caps ghw and fhw), lower bounds flow *up* (a ghw "no" lifts hw), and the
+#: 3·ghw + 1 bound closes the loop in both directions.
+WIDTH_RELATIONS: tuple[WidthRelation, ...] = (
+    # ghw ≤ hw
+    WidthRelation(_methods.HW, _methods.GHW, hi_map=lambda hi: hi),
+    WidthRelation(_methods.GHW, _methods.HW, lo_map=lambda lo: lo),
+    # hw ≤ 3·ghw + 1
+    WidthRelation(_methods.GHW, _methods.HW, hi_map=lambda hi: 3 * hi + 1),
+    WidthRelation(_methods.HW, _methods.GHW, lo_map=_ghw_lower_from_hw),
+    # fhw ≤ ghw (and hence ≤ hw, via the chain)
+    WidthRelation(_methods.GHW, _methods.FHW, hi_map=lambda hi: hi),
+    WidthRelation(_methods.FHW, _methods.GHW, lo_map=lambda lo: lo),
 )
 
 _SCHEMA = """
@@ -81,11 +163,21 @@ CREATE TABLE IF NOT EXISTS bounds (
     hi          INTEGER,
     PRIMARY KEY (fingerprint, method)
 );
+CREATE TABLE IF NOT EXISTS kind_bounds (
+    fingerprint TEXT NOT NULL,
+    kind        TEXT NOT NULL,
+    lo          INTEGER NOT NULL,
+    hi          INTEGER,
+    PRIMARY KEY (fingerprint, kind)
+);
 CREATE TABLE IF NOT EXISTS meta (
     key   TEXT PRIMARY KEY,
     value INTEGER NOT NULL
 );
 """
+
+#: Bumped when the derived tables change shape; old stores migrate in place.
+SCHEMA_VERSION = 2
 
 
 def timeout_key(timeout: float | None) -> str:
@@ -159,8 +251,30 @@ class ResultStore:
         try:
             self._conn = sqlite3.connect(self.path, isolation_level=None)
             self._conn.executescript(_SCHEMA)
+            self._migrate()
         except sqlite3.DatabaseError as exc:
             raise ReproError(f"{self.path} is not a result store: {exc}") from exc
+
+    def _migrate(self) -> None:
+        """Bring a store created by an older schema up to date, in place.
+
+        Pre-knowledge-layer stores have per-method ``bounds`` rows but no
+        ``kind_bounds``; seeding the cross-method table from the surviving
+        bounds keeps every derived fact and adds the inter-width rows.  The
+        ``results``/``bounds``/``meta`` tables are unchanged, so migrated
+        files remain readable by the code that wrote them.
+        """
+        if self._meta("schema_version") >= SCHEMA_VERSION:
+            return
+        fingerprints = [
+            fp for (fp,) in self._conn.execute("SELECT DISTINCT fingerprint FROM bounds")
+        ]
+        for fp in fingerprints:
+            self._recompute_kind_bounds(fp)
+        self._conn.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema_version', ?)",
+            (SCHEMA_VERSION,),
+        )
 
     # ------------------------------------------------------------- lifecycle
 
@@ -278,6 +392,7 @@ class ResultStore:
         )
         if method in MONOTONE_METHODS:
             self._recompute_bounds(fingerprint, method)
+            self._recompute_kind_bounds(fingerprint)
         self._evict()
 
     def _evict(self) -> None:
@@ -296,14 +411,18 @@ class ResultStore:
             )
             # Evicted rows may have justified a bound; shrink the index back
             # to what the surviving rows prove.
-            for fp, method in {(fp, m) for _, fp, m in victims}:
+            touched = {(fp, m) for _, fp, m in victims}
+            for fp, method in touched:
                 if method in MONOTONE_METHODS:
                     self._recompute_bounds(fp, method)
+            for fp in {fp for fp, _ in touched}:
+                self._recompute_kind_bounds(fp)
 
     def clear(self) -> None:
         """Drop every cached result and reset the lifetime counters."""
         self._conn.execute("DELETE FROM results")
         self._conn.execute("DELETE FROM bounds")
+        self._conn.execute("DELETE FROM kind_bounds")
         self._conn.execute("DELETE FROM meta")
 
     # ---------------------------------------------------------------- bounds
@@ -333,11 +452,68 @@ class ResultStore:
             (fingerprint, method, (max_no or 0) + 1, min_yes),
         )
 
+    def _recompute_kind_bounds(self, fingerprint: str) -> None:
+        """Re-derive the per-kind intervals for one fingerprint.
+
+        Each monotone method's direct bounds are folded into its
+        *decision kind* (the width kind whose ``≤ k`` question its verdicts
+        answer), then the :data:`WIDTH_RELATIONS` transforms propagate the
+        intervals across kinds until nothing tightens.  The fixpoint exists
+        because ``lo`` only ever rises and ``hi`` only ever falls within the
+        bounded lattice the relations span; the iteration cap is defensive.
+        """
+        intervals: dict[str, list] = {}
+        for method, lo, hi in self._conn.execute(
+            "SELECT method, lo, hi FROM bounds WHERE fingerprint = ?",
+            (fingerprint,),
+        ):
+            kind = _methods.decision_kind_of(method)
+            if kind is None:
+                continue
+            current = intervals.setdefault(kind, [1, None])
+            current[0] = max(current[0], lo)
+            if hi is not None:
+                current[1] = hi if current[1] is None else min(current[1], hi)
+
+        for _ in range(8):  # defensive cap; 2-3 passes suffice in practice
+            changed = False
+            for relation in WIDTH_RELATIONS:
+                src = intervals.get(relation.src)
+                if src is None:
+                    continue
+                dst = intervals.setdefault(relation.dst, [1, None])
+                if relation.lo_map is not None:
+                    derived_lo = relation.lo_map(src[0])
+                    if derived_lo > dst[0]:
+                        dst[0] = derived_lo
+                        changed = True
+                if relation.hi_map is not None and src[1] is not None:
+                    derived_hi = relation.hi_map(src[1])
+                    if dst[1] is None or derived_hi < dst[1]:
+                        dst[1] = derived_hi
+                        changed = True
+            if not changed:
+                break
+
+        self._conn.execute(
+            "DELETE FROM kind_bounds WHERE fingerprint = ?", (fingerprint,)
+        )
+        self._conn.executemany(
+            "INSERT INTO kind_bounds (fingerprint, kind, lo, hi) VALUES (?, ?, ?, ?)",
+            [
+                (fingerprint, kind, lo, hi)
+                for kind, (lo, hi) in intervals.items()
+                if lo > 1 or hi is not None  # trivial (1, None) rows say nothing
+            ],
+        )
+
     def bounds(self, fingerprint: str, method: str) -> tuple[int, int | None]:
         """Derived width bounds ``(lo, hi)``: ``lo <= width``, ``width <= hi``.
 
         ``(1, None)`` when nothing definite is stored (every width is ≥ 1 and
-        no upper bound is known).
+        no upper bound is known).  These are the *direct* bounds — what the
+        method's own rows prove; see :meth:`kind_bounds` /
+        :meth:`effective_bounds` for the cross-method knowledge.
         """
         row = self._conn.execute(
             "SELECT lo, hi FROM bounds WHERE fingerprint = ? AND method = ?",
@@ -345,12 +521,44 @@ class ResultStore:
         ).fetchone()
         return (row[0], row[1]) if row is not None else (1, None)
 
+    def kind_bounds(self, fingerprint: str, kind: str) -> tuple[int, int | None]:
+        """The cross-method interval for one width kind (``(1, None)`` default)."""
+        row = self._conn.execute(
+            "SELECT lo, hi FROM kind_bounds WHERE fingerprint = ? AND kind = ?",
+            (fingerprint, kind),
+        ).fetchone()
+        return (row[0], row[1]) if row is not None else (1, None)
+
+    def effective_bounds(self, fingerprint: str, method: str) -> tuple[int, int | None]:
+        """Direct bounds tightened by the method's decision-kind interval.
+
+        The upper bound is only borrowed across methods when an implied
+        "yes" would actually replay for this method (witness-required
+        methods execute instead — their deliverable is the decomposition).
+        """
+        lo, hi = self.bounds(fingerprint, method)
+        spec = _methods.get_optional(method)
+        if spec is None or spec.decision_kind is None:
+            return lo, hi
+        kind_lo, kind_hi = self.kind_bounds(fingerprint, spec.decision_kind)
+        lo = max(lo, kind_lo)
+        if kind_hi is not None and not spec.witness_required:
+            hi = kind_hi if hi is None else min(hi, kind_hi)
+        return lo, hi
+
     def implied(self, fingerprint: str, method: str, k: int) -> StoredResult | None:
         """A verdict implied by the bounds index, or ``None``.
 
-        ``k >= hi`` is an implied "yes" carrying the witnessing row's
-        decomposition (width ≤ hi ≤ k); ``k < lo`` is an implied "no".
-        Derived answers report zero seconds: no stored attempt ran at this k.
+        The method's *direct* bounds answer first: ``k >= hi`` is an implied
+        "yes" carrying the witnessing row's decomposition (width ≤ hi ≤ k);
+        ``k < lo`` is an implied "no".  When the direct interval is silent,
+        the **cross-method** kind interval answers: a "no" needs no witness
+        (the refutation lives in another method's rows); a "yes" borrows the
+        decomposition of a same-decision-kind method whose witness kind
+        matches (a BalSep GHD is valid evidence for a LocalBIP "yes"), and
+        is suppressed entirely for witness-required methods — their callers
+        want the decomposition, not just the verdict.  Derived answers
+        report zero seconds: no stored attempt ran at this k.
         """
         if method not in MONOTONE_METHODS:
             return None
@@ -376,7 +584,62 @@ class ResultStore:
             if witness is not None:
                 self._touch(witness[0])
             return StoredResult(NO, 0.0, implied=True)
+        return self._cross_implied(fingerprint, method, k)
+
+    def _cross_implied(self, fingerprint: str, method: str, k: int) -> StoredResult | None:
+        """A verdict implied by *other* methods' rows via the width relations."""
+        spec = _methods.get_optional(method)
+        if spec is None or spec.decision_kind is None:
+            return None
+        lo, hi = self.kind_bounds(fingerprint, spec.decision_kind)
+        if k < lo:
+            return StoredResult(NO, 0.0, implied=True)
+        if hi is not None and k >= hi and not spec.witness_required:
+            return StoredResult(
+                YES, 0.0, self._borrowed_witness(fingerprint, spec, k), implied=True
+            )
         return None
+
+    #: Which stored decomposition kinds are valid evidence for which
+    #: expected witness kind: every HD is a GHD, and both are FHDs with
+    #: integral weights — the converse directions do not hold.
+    _WITNESS_ACCEPTS = {
+        "HD": ("HD",),
+        "GHD": ("GHD", "HD"),
+        "FHD": ("FHD", "GHD", "HD"),
+    }
+
+    def _borrowed_witness(self, fingerprint: str, spec, k: int) -> str | None:
+        """Another method's yes-decomposition at some ``k' ≤ k``, if any.
+
+        Any monotone method's stored "yes" decomposition qualifies when its
+        witness kind is acceptable evidence for ``spec`` (a BalSep GHD backs
+        a LocalBIP "yes"; a DetKDecomp HD backs any GHD "yes"): the
+        decomposition's own width is ≤ k' ≤ k regardless of which search
+        found it.  Purely arithmetic derivations (an hw "yes" at ``3·k + 1``
+        from a ghw row) stay witnessless — the verdict is certain, but no
+        stored tree of the right kind exists.
+        """
+        acceptable = self._WITNESS_ACCEPTS.get(spec.witness_kind or "", ())
+        donors = [
+            s.name
+            for s in _methods.specs()
+            if s.monotone and s.witness_kind in acceptable
+        ]
+        if not donors:
+            return None
+        marks = ",".join("?" for _ in donors)
+        row = self._conn.execute(
+            f"SELECT rowid, decomposition FROM results "
+            f"WHERE fingerprint = ? AND method IN ({marks}) AND k <= ? "
+            f"AND verdict = ? AND decomposition IS NOT NULL "
+            f"ORDER BY k ASC LIMIT 1",
+            (fingerprint, *donors, k, YES),
+        ).fetchone()
+        if row is None:
+            return None
+        self._touch(row[0])
+        return row[1]
 
     def _touch(self, rowid: int) -> None:
         """Refresh a witness row's LRU clock so implied answers keep it warm."""
@@ -393,6 +656,16 @@ class ResultStore:
             for fp, method, lo, hi in self._conn.execute(
                 "SELECT fingerprint, method, lo, hi FROM bounds "
                 "ORDER BY fingerprint, method"
+            )
+        ]
+
+    def kind_bounds_rows(self) -> list[tuple[str, str, int, int | None]]:
+        """The cross-method index as ``(fingerprint, kind, lo, hi)`` rows."""
+        return [
+            (fp, kind, lo, hi)
+            for fp, kind, lo, hi in self._conn.execute(
+                "SELECT fingerprint, kind, lo, hi FROM kind_bounds "
+                "ORDER BY fingerprint, kind"
             )
         ]
 

@@ -25,9 +25,23 @@ fault-isolating sibling — generic calls streamed through killable workers,
 where a crash or overrun yields a :class:`CallFailure` in that slot instead
 of poisoning the batch (the repository's parallel statistics use it).
 
-Workers resolve check functions from the :data:`CHECK_METHODS` registry by
-name, so only a short string crosses the process boundary; picklable
-callables are accepted too (tests use this to inject uncooperative loops).
+Workers resolve check functions from the :mod:`repro.engine.methods`
+registry by name, so only a short string crosses the process boundary;
+picklable callables are accepted too (tests use this to inject
+uncooperative loops).
+
+**Wire format.**  Hypergraphs ship as
+:class:`~repro.core.bitset.PackedHypergraph` — name tables plus one integer
+mask per edge, packed *once per (hypergraph, batch)* — and the worker
+rebuilds the named hypergraph and its dense
+:class:`~repro.core.bitset.HypergraphView` without re-validating, re-hashing
+or re-deriving anything.  Results travel back the same way: a yes-verdict's
+decomposition is serialized as nested ``(bag mask, (edge index, weight)…)``
+tuples and re-named only at the parent, so the result pipe never carries a
+pickled hypergraph (the pre-refactor pickle of a ``Decomposition`` dragged
+its whole ``hypergraph`` attribute along with every answer).  Pass
+``packed=False`` to get the legacy pickle path — kept for the dispatch
+microbenchmark in :mod:`repro.perf.harness`.
 """
 
 from __future__ import annotations
@@ -39,15 +53,11 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from multiprocessing.connection import Connection, wait as _wait_connections
 
+from repro.core.bitset import PackedHypergraph, pack_decomposition, unpack_decomposition
 from repro.core.hypergraph import Hypergraph
-from repro.decomp.balsep import check_ghd_balsep
-from repro.decomp.detkdecomp import check_hd
 from repro.decomp.driver import TIMEOUT, CheckFunction, CheckOutcome, timed_check
-from repro.decomp.fractional import check_frac_best
-from repro.decomp.globalbip import check_ghd_global_bip
-from repro.decomp.hybrid import check_ghd_hybrid
-from repro.decomp.localbip import check_ghd_local_bip
-from repro.errors import ReproError
+from repro.engine import methods as _methods
+from repro.engine.methods import CHECK_METHODS
 
 __all__ = [
     "CHECK_METHODS",
@@ -62,16 +72,6 @@ __all__ = [
     "run_callables",
 ]
 
-#: The canonical name → check-function registry (the CLI shares these names).
-CHECK_METHODS: dict[str, CheckFunction] = {
-    "hd": check_hd,
-    "globalbip": check_ghd_global_bip,
-    "localbip": check_ghd_local_bip,
-    "balsep": check_ghd_balsep,
-    "hybrid": check_ghd_hybrid,
-    "fracimprove": check_frac_best,
-}
-
 #: Extra seconds past the cooperative budget before the worker is killed.
 DEFAULT_GRACE = 0.5
 
@@ -85,46 +85,62 @@ else:  # pragma: no cover - non-POSIX fallback
 
 
 def register_method(name: str, check: CheckFunction) -> None:
-    """Register a custom check function under ``name`` (e.g. for experiments)."""
-    CHECK_METHODS[name] = check
+    """Register a custom check function under ``name`` (e.g. for experiments).
+
+    Thin wrapper over :func:`repro.engine.methods.register_check`: the
+    method lands in the shared registry as an ad-hoc, non-monotone spec.
+    """
+    _methods.register_check(name, check)
 
 
 def resolve_method(method: str | CheckFunction) -> CheckFunction:
     """Map a registry name (or pass a callable through) to a check function."""
-    if callable(method):
-        return method
-    try:
-        return CHECK_METHODS[method]
-    except KeyError:
-        raise ReproError(
-            f"unknown check method {method!r}; known: {sorted(CHECK_METHODS)}"
-        ) from None
+    return _methods.resolve(method)
 
 
 # ---------------------------------------------------------------- primitives
+
+#: Tag of a mask-serialized outcome on the result pipe.
+_WIRE_OUTCOME = "__wire__"
 
 
 def _child_check(
     conn: Connection,
     method: str | CheckFunction,
-    hypergraph: Hypergraph,
+    payload: "PackedHypergraph | Hypergraph",
     k: int,
     timeout: float | None,
 ) -> None:
     """Worker entry point: run one timed check, ship the outcome back.
 
+    A :class:`PackedHypergraph` payload is unpacked (view and fingerprint
+    land pre-cached) and the outcome is serialized back in mask form; a
+    plain hypergraph round-trips the legacy pickled :class:`CheckOutcome`.
     Exceptions are shipped back too, so a programming error inside a check
     function surfaces in the parent instead of masquerading as a timeout;
     only a worker that *dies* (OOM kill, crash) reads as a timeout.
     """
     try:
         try:
+            packed = isinstance(payload, PackedHypergraph)
+            hypergraph = payload.unpack() if packed else payload
             outcome = timed_check(resolve_method(method), hypergraph, k, timeout)
         except Exception as exc:  # noqa: BLE001 - forwarded to the parent
             conn.send(exc)
         else:
-            # The decomposition travels back serialized by pickle; drop nothing.
-            conn.send(outcome)
+            if packed:
+                decomposition = (
+                    pack_decomposition(outcome.decomposition)
+                    if outcome.decomposition is not None
+                    else None
+                )
+                conn.send(
+                    (_WIRE_OUTCOME, outcome.verdict, outcome.seconds, decomposition)
+                )
+            else:
+                # Legacy path: the decomposition travels back via pickle,
+                # dragging its hypergraph along; drop nothing.
+                conn.send(outcome)
     finally:
         conn.close()
 
@@ -143,9 +159,13 @@ def _hard_budget(timeout: float | None, grace: float) -> float | None:
     return None if timeout is None else timeout + grace
 
 
+def _payload_for(hypergraph: Hypergraph, packed: bool) -> "PackedHypergraph | Hypergraph":
+    return PackedHypergraph.pack(hypergraph) if packed else hypergraph
+
+
 def _spawn(
     method: str | CheckFunction,
-    hypergraph: Hypergraph,
+    payload: "PackedHypergraph | Hypergraph",
     k: int,
     timeout: float | None,
 ) -> tuple[multiprocessing.Process, Connection]:
@@ -153,7 +173,7 @@ def _spawn(
     parent_conn, child_conn = _CTX.Pipe(duplex=False)
     process = _CTX.Process(
         target=_child_check,
-        args=(child_conn, method, hypergraph, k, timeout),
+        args=(child_conn, method, payload, k, timeout),
         daemon=True,
     )
     process.start()
@@ -161,12 +181,18 @@ def _spawn(
     return process, parent_conn
 
 
-def _receive(conn: Connection, fallback_seconds: float) -> CheckOutcome:
+def _receive(
+    conn: Connection,
+    fallback_seconds: float,
+    hypergraph: Hypergraph | None = None,
+) -> CheckOutcome:
     """Read a worker's outcome; a dead pipe (crash, OOM-kill) is a timeout.
 
     The paper treats resource blow-ups the same way (GlobalBIP's subedge
     explosions are recorded as timeouts), so a worker that dies without an
     answer gets the same verdict.  A forwarded exception re-raises here.
+    A mask-serialized outcome is re-named against ``hypergraph`` — the
+    parent's original instance, whose cached view does the naming.
     """
     try:
         result = conn.recv()
@@ -174,6 +200,14 @@ def _receive(conn: Connection, fallback_seconds: float) -> CheckOutcome:
         return CheckOutcome(TIMEOUT, fallback_seconds)
     if isinstance(result, Exception):
         raise result
+    if isinstance(result, tuple) and result and result[0] == _WIRE_OUTCOME:
+        _, verdict, seconds, payload = result
+        decomposition = (
+            unpack_decomposition(payload, hypergraph)
+            if payload is not None and hypergraph is not None
+            else None
+        )
+        return CheckOutcome(verdict, seconds, decomposition)
     return result
 
 
@@ -186,18 +220,21 @@ def run_checked(
     k: int,
     timeout: float | None = None,
     grace: float = DEFAULT_GRACE,
+    packed: bool = True,
 ) -> CheckOutcome:
     """Run one ``Check(H, k)`` in a worker process with a hard timeout.
 
     The worker still polls the cooperative deadline (so well-behaved searches
     stop themselves near ``timeout``); the parent kills it at
-    ``timeout + grace`` regardless.
+    ``timeout + grace`` regardless.  With ``packed`` (the default) the
+    hypergraph ships as a :class:`PackedHypergraph` and the decomposition
+    returns as masks, re-named here against the caller's instance.
     """
-    process, conn = _spawn(method, hypergraph, k, timeout)
+    process, conn = _spawn(method, _payload_for(hypergraph, packed), k, timeout)
     start = time.perf_counter()
     try:
         if conn.poll(_hard_budget(timeout, grace)):
-            return _receive(conn, time.perf_counter() - start)
+            return _receive(conn, time.perf_counter() - start, hypergraph)
         return CheckOutcome(TIMEOUT, time.perf_counter() - start)
     finally:
         conn.close()
@@ -213,18 +250,21 @@ def race_checks(
     k: int,
     timeout: float | None = None,
     grace: float = DEFAULT_GRACE,
+    packed: bool = True,
 ) -> tuple[str | None, dict[str, CheckOutcome]]:
     """Race one worker per method; the first definite answer wins.
 
     Returns ``(winner, per_method)``.  ``winner`` is ``None`` when nobody
     answered.  Losers still running when the winner reports are cancelled
     (killed) and recorded as timeouts at their cancellation time; methods
-    that finished *before* the winner keep their genuine outcomes.
+    that finished *before* the winner keep their genuine outcomes.  The
+    hypergraph is packed once and shared by every racer.
     """
+    payload = _payload_for(hypergraph, packed)
     processes: dict[str, multiprocessing.Process] = {}
     pending: dict[Connection, str] = {}
     for method in methods:
-        process, conn = _spawn(method, hypergraph, k, timeout)
+        process, conn = _spawn(method, payload, k, timeout)
         processes[method] = process
         pending[conn] = method
     start = time.perf_counter()
@@ -239,7 +279,7 @@ def race_checks(
                 break  # hard budget exhausted for everyone still running
             for conn in ready:
                 method = pending.pop(conn)  # type: ignore[arg-type]
-                outcome = _receive(conn, time.perf_counter() - start)  # type: ignore[arg-type]
+                outcome = _receive(conn, time.perf_counter() - start, hypergraph)  # type: ignore[arg-type]
                 conn.close()  # type: ignore[attr-defined]
                 results[method] = outcome
                 if winner is None and outcome.answered:
@@ -263,15 +303,15 @@ def _stream_pool(
     count: int,
     jobs: int,
     start: Callable[[int], tuple[multiprocessing.Process, Connection, float | None]],
-    receive: Callable[[Connection, float], object],
+    receive: Callable[[Connection, float, int], object],
     expire: Callable[[float], object],
 ) -> list[object]:
     """Stream ``count`` tasks through ≤ ``jobs`` workers, results in order.
 
     ``start(index)`` spawns task ``index`` and returns ``(process, conn,
-    hard budget in seconds or None)``; ``receive(conn, elapsed)`` reads a
-    finished worker's result; ``expire(elapsed)`` is the result recorded for
-    a worker killed at its hard budget.
+    hard budget in seconds or None)``; ``receive(conn, elapsed, index)``
+    reads a finished worker's result; ``expire(elapsed)`` is the result
+    recorded for a worker killed at its hard budget.
     """
     results: list[object] = [None] * count
     active: dict[Connection, tuple[int, multiprocessing.Process, float, float | None]] = {}
@@ -295,7 +335,7 @@ def _stream_pool(
             now = time.perf_counter()
             for conn in ready:
                 index, process, started, _ = active.pop(conn)  # type: ignore[arg-type]
-                results[index] = receive(conn, now - started)  # type: ignore[arg-type]
+                results[index] = receive(conn, now - started, index)  # type: ignore[arg-type]
                 conn.close()  # type: ignore[attr-defined]
                 _reap(process)
             overdue = [
@@ -319,23 +359,36 @@ def map_checks(
     tasks: Sequence[tuple[str | CheckFunction, Hypergraph, int, float | None]],
     jobs: int,
     grace: float = DEFAULT_GRACE,
+    packed: bool = True,
 ) -> list[CheckOutcome]:
     """Stream ``(method, hypergraph, k, timeout)`` tasks through ≤ jobs workers.
 
     Results come back in task order.  Each worker has its own hard budget;
     a killed or crashed worker yields a timeout verdict for its task.
+    A batch that checks one hypergraph at many ``(method, k)`` keys packs
+    it exactly once — the packed view is shared across every dispatch.
     """
+    payloads: dict[int, PackedHypergraph | Hypergraph] = {}
+    if packed:
+        for _, hypergraph, _, _ in tasks:
+            key = id(hypergraph)
+            if key not in payloads:
+                payloads[key] = PackedHypergraph.pack(hypergraph)
 
     def start(index: int):
         method, hypergraph, k, timeout = tasks[index]
-        process, conn = _spawn(method, hypergraph, k, timeout)
+        payload = payloads.get(id(hypergraph), hypergraph)
+        process, conn = _spawn(method, payload, k, timeout)
         return process, conn, _hard_budget(timeout, grace)
+
+    def receive(conn: Connection, elapsed: float, index: int) -> CheckOutcome:
+        return _receive(conn, elapsed, tasks[index][1])
 
     return _stream_pool(  # type: ignore[return-value]
         len(tasks),
         max(1, int(jobs)),
         start,
-        _receive,
+        receive,
         lambda elapsed: CheckOutcome(TIMEOUT, elapsed),
     )
 
@@ -410,7 +463,7 @@ def map_callables(
         child_conn.close()
         return process, parent_conn, _hard_budget(timeout, grace)
 
-    def receive(conn: Connection, elapsed: float) -> object:
+    def receive(conn: Connection, elapsed: float, index: int) -> object:
         try:
             kind, payload = conn.recv()
         except (EOFError, OSError):

@@ -56,6 +56,7 @@ __all__ = [
     "BenchCase",
     "default_workload",
     "run_workload",
+    "run_dispatch_workload",
     "compare_to_baseline",
     "main",
 ]
@@ -289,6 +290,111 @@ def run_workload(
     return report
 
 
+# ------------------------------------------------------------- dispatch
+
+
+#: Dispatch workload shape: ≥ 50 small instances through ≥ 2 workers.
+DISPATCH_INSTANCES = 56
+DISPATCH_JOBS = 2
+DISPATCH_K = 2
+DISPATCH_TIMEOUT = 30.0
+DISPATCH_EDGES = 160
+DISPATCH_ARITY = 5
+
+
+def _dispatch_chain(seed: int) -> Hypergraph:
+    """A long acyclic chain of arity-5 edges (an SQL-style chain query).
+
+    ``Check(HD, 2)`` decides it almost instantly, so the measured time is
+    dominated by exactly what the dispatch bench is about: moving the
+    instance to a worker and the ~160-node decomposition back.  Searching
+    harder instances would dilute the wire-path difference into search
+    time that is identical on both paths.
+    """
+    return Hypergraph(
+        {
+            f"relation{seed}_{j:03d}": [
+                f"attribute{seed}_{j + i:04d}" for i in range(DISPATCH_ARITY)
+            ]
+            for j in range(DISPATCH_EDGES)
+        },
+        name=f"chain{seed}",
+    )
+
+
+def _dispatch_instances(count: int) -> list[Hypergraph]:
+    return [_dispatch_chain(seed) for seed in range(count)]
+
+
+def run_dispatch_workload(
+    count: int = DISPATCH_INSTANCES,
+    jobs: int = DISPATCH_JOBS,
+    repeat: int = 1,
+) -> dict:
+    """Engine-dispatch overhead: packed wire views vs the legacy pickle path.
+
+    One ``run_batch`` of ``count`` single ``Check(H, k)`` jobs (no store, so
+    every job dispatches to a worker process) is timed twice — once with the
+    packed :class:`~repro.core.bitset.PackedHypergraph` wire format, once
+    with ``packed=False`` (the pre-refactor path that pickles named
+    hypergraphs out and full decompositions back).  Verdicts from both runs
+    are cross-checked against the frozen reference kernel
+    (:mod:`repro.decomp.reference`), in-process — any disagreement is a
+    correctness bug, not noise.
+    """
+    from repro.decomp.reference import check_hd_reference
+    from repro.engine import DecompositionEngine, JobSpec
+
+    instances = _dispatch_instances(count)
+    oracle = {}
+    for h in instances:
+        try:
+            decomposition = check_hd_reference(h, DISPATCH_K, Deadline(CASE_TIMEOUT))
+            oracle[h.name] = "yes" if decomposition is not None else "no"
+        except (DeadlineExceeded, SubedgeLimitError):  # pragma: no cover
+            oracle[h.name] = "timeout"
+
+    def timed_batch(packed: bool) -> tuple[float, dict[str, str]]:
+        best_seconds = None
+        verdicts: dict[str, str] = {}
+        for _ in range(repeat):
+            # Fresh instances per repetition: nothing (views, fingerprints)
+            # survives from the previous run or the oracle pass.
+            fresh = _dispatch_instances(count)
+            engine = DecompositionEngine(jobs=jobs, packed=packed)
+            specs = [
+                JobSpec.check(h, DISPATCH_K, method="hd", timeout=DISPATCH_TIMEOUT)
+                for h in fresh
+            ]
+            start = time.perf_counter()
+            report = engine.run_batch(specs)
+            seconds = time.perf_counter() - start
+            if best_seconds is None or seconds < best_seconds:
+                best_seconds = seconds
+                verdicts = {r.spec.name: r.verdict for r in report.results}
+        assert best_seconds is not None
+        return best_seconds, verdicts
+
+    packed_seconds, packed_verdicts = timed_batch(True)
+    named_seconds, named_verdicts = timed_batch(False)
+    mismatches = sum(
+        1
+        for name, verdict in oracle.items()
+        if packed_verdicts.get(name) != verdict or named_verdicts.get(name) != verdict
+    )
+    return {
+        "instances": count,
+        "jobs": jobs,
+        "k": DISPATCH_K,
+        "method": "hd",
+        "repeat": repeat,
+        "packed_seconds": packed_seconds,
+        "named_seconds": named_seconds,
+        "speedup": named_seconds / max(packed_seconds, 1e-9),
+        "verdict_mismatches": mismatches,
+    }
+
+
 # ------------------------------------------------------------ regression
 
 
@@ -363,9 +469,13 @@ def main(argv: list[str] | None = None) -> int:
                         help="report path (default: ./BENCH_kernel.json)")
     parser.add_argument("--baseline", default=None,
                         help="baseline BENCH_kernel.json for the regression gate")
+    parser.add_argument("--no-dispatch", action="store_true",
+                        help="skip the packed-vs-pickle dispatch benchmark")
     args = parser.parse_args(argv)
 
     report = run_workload(quick=args.quick, repeat=args.repeat)
+    if not args.no_dispatch:
+        report["dispatch"] = run_dispatch_workload(repeat=args.repeat)
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
@@ -385,9 +495,25 @@ def main(argv: list[str] | None = None) -> int:
         f" report -> {args.out}"
     )
 
+    dispatch = report.get("dispatch")
+    if dispatch is not None:
+        print(
+            f"\ndispatch ({dispatch['instances']} instances, "
+            f"{dispatch['jobs']} workers): packed "
+            f"{dispatch['packed_seconds']*1000:.0f} ms vs pickle "
+            f"{dispatch['named_seconds']*1000:.0f} ms "
+            f"({dispatch['speedup']:.2f}x)"
+        )
+
     status = 0
     if summary["verdict_mismatches"]:
         print(f"FAIL: {summary['verdict_mismatches']} verdict mismatch(es)")
+        status = 1
+    if dispatch is not None and dispatch["verdict_mismatches"]:
+        print(
+            f"FAIL: {dispatch['verdict_mismatches']} packed-dispatch verdict "
+            "mismatch(es) vs the reference kernel"
+        )
         status = 1
     if args.baseline:
         with open(args.baseline, encoding="utf-8") as fh:

@@ -141,8 +141,8 @@ class TestCoveringEnumerationEquivalence:
         assert got == ref
 
     def test_specialised_k_matches_general_dfs(self):
-        # k=1 / k=2 take the specialised loops; cross-check them against the
-        # k=3 general DFS restricted to the same sizes.
+        # k=1 / k=2 / k=3 take the specialised loops; cross-check them
+        # against the k=4 general DFS restricted to the same sizes.
         rng = random.Random(99)
         for _ in range(50):
             n = rng.randint(0, 7)
@@ -152,11 +152,11 @@ class TestCoveringEnumerationEquivalence:
             require = rng.random() < 0.5
             general = list(
                 mask_covering_combinations(
-                    masks, n_primary, conn, 3, Deadline.unlimited(),
+                    masks, n_primary, conn, 4, Deadline.unlimited(),
                     require_primary=require,
                 )
             )
-            for k in (1, 2):
+            for k in (1, 2, 3):
                 special = list(
                     mask_covering_combinations(
                         masks, n_primary, conn, k, Deadline.unlimited(),

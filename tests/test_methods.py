@@ -1,0 +1,130 @@
+"""Tests for the MethodSpec registry and its backward-compatible views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decomp.balsep import check_ghd_balsep
+from repro.decomp.detkdecomp import check_hd
+from repro.decomp.driver import GHD_ALGORITHMS
+from repro.engine import CHECK_METHODS, MONOTONE_METHODS, MethodSpec, register_method
+from repro.engine import methods
+from repro.errors import ReproError
+
+
+class TestRegistryDefaults:
+    def test_default_methods_present(self):
+        # other test modules may have registered ad-hoc methods in the
+        # shared registry, so assert containment, not exact equality
+        listed = methods.method_names()
+        assert listed == sorted(listed)
+        names = set(listed)
+        assert {"hd", "globalbip", "localbip", "balsep", "hybrid",
+                "fracimprove"} <= names
+        assert "portfolio" not in names  # virtual keys are not dispatchable
+
+    def test_portfolio_methods_in_table_order(self):
+        assert methods.portfolio_methods() == {
+            "GlobalBIP": "globalbip",
+            "LocalBIP": "localbip",
+            "BalSep": "balsep",
+        }
+
+    def test_ghd_algorithms_derive_from_the_registry(self):
+        assert list(GHD_ALGORITHMS) == ["GlobalBIP", "LocalBIP", "BalSep"]
+        assert GHD_ALGORITHMS["BalSep"] is check_ghd_balsep
+
+    def test_decision_kinds(self):
+        assert methods.decision_kind_of("hd") == methods.HW
+        for name in ("globalbip", "localbip", "balsep", "hybrid", "portfolio"):
+            assert methods.decision_kind_of(name) == methods.GHW
+        # fracimprove reports fhw but decides hw <= k (it improves an HD)
+        spec = methods.get("fracimprove")
+        assert spec.kind == methods.FHW
+        assert spec.decision_kind == methods.HW
+        assert spec.witness_required
+
+    def test_portfolio_is_virtual(self):
+        spec = methods.get("portfolio")
+        assert not spec.dispatchable
+        with pytest.raises(ReproError):
+            methods.resolve("portfolio")
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ReproError):
+            methods.get("nope")
+        assert methods.get_optional("nope") is None
+        assert methods.decision_kind_of("nope") is None
+
+    def test_resolve_passes_callables_through(self):
+        assert methods.resolve(check_hd) is check_hd
+        assert methods.resolve("hd") is check_hd
+
+
+class TestSpecValidation:
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ReproError):
+            MethodSpec("x", "X", "treewidth", check_hd)
+        with pytest.raises(ReproError):
+            MethodSpec("x", "X", None, check_hd, decision_kind="bogus")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ReproError):
+            MethodSpec("", "X", None, check_hd)
+
+
+class TestCompatibilityViews:
+    def test_check_methods_view_excludes_virtual_keys(self):
+        assert "portfolio" not in CHECK_METHODS
+        assert CHECK_METHODS["hd"] is check_hd
+        assert len(CHECK_METHODS) == len(list(CHECK_METHODS))
+        with pytest.raises(KeyError):
+            CHECK_METHODS["portfolio"]
+
+    def test_monotone_view_follows_the_registry(self):
+        assert "hd" in MONOTONE_METHODS
+        assert "portfolio" in MONOTONE_METHODS
+        assert "definitely-not-registered" not in MONOTONE_METHODS
+        assert set(MONOTONE_METHODS) == set(methods.monotone_names())
+
+    def test_register_method_is_custom_and_non_monotone(self):
+        register_method("tmp-compat", check_hd)
+        try:
+            assert "tmp-compat" in CHECK_METHODS
+            assert "tmp-compat" not in MONOTONE_METHODS
+            spec = methods.get("tmp-compat")
+            assert spec.kind is None and spec.decision_kind is None
+        finally:
+            methods._REGISTRY.pop("tmp-compat", None)
+
+    def test_register_method_on_a_builtin_keeps_its_metadata(self):
+        original = methods.get("balsep")
+
+        def instrumented(h, k, deadline=None):  # pragma: no cover - stub
+            return original.check(h, k, deadline)
+
+        register_method("balsep", instrumented)
+        try:
+            spec = methods.get("balsep")
+            # only the dispatch target changed: BalSep stays monotone,
+            # portfolio-eligible and ghw-kinded (the historical semantics of
+            # replacing CHECK_METHODS["balsep"])
+            assert spec.check is instrumented
+            assert spec.monotone and spec.portfolio
+            assert spec.decision_kind == methods.GHW
+            assert "balsep" in MONOTONE_METHODS
+            assert methods.portfolio_methods()["BalSep"] == "balsep"
+        finally:
+            methods.register(original)
+
+    def test_registering_a_monotone_spec_feeds_the_store_view(self):
+        methods.register(
+            MethodSpec(
+                "tmp-mono", "TmpMono", methods.GHW, check_ghd_balsep,
+                monotone=True, decision_kind=methods.GHW, witness_kind="GHD",
+            )
+        )
+        try:
+            assert "tmp-mono" in MONOTONE_METHODS
+        finally:
+            methods._REGISTRY.pop("tmp-mono", None)
