@@ -1,0 +1,103 @@
+"""A client session against a running decomposition service.
+
+Start a service first (any cache path works; the point is that every client
+shares it)::
+
+    PYTHONPATH=src python -m repro serve --port 8080 --cache results.db --jobs 2
+
+then run this walkthrough against it::
+
+    PYTHONPATH=src python examples/service_client.py --port 8080
+
+The script demonstrates — and *asserts* — the service's three layers of
+work-avoidance:
+
+1. a cold ``/check`` executes on the engine;
+2. an identical second request is answered from the shared result store
+   (no dispatch — this is the warm-cache property CI gates on);
+3. a burst of concurrent duplicate requests is coalesced onto in-flight
+   work, so the whole burst costs at most one additional dispatch.
+
+Exit status is non-zero if any of those properties fails, so the script
+doubles as the CI service smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.hypergraph import Hypergraph
+from repro.service import ServiceClient
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    args = parser.parse_args(argv)
+
+    # The paper's running example: the triangle query, hw = ghw = 2.
+    triangle = Hypergraph(
+        {"r": ["x", "y"], "s": ["y", "z"], "t": ["z", "x"]}, name="triangle"
+    )
+    # A 6-cycle for the burst (cyclic, hw = 2 — a slightly bigger search).
+    cycle = Hypergraph(
+        {f"c{i}": [f"x{i}", f"x{(i + 1) % 6}"] for i in range(6)}, name="cycle6"
+    )
+
+    with ServiceClient(host=args.host, port=args.port) as client:
+        health = client.healthz()
+        print(f"service up (uptime {health['uptime']}s)")
+
+        # 1. Cold check: reaches the engine.
+        cold = client.check(triangle, 2)
+        print(f"check(triangle, 2) -> {cold['verdict']}  "
+              f"(source={cold['source']}, {cold['seconds']}s)")
+        assert cold["verdict"] == "yes", cold
+
+        # 2. Identical request again: the store answers, nothing dispatches.
+        warm = client.check(triangle, 2)
+        print(f"check(triangle, 2) -> {warm['verdict']}  (source={warm['source']})")
+        assert warm["source"] == "store" and warm["cached"], (
+            f"second identical request was not served from the cache: {warm}"
+        )
+
+        # ... and the bounds index answers k we never asked about.
+        implied = client.check(triangle, 5)
+        print(f"check(triangle, 5) -> {implied['verdict']}  "
+              f"(implied={implied['implied']})")
+        assert implied["implied"], implied
+
+        # 3. A concurrent duplicate burst coalesces onto one flight.
+        before = client.stats()["engine"]["executed"]
+
+        def ask(_: int) -> dict:
+            with ServiceClient(host=args.host, port=args.port) as c:
+                return c.check(cycle, 2)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            burst = list(pool.map(ask, range(8)))
+        assert {r["verdict"] for r in burst} == {"yes"}, burst
+
+        stats = client.stats()
+        dispatched = stats["engine"]["executed"] - before
+        print(f"burst of 8 duplicate checks -> {dispatched} dispatch(es), "
+              f"{stats['service']['coalesced']} coalesced, "
+              f"{stats['service']['store_answers']} store-answered so far")
+        assert dispatched <= 1, stats
+
+        # The full protocol surface, for completeness.
+        width = client.width(cycle, max_k=4)
+        print(f"width(cycle6) = {width.get('width')}")
+        tree = client.decompose(triangle, 2)["decomposition"]
+        print(f"decompose(triangle, 2): {tree['kind']} with "
+              f"root bag {sorted(tree['root']['bag'])}")
+
+    print("service walkthrough ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

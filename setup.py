@@ -9,11 +9,12 @@ _README = _HERE / "README.md"
 
 setup(
     name="repro-hyperbench",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'HyperBench: A Benchmark and Tool for Hypergraphs "
         "and Empirical Findings' — hypergraph decompositions, benchmark "
-        "generators, and a parallel cache-backed decomposition engine"
+        "generators, a parallel cache-backed decomposition engine, and a "
+        "coalescing HTTP batch service over a shared result store"
     ),
     long_description=_README.read_text(encoding="utf-8") if _README.exists() else "",
     long_description_content_type="text/markdown",

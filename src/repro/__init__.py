@@ -14,7 +14,10 @@ The package provides:
 * :mod:`repro.analysis` — the paper's empirical study (all tables/figures);
 * :mod:`repro.engine` — parallel, cache-backed execution: worker processes
   with hard timeouts, a content-addressed SQLite result store, and
-  journalled batch sweeps.
+  journalled batch sweeps;
+* :mod:`repro.service` — a long-lived JSON-over-HTTP service over one
+  shared engine + store, coalescing concurrent duplicate requests and
+  batching the rest into ``run_batch`` waves (``repro serve``).
 
 Quickstart::
 
@@ -56,7 +59,20 @@ from repro.errors import (
 )
 from repro.utils.deadline import Deadline
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+#: Service-layer classes are imported lazily: most library users never start
+#: an HTTP server, and the CLI's non-serve commands should not pay for
+#: importing asyncio machinery.
+_SERVICE_EXPORTS = ("ServiceClient", "ServiceThread", "BatchScheduler")
+
+
+def __getattr__(name: str):
+    if name in _SERVICE_EXPORTS:
+        from repro import service
+
+        return getattr(service, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Hypergraph",
@@ -86,5 +102,8 @@ __all__ = [
     "SubedgeLimitError",
     "ParseError",
     "SolverError",
+    "ServiceClient",
+    "ServiceThread",
+    "BatchScheduler",
     "__version__",
 ]

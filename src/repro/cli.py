@@ -14,6 +14,14 @@ Subcommands::
     python -m repro cache bounds --cache results.db  # derived width bounds
     python -m repro cache bounds --cache results.db --kind ghw  # one width kind
     python -m repro cache clear --cache results.db
+    python -m repro serve --port 8080 --cache results.db --jobs 4   # HTTP service
+
+``serve`` runs the long-lived decomposition service (see
+:mod:`repro.service`): one shared engine + store behind a JSON-over-HTTP
+API (``/check``, ``/width``, ``/decompose``, ``/portfolio``, ``/stats``,
+``/healthz``) whose scheduler coalesces concurrent duplicate requests and
+batches the rest into ``run_batch`` waves — docs/ARCHITECTURE.md describes
+the protocol, ``examples/service_client.py`` walks a client session.
 
 ``cache bounds`` lists two tables: the per-method intervals each method's
 own rows prove, and the *cross-method* intervals derived per width kind via
@@ -160,6 +168,29 @@ def build_parser() -> argparse.ArgumentParser:
             "restrict 'bounds' to one width kind: per-method rows whose "
             "verdicts decide that kind plus its cross-method interval"
         ),
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the decomposition service (JSON over HTTP, shared warm cache)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8080,
+        help="listening port (0 picks a free one and prints it)",
+    )
+    serve.add_argument(
+        "--window", type=float, default=0.02, metavar="SECONDS",
+        help="batching window: how long a wave waits for concurrent requests",
+    )
+    serve.add_argument(
+        "--max-wave", type=int, default=32, metavar="N",
+        help="maximum jobs per run_batch wave",
+    )
+    _add_engine_flags(
+        serve,
+        jobs_help="worker processes shared by all clients (1 = in-process)",
+        cache_help="SQLite result store every client shares (default: in-memory)",
     )
 
     convert = sub.add_parser("convert", help="convert CQ/XCSP/SQL to hypergraphs")
@@ -453,6 +484,28 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.server import serve as _serve
+
+    store_path = str(args.cache) if args.cache is not None else None
+    try:
+        asyncio.run(
+            _serve(
+                store_path,
+                host=args.host,
+                port=args.port,
+                jobs=args.jobs,
+                window=args.window,
+                max_wave=args.max_wave,
+            )
+        )
+    except KeyboardInterrupt:
+        print("service stopped", file=sys.stderr)
+    return 0
+
+
 _COMMANDS = {
     "analyze": _cmd_analyze,
     "width": _cmd_width,
@@ -461,6 +514,7 @@ _COMMANDS = {
     "benchmark": _cmd_benchmark,
     "convert": _cmd_convert,
     "cache": _cmd_cache,
+    "serve": _cmd_serve,
 }
 
 

@@ -17,6 +17,8 @@ cache-missed check jobs across the worker pool.
 
 from __future__ import annotations
 
+import functools
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -39,12 +41,52 @@ class EngineStats:
 
     ``implied`` counts the subset of ``cache_hits`` answered by the store's
     bounds index (monotonicity) rather than an exactly matching row.
+
+    Counters are mutated through :meth:`book`, which serialises on an
+    internal mutex: the service layer reads and writes these from its event
+    loop while batch waves execute on worker threads, and the coalescing
+    tests assert *exact* dispatch counts.
+
+    >>> stats = EngineStats()
+    >>> stats.book(requests=2, cache_hits=1)
+    >>> stats.hit_rate
+    0.5
+    >>> stats.snapshot()["requests"]
+    2
     """
 
     requests: int = 0
     cache_hits: int = 0
     implied: int = 0
     executed: int = 0
+    _mutex: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
+
+    def book(
+        self,
+        requests: int = 0,
+        cache_hits: int = 0,
+        implied: int = 0,
+        executed: int = 0,
+    ) -> None:
+        """Atomically add to the counters (safe across threads)."""
+        with self._mutex:
+            self.requests += requests
+            self.cache_hits += cache_hits
+            self.implied += implied
+            self.executed += executed
+
+    def snapshot(self) -> dict:
+        """A JSON-able copy of the counters (the service ``/stats`` payload)."""
+        with self._mutex:
+            return {
+                "requests": self.requests,
+                "cache_hits": self.cache_hits,
+                "implied": self.implied,
+                "executed": self.executed,
+                "hit_rate": self.hit_rate,
+            }
 
     @property
     def hit_rate(self) -> float:
@@ -77,8 +119,38 @@ class _CacheMiss(Exception):
     """Internal: a cache-only replay hit a key the store does not have."""
 
 
+def _locked(fn):
+    """Serialise a dispatch entry point on the engine's reentrant lock.
+
+    The service layer submits batches from executor threads while other
+    threads call ``check``/``portfolio`` directly; the RLock makes those
+    submissions safe *and* reentrant (``run_batch`` jobs re-enter
+    ``portfolio``/``exact_width``/``check`` on the same thread).
+    """
+
+    @functools.wraps(fn)
+    def wrapper(self, *args, **kwargs):
+        with self._lock:
+            return fn(self, *args, **kwargs)
+
+    return wrapper
+
+
 class DecompositionEngine:
     """Cache-backed, optionally parallel execution of decomposition work.
+
+    The engine is the single entry point for decomposition work: every
+    request consults the store first, and a definite verdict stored at one
+    ``k`` answers implied keys at other widths for free:
+
+    >>> from repro.core.hypergraph import Hypergraph
+    >>> from repro.engine import DecompositionEngine, ResultStore
+    >>> triangle = Hypergraph({"r": ["x", "y"], "s": ["y", "z"], "t": ["z", "x"]})
+    >>> with DecompositionEngine(store=ResultStore()) as engine:
+    ...     first = engine.check(triangle, 2).verdict
+    ...     second = engine.check(triangle, 3).verdict   # implied: yes at 2
+    ...     (first, second, engine.stats.executed)
+    ('yes', 'yes', 1)
 
     Parameters
     ----------
@@ -111,6 +183,9 @@ PackedHypergraph` wire views and receive decompositions as mask lists
         self.grace = grace
         self.packed = packed
         self.stats = EngineStats()
+        # Dispatch entry points serialise here (see _locked); the store has
+        # its own lock, so cache peeks never wait behind a running wave.
+        self._lock = threading.RLock()
 
     @property
     def parallel(self) -> bool:
@@ -145,16 +220,14 @@ PackedHypergraph` wire views and receive decompositions as mask lists
         it knows whether the whole job was served from cache.
         """
         if record:
-            self.stats.requests += 1
+            self.stats.book(requests=1)
         if self.store is None:
             return None, None, False
         stored = self.store.get(fp, method, k, timeout, record=record)
         if stored is None:
             return None, None, False
         if record:
-            self.stats.cache_hits += 1
-            if stored.implied:
-                self.stats.implied += 1
+            self.stats.book(cache_hits=1, implied=int(stored.implied))
         return stored.outcome(hypergraph), stored.extra, stored.implied
 
     def _remember(
@@ -171,6 +244,7 @@ PackedHypergraph` wire views and receive decompositions as mask lists
 
     # ---------------------------------------------------------------- checks
 
+    @_locked
     def check(
         self,
         hypergraph: Hypergraph,
@@ -195,7 +269,7 @@ PackedHypergraph` wire views and receive decompositions as mask lists
         k: int,
         timeout: float | None,
     ) -> CheckOutcome:
-        self.stats.executed += 1
+        self.stats.book(executed=1)
         if self.parallel:
             return workers.run_checked(
                 method, hypergraph, k, timeout, self.grace, self.packed
@@ -204,6 +278,7 @@ PackedHypergraph` wire views and receive decompositions as mask lists
 
     # ----------------------------------------------------------- exact width
 
+    @_locked
     def exact_width(
         self,
         hypergraph: Hypergraph,
@@ -277,6 +352,7 @@ PackedHypergraph` wire views and receive decompositions as mask lists
 
     # ------------------------------------------------------------- portfolio
 
+    @_locked
     def portfolio(
         self,
         hypergraph: Hypergraph,
@@ -310,7 +386,7 @@ PackedHypergraph` wire views and receive decompositions as mask lists
             return outcome, per_algorithm
 
         portfolio_methods = _methods.portfolio_methods()
-        self.stats.executed += 1
+        self.stats.book(executed=1)
         if self.parallel:
             winner_method, raced = workers.race_checks(
                 list(portfolio_methods.values()), hypergraph, k, timeout,
@@ -355,6 +431,7 @@ PackedHypergraph` wire views and receive decompositions as mask lists
 
     # ----------------------------------------------------------------- batch
 
+    @_locked
     def run_batch(
         self,
         specs: list[JobSpec],
@@ -413,8 +490,7 @@ PackedHypergraph` wire views and receive decompositions as mask lists
                 self.store.record_misses(len(check_indices))
             for i, outcome in zip(check_indices, outcomes):
                 spec = specs[i]
-                self.stats.requests += 1
-                self.stats.executed += 1
+                self.stats.book(requests=1, executed=1)
                 self._remember(
                     spec.fingerprint, spec.method, spec.k, spec.timeout, outcome
                 )
@@ -439,6 +515,38 @@ PackedHypergraph` wire views and receive decompositions as mask lists
         return report
 
     # ------------------------------------------------------------ batch bits
+
+    def try_replay(self, spec: JobSpec) -> JobResult | None:
+        """Answer a whole job from the store without dispatching anything.
+
+        The public peek the service scheduler uses before queueing a job
+        into a batch wave: exact rows answer first, then verdicts implied by
+        the per-method bounds index, then the cross-method ``kind_bounds``
+        knowledge (an hw "yes" answering a ghw check, and vice versa for
+        "no"s).  Returns ``None`` on any miss — *without* booking the miss;
+        the eventual dispatch books it.  Deliberately **not** behind the
+        dispatch lock: the store has its own lock, so a peek never waits
+        behind a running batch wave.
+        """
+        return self._replay_from_cache(spec)
+
+    def stats_snapshot(self) -> dict:
+        """Engine + store counters as one JSON-able dict (``/stats`` payload)."""
+        payload: dict = {"engine": self.stats.snapshot(), "jobs": self.jobs}
+        if self.store is not None:
+            stats = self.store.stats
+            payload["store"] = {
+                "path": self.store.path,
+                "entries": stats.entries,
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "implied": stats.implied,
+                "hit_rate": stats.hit_rate,
+                "session_hits": stats.session_hits,
+                "session_misses": stats.session_misses,
+                "session_implied": stats.session_implied,
+            }
+        return payload
 
     def _replay_from_cache(self, spec: JobSpec) -> JobResult | None:
         """Answer a whole job from the store, or ``None`` on any miss.
@@ -510,9 +618,7 @@ PackedHypergraph` wire views and receive decompositions as mask lists
         )
 
     def _book_replay(self, lookups: int, implied: int = 0) -> None:
-        self.stats.requests += lookups
-        self.stats.cache_hits += lookups
-        self.stats.implied += implied
+        self.stats.book(requests=lookups, cache_hits=lookups, implied=implied)
         if self.store is not None:
             self.store.record_hits(lookups, implied)
 
@@ -537,7 +643,7 @@ PackedHypergraph` wire views and receive decompositions as mask lists
         # so check jobs execute directly; the peek was the decisive lookup
         # and is booked as the one miss.
         if spec.kind == CHECK:
-            self.stats.requests += 1
+            self.stats.book(requests=1)
             if self.store is not None:
                 self.store.record_misses(1)
             outcome = self._execute(spec.method, spec.hypergraph, spec.k, spec.timeout)

@@ -38,7 +38,17 @@ class JobSpec:
     """One unit of work over one hypergraph.
 
     Use the :meth:`check` / :meth:`width` / :meth:`portfolio` constructors;
-    ``kind`` decides which of ``k`` / ``max_k`` is meaningful.
+    ``kind`` decides which of ``k`` / ``max_k`` is meaningful.  A spec's
+    :meth:`key` is its content-addressed identity — what the batch journal
+    resumes on and the service scheduler coalesces on:
+
+    >>> from repro.core.hypergraph import Hypergraph
+    >>> h = Hypergraph({"r": ["x", "y"], "s": ["y", "z"]}, name="path")
+    >>> spec = JobSpec.check(h, 2, method="hd")
+    >>> spec.key() == JobSpec.check(Hypergraph({"s": ["z", "y"], "r": ["y", "x"]}), 2).key()
+    True
+    >>> spec.key()[0], spec.key()[2:]
+    ('check', ('hd', 2, None, 'none'))
     """
 
     kind: str

@@ -50,6 +50,20 @@ The default registrations happen lazily on first registry access, so this
 module has **no import-time dependency** on :mod:`repro.decomp` and can be
 imported from anywhere in the stack (the store, the workers, the sequential
 driver) without cycles.
+
+The registry is the single source of truth every live view derives from:
+
+>>> from repro.engine import methods
+>>> methods.get("hd").display
+'DetKDecomp'
+>>> sorted(methods.portfolio_methods())         # the Table 4 race lineup
+['BalSep', 'GlobalBIP', 'LocalBIP']
+>>> methods.decision_kind_of("fracimprove")     # its verdicts decide hw <= k
+'hw'
+>>> "portfolio" in methods.CHECK_METHODS        # virtual keys don't dispatch
+False
+>>> methods.get("fracimprove").witness_required  # its FHD *is* the deliverable
+True
 """
 
 from __future__ import annotations

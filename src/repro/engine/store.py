@@ -50,12 +50,22 @@ Stores created before the knowledge layer (no ``kind_bounds`` table) are
 migrated in place on open: the table is created and seeded from the
 surviving per-method bounds, so old ``--cache`` files keep every derived
 fact and gain the cross-method rows for free.
+
+**Concurrency.**  A store may be shared between threads (the service layer
+peeks from its event loop while a batch wave writes from a worker thread)
+and between processes (several ``repro`` invocations pointing at the same
+``--cache`` file).  Every public method serialises on an internal reentrant
+lock, the connection is opened with ``check_same_thread=False``, and
+file-backed stores run in SQLite's WAL journal mode with a busy timeout —
+readers never block the writer, and a second process retries instead of
+failing with ``database is locked``.
 """
 
 from __future__ import annotations
 
 import json
 import sqlite3
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -234,6 +244,19 @@ class StoreStats:
 class ResultStore:
     """Persistent result cache; use as a context manager or call :meth:`close`.
 
+    Verdicts round-trip by ``(fingerprint, method, k)``; definite answers
+    stored at one ``k`` also answer *implied* keys via the bounds index:
+
+    >>> from repro.decomp.driver import CheckOutcome
+    >>> store = ResultStore()                       # ephemeral, in-memory
+    >>> store.put("fp", "hd", 2, None, CheckOutcome("yes", 0.1))
+    >>> store.get("fp", "hd", 2, None).verdict
+    'yes'
+    >>> store.get("fp", "hd", 5, None).implied      # yes at 2 ⇒ yes at 5
+    True
+    >>> store.bounds("fp", "hd")
+    (1, 2)
+
     Parameters
     ----------
     path:
@@ -248,8 +271,20 @@ class ResultStore:
         self.session_hits = 0
         self.session_misses = 0
         self.session_implied = 0
+        # Reentrant: public methods lock, then call other (locking) methods.
+        self._lock = threading.RLock()
         try:
-            self._conn = sqlite3.connect(self.path, isolation_level=None)
+            self._conn = sqlite3.connect(
+                self.path, isolation_level=None, check_same_thread=False
+            )
+            if self.path != ":memory:":
+                # WAL lets concurrent readers proceed while one writer
+                # appends; the busy timeout makes a second *process* retry
+                # instead of raising "database is locked".  Both are no-ops
+                # conceptually for in-memory stores.
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute("PRAGMA busy_timeout=5000")
+                self._conn.execute("PRAGMA synchronous=NORMAL")
             self._conn.executescript(_SCHEMA)
             self._migrate()
         except sqlite3.DatabaseError as exc:
@@ -279,7 +314,8 @@ class ResultStore:
     # ------------------------------------------------------------- lifecycle
 
     def close(self) -> None:
-        self._conn.close()
+        with self._lock:
+            self._conn.close()
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -312,6 +348,18 @@ class ResultStore:
         engine's batch replay books its lookups via :meth:`record_hits`
         only once it knows the whole job was served from cache).
         """
+        with self._lock:
+            return self._get_locked(fingerprint, method, k, timeout, record, bounds)
+
+    def _get_locked(
+        self,
+        fingerprint: str,
+        method: str,
+        k: int,
+        timeout: float | None,
+        record: bool,
+        bounds: bool,
+    ) -> StoredResult | None:
         # Definite answers are timeout independent; prefer one recorded under
         # any budget over a timeout verdict at the exact key.
         row = self._conn.execute(
@@ -366,6 +414,18 @@ class ResultStore:
         extra: dict | None = None,
     ) -> None:
         """Persist one outcome (replacing any stale row under the same key)."""
+        with self._lock:
+            self._put_locked(fingerprint, method, k, timeout, outcome, extra)
+
+    def _put_locked(
+        self,
+        fingerprint: str,
+        method: str,
+        k: int,
+        timeout: float | None,
+        outcome: CheckOutcome,
+        extra: dict | None,
+    ) -> None:
         decomposition = (
             decomposition_to_json(outcome.decomposition)
             if outcome.decomposition is not None
@@ -420,10 +480,11 @@ class ResultStore:
 
     def clear(self) -> None:
         """Drop every cached result and reset the lifetime counters."""
-        self._conn.execute("DELETE FROM results")
-        self._conn.execute("DELETE FROM bounds")
-        self._conn.execute("DELETE FROM kind_bounds")
-        self._conn.execute("DELETE FROM meta")
+        with self._lock:
+            self._conn.execute("DELETE FROM results")
+            self._conn.execute("DELETE FROM bounds")
+            self._conn.execute("DELETE FROM kind_bounds")
+            self._conn.execute("DELETE FROM meta")
 
     # ---------------------------------------------------------------- bounds
 
@@ -515,18 +576,20 @@ class ResultStore:
         method's own rows prove; see :meth:`kind_bounds` /
         :meth:`effective_bounds` for the cross-method knowledge.
         """
-        row = self._conn.execute(
-            "SELECT lo, hi FROM bounds WHERE fingerprint = ? AND method = ?",
-            (fingerprint, method),
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT lo, hi FROM bounds WHERE fingerprint = ? AND method = ?",
+                (fingerprint, method),
+            ).fetchone()
         return (row[0], row[1]) if row is not None else (1, None)
 
     def kind_bounds(self, fingerprint: str, kind: str) -> tuple[int, int | None]:
         """The cross-method interval for one width kind (``(1, None)`` default)."""
-        row = self._conn.execute(
-            "SELECT lo, hi FROM kind_bounds WHERE fingerprint = ? AND kind = ?",
-            (fingerprint, kind),
-        ).fetchone()
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT lo, hi FROM kind_bounds WHERE fingerprint = ? AND kind = ?",
+                (fingerprint, kind),
+            ).fetchone()
         return (row[0], row[1]) if row is not None else (1, None)
 
     def effective_bounds(self, fingerprint: str, method: str) -> tuple[int, int | None]:
@@ -536,11 +599,12 @@ class ResultStore:
         "yes" would actually replay for this method (witness-required
         methods execute instead — their deliverable is the decomposition).
         """
-        lo, hi = self.bounds(fingerprint, method)
-        spec = _methods.get_optional(method)
-        if spec is None or spec.decision_kind is None:
-            return lo, hi
-        kind_lo, kind_hi = self.kind_bounds(fingerprint, spec.decision_kind)
+        with self._lock:
+            lo, hi = self.bounds(fingerprint, method)
+            spec = _methods.get_optional(method)
+            if spec is None or spec.decision_kind is None:
+                return lo, hi
+            kind_lo, kind_hi = self.kind_bounds(fingerprint, spec.decision_kind)
         lo = max(lo, kind_lo)
         if kind_hi is not None and not spec.witness_required:
             hi = kind_hi if hi is None else min(hi, kind_hi)
@@ -562,6 +626,10 @@ class ResultStore:
         """
         if method not in MONOTONE_METHODS:
             return None
+        with self._lock:
+            return self._implied_locked(fingerprint, method, k)
+
+    def _implied_locked(self, fingerprint: str, method: str, k: int) -> StoredResult | None:
         lo, hi = self.bounds(fingerprint, method)
         if hi is not None and k >= hi:
             witness = self._conn.execute(
@@ -651,46 +719,51 @@ class ResultStore:
 
     def bounds_rows(self) -> list[tuple[str, str, int, int | None]]:
         """The whole bounds index as ``(fingerprint, method, lo, hi)`` rows."""
-        return [
-            (fp, method, lo, hi)
-            for fp, method, lo, hi in self._conn.execute(
-                "SELECT fingerprint, method, lo, hi FROM bounds "
-                "ORDER BY fingerprint, method"
-            )
-        ]
+        with self._lock:
+            return [
+                (fp, method, lo, hi)
+                for fp, method, lo, hi in self._conn.execute(
+                    "SELECT fingerprint, method, lo, hi FROM bounds "
+                    "ORDER BY fingerprint, method"
+                )
+            ]
 
     def kind_bounds_rows(self) -> list[tuple[str, str, int, int | None]]:
         """The cross-method index as ``(fingerprint, kind, lo, hi)`` rows."""
-        return [
-            (fp, kind, lo, hi)
-            for fp, kind, lo, hi in self._conn.execute(
-                "SELECT fingerprint, kind, lo, hi FROM kind_bounds "
-                "ORDER BY fingerprint, kind"
-            )
-        ]
+        with self._lock:
+            return [
+                (fp, kind, lo, hi)
+                for fp, kind, lo, hi in self._conn.execute(
+                    "SELECT fingerprint, kind, lo, hi FROM kind_bounds "
+                    "ORDER BY fingerprint, kind"
+                )
+            ]
 
     # ------------------------------------------------------------ accounting
 
     def __len__(self) -> int:
-        return self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        with self._lock:
+            return self._conn.execute("SELECT COUNT(*) FROM results").fetchone()[0]
 
     def record_hits(self, count: int, implied: int = 0) -> None:
         """Book ``count`` cache hits observed via non-recording peeks.
 
         ``implied`` says how many of them the bounds index answered.
         """
-        if count > 0:
-            self.session_hits += count
-            self._bump_meta("hits", count)
-        if implied > 0:
-            self.session_implied += implied
-            self._bump_meta("implied", implied)
+        with self._lock:
+            if count > 0:
+                self.session_hits += count
+                self._bump_meta("hits", count)
+            if implied > 0:
+                self.session_implied += implied
+                self._bump_meta("implied", implied)
 
     def record_misses(self, count: int) -> None:
         """Book ``count`` cache misses observed via non-recording peeks."""
-        if count > 0:
-            self.session_misses += count
-            self._bump_meta("misses", count)
+        with self._lock:
+            if count > 0:
+                self.session_misses += count
+                self._bump_meta("misses", count)
 
     def _bump_meta(self, key: str, amount: int = 1) -> None:
         self._conn.execute(
@@ -707,23 +780,25 @@ class ResultStore:
 
     @property
     def stats(self) -> StoreStats:
-        return StoreStats(
-            entries=len(self),
-            hits=self._meta("hits"),
-            misses=self._meta("misses"),
-            session_hits=self.session_hits,
-            session_misses=self.session_misses,
-            implied=self._meta("implied"),
-            session_implied=self.session_implied,
-        )
+        with self._lock:
+            return StoreStats(
+                entries=len(self),
+                hits=self._meta("hits"),
+                misses=self._meta("misses"),
+                session_hits=self.session_hits,
+                session_misses=self.session_misses,
+                implied=self._meta("implied"),
+                session_implied=self.session_implied,
+            )
 
     def methods(self) -> dict[str, int]:
         """Entry counts per method (for ``repro cache stats``)."""
-        return dict(
-            self._conn.execute(
-                "SELECT method, COUNT(*) FROM results GROUP BY method ORDER BY method"
-            ).fetchall()
-        )
+        with self._lock:
+            return dict(
+                self._conn.execute(
+                    "SELECT method, COUNT(*) FROM results GROUP BY method ORDER BY method"
+                ).fetchall()
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ResultStore {self.path!r}: {len(self)} entries>"

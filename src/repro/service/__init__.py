@@ -1,0 +1,33 @@
+"""``repro.service`` — a coalescing batch service front-end over the engine.
+
+The fifth layer of the stack (core → decomp → engine → **service**): a
+long-lived process owning one shared :class:`~repro.engine.engine.\
+DecompositionEngine` + :class:`~repro.engine.store.ResultStore`, fronted by
+an asyncio scheduler that
+
+* answers requests from the store (exact rows, bounds-implied verdicts,
+  cross-method ``kind_bounds`` knowledge) before dispatching anything,
+* **coalesces concurrent duplicate requests** by ``(fingerprint, method,
+  k)`` so N identical in-flight asks cost one engine dispatch, and
+* batches the remainder into :meth:`run_batch` waves with per-request
+  deadlines.
+
+Start one with ``repro serve --port 8080 --cache results.db --jobs 4``,
+embed one with :class:`ServiceThread`, talk to one with
+:class:`ServiceClient`.  See ``docs/ARCHITECTURE.md`` for how the layers
+fit and ``examples/service_client.py`` for a walkthrough.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.scheduler import BatchScheduler, ServiceStats
+from repro.service.server import DecompositionServer, ServiceThread, serve
+
+__all__ = [
+    "BatchScheduler",
+    "ServiceStats",
+    "DecompositionServer",
+    "ServiceThread",
+    "ServiceClient",
+    "ServiceError",
+    "serve",
+]

@@ -1,0 +1,183 @@
+"""A synchronous client for the decomposition service (stdlib ``http.client``).
+
+One :class:`ServiceClient` wraps one keep-alive HTTP connection; it is not
+thread-safe — give each thread its own client (connections are cheap, the
+server multiplexes).  Hypergraphs are accepted as live
+:class:`~repro.core.hypergraph.Hypergraph` objects (serialized to the
+detkdecomp text format on the wire) or as ready-made ``.hg`` text.
+
+.. code-block:: python
+
+    from repro.service import ServiceClient
+
+    with ServiceClient(port=8080) as client:
+        client.healthz()                          # {"status": "ok", ...}
+        client.check(h, k=2)                      # {"verdict": "yes", ...}
+        client.width(h, max_k=6)                  # {"width": 2, ...}
+        client.decompose(h, k=2)["decomposition"] # the tree, as JSON
+        client.stats()["service"]["coalesced"]
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+
+from repro.core.hypergraph import Hypergraph
+from repro.errors import ReproError
+from repro.io.hg_format import format_hypergraph
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(ReproError):
+    """The service answered with an error status (the body rides along)."""
+
+    def __init__(self, status: int, payload: dict):
+        super().__init__(f"service returned {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+
+
+def _wire_hypergraph(hypergraph: Hypergraph | str) -> str:
+    if isinstance(hypergraph, Hypergraph):
+        return format_hypergraph(hypergraph)
+    return hypergraph
+
+
+class ServiceClient:
+    """Talk to a running decomposition service over HTTP.
+
+    Parameters
+    ----------
+    host, port:
+        Where ``repro serve`` (or a :class:`ServiceThread`) is listening.
+    timeout:
+        Socket timeout in seconds — the client-side cap on how long one
+        request may take end to end.  Distinct from the *job* ``timeout``
+        (the engine's per-check budget) and ``deadline`` (how long the
+        service holds the request before answering ``"expired"``).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 300.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # -------------------------------------------------------------- plumbing
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            stale = conn.sock is not None  # a reused keep-alive socket
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except socket.timeout:
+                # A genuine client-side timeout: the request may be running
+                # server-side, so re-sending it would double-submit.
+                self.close()
+                raise
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # A keep-alive connection the server already dropped; retry
+                # exactly once on a fresh socket.  A failure on a *fresh*
+                # connection (refused, unreachable) is real — let it out.
+                self.close()
+                if attempt or not stale:
+                    raise
+        try:
+            decoded = json.loads(data.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ServiceError(response.status, {"error": f"non-JSON body: {exc}"}) from exc
+        if response.status != 200:
+            raise ServiceError(response.status, decoded)
+        return decoded
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- requests
+
+    def check(
+        self,
+        hypergraph: Hypergraph | str,
+        k: int,
+        method: str = "hd",
+        timeout: float | None = None,
+        deadline: float | None = None,
+    ) -> dict:
+        """One ``Check(H, k)`` verdict (no decomposition in the response)."""
+        return self._request("POST", "/check", {
+            "hypergraph": _wire_hypergraph(hypergraph), "k": k, "method": method,
+            "timeout": timeout, "deadline": deadline,
+        })
+
+    def decompose(
+        self,
+        hypergraph: Hypergraph | str,
+        k: int,
+        method: str = "hd",
+        timeout: float | None = None,
+        deadline: float | None = None,
+    ) -> dict:
+        """Like :meth:`check`, but a "yes" carries the decomposition tree."""
+        return self._request("POST", "/decompose", {
+            "hypergraph": _wire_hypergraph(hypergraph), "k": k, "method": method,
+            "timeout": timeout, "deadline": deadline,
+        })
+
+    def width(
+        self,
+        hypergraph: Hypergraph | str,
+        max_k: int,
+        method: str = "hd",
+        timeout: float | None = None,
+        deadline: float | None = None,
+    ) -> dict:
+        """Exact width by iterating k (``"width"`` present when exact)."""
+        return self._request("POST", "/width", {
+            "hypergraph": _wire_hypergraph(hypergraph), "max_k": max_k,
+            "method": method, "timeout": timeout, "deadline": deadline,
+        })
+
+    def portfolio(
+        self,
+        hypergraph: Hypergraph | str,
+        k: int,
+        timeout: float | None = None,
+        deadline: float | None = None,
+    ) -> dict:
+        """The Table 4 GHD portfolio race at width ``k``."""
+        return self._request("POST", "/portfolio", {
+            "hypergraph": _wire_hypergraph(hypergraph), "k": k,
+            "timeout": timeout, "deadline": deadline,
+        })
+
+    def stats(self) -> dict:
+        """Service / engine / store counters (coalescing, waves, hit rates)."""
+        return self._request("GET", "/stats")
+
+    def healthz(self) -> dict:
+        """Liveness probe."""
+        return self._request("GET", "/healthz")

@@ -1,0 +1,366 @@
+"""The coalescing batch scheduler — the service's asyncio front-end.
+
+The scheduler is what makes "heavy traffic from many users" cheap: it sits
+between concurrent clients and one shared :class:`~repro.engine.engine.\
+DecompositionEngine` and spends at most one engine dispatch per *distinct*
+piece of work, no matter how many clients ask for it at once.  Three layers
+of deduplication apply, in order:
+
+1. **Store fast path.**  Before anything is queued, the request is replayed
+   against the result store via :meth:`DecompositionEngine.try_replay` —
+   exact rows, verdicts implied by the per-method bounds index, and
+   cross-method ``kind_bounds`` knowledge all answer here, synchronously,
+   with no wave latency.
+2. **Coalescing.**  Requests that miss the store are keyed by their job
+   identity (``JobSpec.key()``: kind, fingerprint, method, k/max_k, timeout
+   budget).  If an identical job is already *in flight* — queued or mid-wave
+   — the new request simply awaits the same future: N concurrent identical
+   requests cost exactly one dispatch.
+3. **Batch waves.**  Novel jobs queue for a short ``window`` (letting a
+   burst accumulate), then up to ``max_wave`` of them run as one
+   :meth:`DecompositionEngine.run_batch` on a worker thread — so a parallel
+   engine fans the whole wave across its process pool, and the event loop
+   stays free to accept (and coalesce) more traffic meanwhile.
+
+Per-request **deadlines** are enforced at the awaiting edge: a request that
+cannot wait any longer resolves with an ``"expired"`` verdict while the
+underlying flight keeps running — its result still lands in the store, so
+the next asker gets it from the fast path.
+
+The scheduler is single-loop asyncio; the only blocking work it performs on
+the loop thread is SQLite peeks (microseconds — the store locks internally
+and is never held across a decomposition search).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+from repro.core.hypergraph import Hypergraph
+from repro.engine.engine import DecompositionEngine
+from repro.engine.jobs import CHECK, JobResult, JobSpec
+from repro.io.json_io import decomposition_to_json
+
+__all__ = ["BatchScheduler", "ServiceStats", "EXPIRED", "ERROR"]
+
+#: Verdict of a request whose deadline passed while its flight was pending.
+EXPIRED = "expired"
+#: Verdict of a request whose wave failed with an unexpected exception.
+ERROR = "error"
+
+
+@dataclass
+class ServiceStats:
+    """Request accounting for one scheduler (the ``/stats`` service section).
+
+    ``requests`` counts everything submitted; ``store_answers`` the subset
+    answered synchronously from the result store; ``coalesced`` the subset
+    that joined an already-in-flight identical job.  The remainder —
+    ``requests - store_answers - coalesced`` — is what actually reached the
+    engine, grouped into ``waves`` batches of ``wave_jobs`` total jobs.
+    """
+
+    requests: int = 0
+    store_answers: int = 0
+    coalesced: int = 0
+    expired: int = 0
+    errors: int = 0
+    waves: int = 0
+    wave_jobs: int = 0
+    by_kind: dict = field(default_factory=dict)
+
+    @property
+    def dispatched(self) -> int:
+        return self.requests - self.store_answers - self.coalesced
+
+    def snapshot(self) -> dict:
+        return {
+            "requests": self.requests,
+            "store_answers": self.store_answers,
+            "coalesced": self.coalesced,
+            "dispatched": self.dispatched,
+            "expired": self.expired,
+            "errors": self.errors,
+            "waves": self.waves,
+            "wave_jobs": self.wave_jobs,
+            "by_kind": dict(self.by_kind),
+        }
+
+
+@dataclass
+class _Flight:
+    """One in-flight unit of engine work, shared by all coalesced waiters."""
+
+    spec: JobSpec
+    future: asyncio.Future
+    waiters: int = 1
+
+
+class BatchScheduler:
+    """Coalesce, cache-check and batch decomposition requests over one engine.
+
+    Parameters
+    ----------
+    engine:
+        The shared :class:`DecompositionEngine`.  The scheduler owns its
+        dispatch cadence but not its lifetime — call :meth:`close` with
+        ``close_engine=True`` to tear both down together.
+    window:
+        Seconds a wave waits after the first novel job arrives, letting a
+        burst of concurrent requests accumulate into one ``run_batch``.
+        ``0.0`` dispatches immediately (per-request batches).
+    max_wave:
+        Maximum jobs per ``run_batch`` wave; excess jobs roll into the next
+        wave without waiting another window.
+    coalesce:
+        ``False`` disables duplicate coalescing (every request becomes its
+        own flight) — kept for the ``benchmarks/bench_service.py`` baseline,
+        not for production use.
+    """
+
+    def __init__(
+        self,
+        engine: DecompositionEngine,
+        window: float = 0.02,
+        max_wave: int = 32,
+        coalesce: bool = True,
+    ):
+        self.engine = engine
+        self.window = max(0.0, float(window))
+        self.max_wave = max(1, int(max_wave))
+        self.coalesce = coalesce
+        self.stats = ServiceStats()
+        self._flights: dict[tuple, _Flight] = {}
+        self._pending: list[_Flight] = []
+        self._wake = asyncio.Event()
+        self._task: asyncio.Task | None = None
+        self._closed = False
+
+    # -------------------------------------------------------------- requests
+
+    async def check(
+        self,
+        hypergraph: Hypergraph,
+        k: int,
+        method: str = "hd",
+        timeout: float | None = None,
+        deadline: float | None = None,
+    ) -> dict:
+        """One ``Check(H, k)``; coalesces with identical in-flight checks."""
+        return await self.submit(
+            JobSpec.check(hypergraph, k, method=method, timeout=timeout),
+            deadline=deadline,
+        )
+
+    async def width(
+        self,
+        hypergraph: Hypergraph,
+        max_k: int,
+        method: str = "hd",
+        timeout: float | None = None,
+        deadline: float | None = None,
+    ) -> dict:
+        """An exact-width sweep (Figure 4 protocol) as one batched job."""
+        return await self.submit(
+            JobSpec.width(hypergraph, max_k, method=method, timeout=timeout),
+            deadline=deadline,
+        )
+
+    async def portfolio(
+        self,
+        hypergraph: Hypergraph,
+        k: int,
+        timeout: float | None = None,
+        deadline: float | None = None,
+    ) -> dict:
+        """A Table 4 GHD portfolio race at width ``k``."""
+        return await self.submit(
+            JobSpec.portfolio(hypergraph, k, timeout=timeout), deadline=deadline
+        )
+
+    async def submit(self, spec: JobSpec, deadline: float | None = None) -> dict:
+        """Schedule one job spec; returns its JSON-able result payload.
+
+        The synchronous prefix (store peek, flight registration) runs before
+        the first ``await``, so concurrent identical submissions coalesce
+        deterministically — whichever runs first registers the flight, every
+        later one joins it.
+        """
+        if self._closed:
+            raise RuntimeError("scheduler is closed")
+        self.stats.requests += 1
+        self.stats.by_kind[spec.kind] = self.stats.by_kind.get(spec.kind, 0) + 1
+        key = spec.key()
+        flight = self._flights.get(key) if self.coalesce else None
+        coalesced = flight is not None
+        if flight is None:
+            replay = self.engine.try_replay(spec)
+            if replay is not None:
+                self.stats.store_answers += 1
+                return self._payload(spec, replay, coalesced=False, source="store")
+            flight = _Flight(spec, asyncio.get_running_loop().create_future())
+            if self.coalesce:
+                self._flights[key] = flight
+            self._pending.append(flight)
+            self._ensure_running()
+            self._wake.set()
+        else:
+            flight.waiters += 1
+            self.stats.coalesced += 1
+        try:
+            if deadline is not None:
+                # shield(): an expiring waiter must not cancel the shared
+                # flight — coalesced peers (and the store) still want it.
+                shared = await asyncio.wait_for(
+                    asyncio.shield(flight.future), deadline
+                )
+            else:
+                shared = await flight.future
+        except asyncio.TimeoutError:
+            self.stats.expired += 1
+            return {
+                "kind": spec.kind,
+                "method": spec.method,
+                "k": spec.k,
+                "max_k": spec.max_k,
+                "fingerprint": spec.fingerprint,
+                "verdict": EXPIRED,
+                "deadline": deadline,
+                "coalesced": coalesced,
+                "source": "deadline",
+            }
+        if shared.get("verdict") == ERROR:
+            self.stats.errors += 1
+        # The flight's payload (decomposition serialization included) was
+        # built exactly once when the wave landed; each waiter only takes a
+        # shallow copy to stamp its own coalescing flag.
+        payload = dict(shared)
+        payload["coalesced"] = coalesced
+        return payload
+
+    # ------------------------------------------------------------- lifecycle
+
+    def _ensure_running(self) -> None:
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def close(self, close_engine: bool = False) -> None:
+        """Drain the dispatch loop; optionally close the engine (and store)."""
+        self._closed = True
+        self._wake.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+        for flight in self._pending:
+            if not flight.future.done():
+                flight.future.set_result(
+                    self._error_payload(
+                        flight.spec, "scheduler closed before dispatch"
+                    )
+                )
+            self._flights.pop(flight.spec.key(), None)
+        self._pending.clear()
+        if close_engine:
+            self.engine.close()
+
+    # ---------------------------------------------------------- the dispatcher
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            if self._closed:
+                return
+            if not self._pending:
+                continue
+            if self.window > 0.0:
+                await asyncio.sleep(self.window)  # let the burst accumulate
+            wave = self._pending[: self.max_wave]
+            del self._pending[: self.max_wave]
+            if self._pending:
+                self._wake.set()  # next wave starts without a fresh trigger
+            specs = [flight.spec for flight in wave]
+            try:
+                report = await loop.run_in_executor(
+                    None, self.engine.run_batch, specs
+                )
+            except Exception as exc:  # noqa: BLE001 - resolved, not raised
+                for flight in wave:
+                    self._flights.pop(flight.spec.key(), None)
+                    if not flight.future.done():
+                        flight.future.set_result(
+                            self._error_payload(flight.spec, str(exc))
+                        )
+                continue
+            self.stats.waves += 1
+            self.stats.wave_jobs += len(specs)
+            # run_batch preserves order and (journal-less) returns one
+            # JobResult per spec, so zip() pairs flights with their results.
+            # Payloads are built here, once per flight, before any waiter
+            # copies them.
+            for flight, result in zip(wave, report.results):
+                self._flights.pop(flight.spec.key(), None)
+                if not flight.future.done():
+                    flight.future.set_result(
+                        self._payload(
+                            flight.spec, result, coalesced=False, source="engine"
+                        )
+                    )
+
+    # --------------------------------------------------------------- payloads
+
+    def _error_payload(self, spec: JobSpec, message: str) -> dict:
+        return {
+            "kind": spec.kind,
+            "method": spec.method,
+            "k": spec.k,
+            "max_k": spec.max_k,
+            "fingerprint": spec.fingerprint,
+            "verdict": ERROR,
+            "error": message,
+            "source": "engine",
+        }
+
+    def _payload(
+        self, spec: JobSpec, result: JobResult, coalesced: bool, source: str
+    ) -> dict:
+        """The JSON-able response shared by every waiter of one flight."""
+        payload = {
+            "kind": spec.kind,
+            "method": spec.method,
+            "k": spec.k,
+            "max_k": spec.max_k,
+            "fingerprint": spec.fingerprint,
+            "verdict": result.verdict,
+            "seconds": round(result.seconds, 6),
+            "cached": result.cached,
+            "implied": result.implied,
+            "coalesced": coalesced,
+            "source": "store" if source == "store" or result.cached else source,
+            "lower": result.lower,
+            "upper": result.upper,
+            "winner": result.winner,
+        }
+        if result.width_result is not None and result.width_result.exact:
+            payload["width"] = result.width_result.value
+        outcome = result.outcome
+        if (
+            spec.kind == CHECK
+            and outcome is not None
+            and outcome.decomposition is not None
+        ):
+            payload["decomposition"] = json.loads(
+                decomposition_to_json(outcome.decomposition)
+            )
+        return payload
+
+    def stats_snapshot(self) -> dict:
+        """Service + engine + store counters as one dict (``/stats`` body)."""
+        payload = {"service": self.stats.snapshot()}
+        payload.update(self.engine.stats_snapshot())
+        payload["in_flight"] = len(self._flights)
+        payload["queued"] = len(self._pending)
+        return payload

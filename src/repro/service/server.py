@@ -1,0 +1,383 @@
+"""JSON-over-HTTP transport for the batch scheduler (stdlib only).
+
+One long-lived server process owns one :class:`DecompositionEngine` and one
+:class:`ResultStore`, so every client shares the warm cache and the
+scheduler's coalescing window — the HyperBench "service over a precomputed
+result store" shape, grown onto four PRs of engine work.
+
+Endpoints (all responses are JSON):
+
+``POST /check``
+    ``{"hypergraph": "<hg text>" | {"edges": {...}}, "k": 3,
+    "method": "hd", "timeout": 60.0, "deadline": 5.0}`` →
+    verdict payload (plus the decomposition tree on a "yes").
+``POST /width``
+    ``{"hypergraph": ..., "max_k": 6, "method": "hd", ...}`` → exact width
+    or bounds (the Figure 4 protocol as one batched job).
+``POST /decompose``
+    Like ``/check`` but fails with 404-style ``"verdict": "no"`` semantics
+    left to the client; the decomposition rides along on a yes.
+``POST /portfolio``
+    ``{"hypergraph": ..., "k": 3, ...}`` → the Table 4 race verdict.
+``GET /stats``
+    Service, engine and store counters (coalescing, waves, hit rates).
+``GET /healthz``
+    Liveness: ``{"status": "ok", ...}``.
+
+The HTTP layer is a deliberately minimal HTTP/1.1 implementation over
+``asyncio`` streams — no routing framework, no threads, no dependencies —
+because the interesting concurrency lives in the scheduler, not the socket
+handling.  Connections are keep-alive by default; malformed requests get
+``400``, unknown paths ``404``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+from repro.core.hypergraph import Hypergraph
+from repro.engine.engine import DecompositionEngine
+from repro.engine.store import ResultStore
+from repro.errors import ReproError
+from repro.io.hg_format import parse_hypergraph
+from repro.service.scheduler import BatchScheduler
+
+__all__ = ["DecompositionServer", "ServiceThread", "serve"]
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed", 500: "Internal Server Error"}
+
+#: Request bodies above this are rejected (a hypergraph is a few KB of text).
+_MAX_BODY = 8 * 1024 * 1024
+
+
+class _BadRequest(Exception):
+    """Client error: reported as a 400 with the message in the body."""
+
+
+def _hypergraph_from(payload: dict) -> Hypergraph:
+    """Build the instance from a request body (hg text or an edge dict)."""
+    raw = payload.get("hypergraph")
+    name = str(payload.get("name", ""))
+    if isinstance(raw, str):
+        return parse_hypergraph(raw, name=name)
+    if isinstance(raw, dict):
+        edges = raw.get("edges", raw)
+        if not isinstance(edges, dict):
+            raise _BadRequest("'hypergraph.edges' must be an object")
+        return Hypergraph(edges, name=name)
+    raise _BadRequest(
+        "request needs 'hypergraph': detkdecomp text or {\"edges\": {...}}"
+    )
+
+
+def _int_field(payload: dict, key: str) -> int:
+    value = payload.get(key)
+    if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+        raise _BadRequest(f"'{key}' must be a positive integer")
+    return value
+
+
+def _float_field(payload: dict, key: str) -> float | None:
+    value = payload.get(key)
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or isinstance(value, bool) or value <= 0:
+        raise _BadRequest(f"'{key}' must be a positive number")
+    return float(value)
+
+
+class DecompositionServer:
+    """The asyncio HTTP server; owns the scheduler's lifetime, not the engine's.
+
+    Use :meth:`start` / :meth:`stop` from a running event loop, or the
+    :class:`ServiceThread` wrapper to host a server from synchronous code
+    (tests, benchmarks, notebook sessions).
+    """
+
+    def __init__(
+        self,
+        scheduler: BatchScheduler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+        self._started = time.time()
+
+    async def start(self) -> None:
+        """Bind and start accepting; ``port`` is re-read from the socket
+        (so ``port=0`` picks a free one)."""
+        self._server = await asyncio.start_server(self._serve_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started = time.time()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self, close_engine: bool = False) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.scheduler.close(close_engine=close_engine)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------- connection
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _BadRequest as exc:
+                    # The request could not even be framed, so nothing about
+                    # keep-alive can be trusted: answer 400 and hang up.
+                    await self._respond(writer, 400, {"error": str(exc)}, False)
+                    break
+                if request is None:
+                    break
+                method, path, headers, body = request
+                keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                try:
+                    status, payload = await self._dispatch(method, path, body)
+                except _BadRequest as exc:
+                    status, payload = 400, {"error": str(exc)}
+                except (ReproError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+                    status, payload = 400, {"error": str(exc)}
+                except Exception as exc:  # noqa: BLE001 - a 500, not a crash
+                    status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+                await self._respond(writer, status, payload, keep_alive)
+                if not keep_alive:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            pass  # client went away mid-request; nothing to answer
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, dict, bytes] | None:
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, path, _version = line.decode("latin-1").split()
+        except ValueError:
+            raise _BadRequest("malformed request line") from None
+        headers: dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0") or 0)
+        except ValueError:
+            raise _BadRequest("Content-Length must be an integer") from None
+        if length < 0:
+            raise _BadRequest("Content-Length must be non-negative")
+        if length > _MAX_BODY:
+            raise _BadRequest(f"body too large ({length} bytes)")
+        body = await reader.readexactly(length) if length > 0 else b""
+        return method.upper(), path, headers, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # --------------------------------------------------------------- routing
+
+    async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        path = path.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, {
+                "status": "ok",
+                "uptime": round(time.time() - self._started, 3),
+                "in_flight": len(self.scheduler._flights),
+            }
+        if path == "/stats":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, self.scheduler.stats_snapshot()
+        if path in ("/check", "/width", "/decompose", "/portfolio"):
+            if method != "POST":
+                return 405, {"error": "use POST"}
+            payload = json.loads(body.decode("utf-8") or "{}")
+            if not isinstance(payload, dict):
+                raise _BadRequest("request body must be a JSON object")
+            return 200, await self._run_job(path, payload)
+        return 404, {"error": f"unknown path {path!r}"}
+
+    async def _run_job(self, path: str, payload: dict) -> dict:
+        hypergraph = _hypergraph_from(payload)
+        timeout = _float_field(payload, "timeout")
+        deadline = _float_field(payload, "deadline")
+        if path == "/width":
+            return await self.scheduler.width(
+                hypergraph,
+                _int_field(payload, "max_k"),
+                method=str(payload.get("method", "hd")),
+                timeout=timeout,
+                deadline=deadline,
+            )
+        if path == "/portfolio":
+            return await self.scheduler.portfolio(
+                hypergraph, _int_field(payload, "k"), timeout=timeout, deadline=deadline
+            )
+        # /check and /decompose share the flight key, so a concurrent check
+        # and decompose of the same (H, method, k) coalesce; /check merely
+        # strips the tree from its response.
+        result = await self.scheduler.check(
+            hypergraph,
+            _int_field(payload, "k"),
+            method=str(payload.get("method", "hd")),
+            timeout=timeout,
+            deadline=deadline,
+        )
+        if path == "/check":
+            result = {k: v for k, v in result.items() if k != "decomposition"}
+        return result
+
+
+# ------------------------------------------------------------ sync embedding
+
+
+class ServiceThread:
+    """A server + scheduler + event loop hosted on a background thread.
+
+    The synchronous embedding used by tests, benchmarks and the examples:
+
+    .. code-block:: python
+
+        engine = DecompositionEngine(store=ResultStore("results.db"))
+        with ServiceThread(engine) as service:
+            client = ServiceClient(port=service.port)
+            client.check(h, k=2)
+
+    ``stop()`` (or leaving the ``with`` block) drains the scheduler and, by
+    default, closes the engine and its store.
+    """
+
+    def __init__(
+        self,
+        engine: DecompositionEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        window: float = 0.02,
+        max_wave: int = 32,
+        close_engine: bool = True,
+    ):
+        self.engine = engine
+        self.scheduler: BatchScheduler | None = None
+        self.server: DecompositionServer | None = None
+        self._close_engine = close_engine
+        self._ready = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._main, args=(host, port, window, max_wave), daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._error is not None:
+            raise self._error
+
+    def _main(self, host: str, port: int, window: float, max_wave: int) -> None:
+        async def body() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            try:
+                self.scheduler = BatchScheduler(
+                    self.engine, window=window, max_wave=max_wave
+                )
+                self.server = DecompositionServer(self.scheduler, host=host, port=port)
+                await self.server.start()
+            except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
+                self._error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            await self._stop.wait()
+            await self.server.stop(close_engine=self._close_engine)
+
+        asyncio.run(body())
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None
+        return self.server.port
+
+    @property
+    def url(self) -> str:
+        assert self.server is not None
+        return self.server.url
+
+    def stop(self) -> None:
+        """Stop accepting, drain in-flight waves, join the thread."""
+        if self._loop is not None and self._stop is not None and self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30.0)
+
+    def __enter__(self) -> "ServiceThread":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+async def serve(
+    store_path: str | None,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    jobs: int = 1,
+    window: float = 0.02,
+    max_wave: int = 32,
+) -> None:
+    """Run the service until cancelled (the ``repro serve`` entry point)."""
+    store = ResultStore(store_path) if store_path is not None else ResultStore()
+    engine = DecompositionEngine(store=store, jobs=jobs)
+    scheduler = BatchScheduler(engine, window=window, max_wave=max_wave)
+    server = DecompositionServer(scheduler, host=host, port=port)
+    await server.start()
+    print(f"repro service on {server.url} "
+          f"(jobs={jobs}, cache={store_path or ':memory:'})", flush=True)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop(close_engine=True)
