@@ -15,6 +15,11 @@ Subcommands::
     python -m repro cache bounds --cache results.db --kind ghw  # one width kind
     python -m repro cache clear --cache results.db
     python -m repro serve --port 8080 --cache results.db --jobs 4   # HTTP service
+    python -m repro serve --port 8080 --trace-journal traces.jsonl --slow-ms 500
+    python -m repro trace show --journal traces.jsonl    # span trees, newest first
+    python -m repro trace summary --journal traces.jsonl # per-span-name timings
+    python -m repro trace show --port 8080               # live /debug/traces
+    python -m repro metrics --port 8080                  # live /metrics text
 
 ``serve`` runs the long-lived decomposition service (see
 :mod:`repro.service`): one shared engine + store behind a JSON-over-HTTP
@@ -187,11 +192,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-wave", type=int, default=32, metavar="N",
         help="maximum jobs per run_batch wave",
     )
+    serve.add_argument(
+        "--slow-ms", type=float, default=1000.0, metavar="MS",
+        help="log requests slower than this many milliseconds (0 disables)",
+    )
+    serve.add_argument(
+        "--trace-journal", type=Path, default=None, metavar="PATH",
+        help="append every finished span to this JSONL file (repro trace reads it)",
+    )
     _add_engine_flags(
         serve,
         jobs_help="worker processes shared by all clients (1 = in-process)",
         cache_help="SQLite result store every client shares (default: in-memory)",
     )
+
+    trace = sub.add_parser(
+        "trace", help="inspect recorded spans (a JSONL journal or a live service)"
+    )
+    trace.add_argument("action", choices=("show", "summary"))
+    trace.add_argument(
+        "--journal", type=Path, default=None, metavar="PATH",
+        help="trace journal written by 'serve --trace-journal'",
+    )
+    trace.add_argument("--host", default="127.0.0.1")
+    trace.add_argument(
+        "--port", type=int, default=None,
+        help="fetch /debug/traces from a running service instead of a journal",
+    )
+    trace.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="most recent traces to show (show) or spans to read (service)",
+    )
+
+    metrics = sub.add_parser(
+        "metrics", help="fetch a running service's /metrics (Prometheus text)"
+    )
+    metrics.add_argument("--host", default="127.0.0.1")
+    metrics.add_argument("--port", type=int, default=8080)
 
     convert = sub.add_parser("convert", help="convert CQ/XCSP/SQL to hypergraphs")
     source = convert.add_mutually_exclusive_group(required=True)
@@ -490,6 +527,8 @@ def _cmd_serve(args) -> int:
     from repro.service.server import serve as _serve
 
     store_path = str(args.cache) if args.cache is not None else None
+    slow = args.slow_ms / 1000.0 if args.slow_ms > 0 else None
+    journal = str(args.trace_journal) if args.trace_journal is not None else None
     try:
         asyncio.run(
             _serve(
@@ -499,10 +538,95 @@ def _cmd_serve(args) -> int:
                 jobs=args.jobs,
                 window=args.window,
                 max_wave=args.max_wave,
+                slow_request_seconds=slow,
+                trace_journal=journal,
             )
         )
     except KeyboardInterrupt:
         print("service stopped", file=sys.stderr)
+    return 0
+
+
+def _trace_records(args) -> list[dict]:
+    """Span records from a journal file or a live service's trace ring."""
+    if args.journal is not None:
+        from repro.obs.trace import load_journal
+
+        return load_journal(args.journal)
+    if args.port is not None:
+        from repro.service.client import ServiceClient
+
+        with ServiceClient(args.host, args.port) as client:
+            payload = client.traces(limit=args.limit)
+        return [span for trace in payload["traces"] for span in trace["spans"]]
+    raise ReproError("pass --journal PATH or --port PORT to locate the spans")
+
+
+def _print_span_tree(records: list[dict]) -> None:
+    known = {record["span_id"] for record in records}
+    children: dict[str, list[dict]] = {}
+    roots = []
+    for record in sorted(records, key=lambda r: r.get("start") or 0.0):
+        parent = record.get("parent_id")
+        if parent and parent in known:
+            children.setdefault(parent, []).append(record)
+        else:
+            roots.append(record)
+
+    def walk(record: dict, depth: int) -> None:
+        millis = (record.get("duration") or 0.0) * 1000.0
+        status = record.get("status") or "ok"
+        suffix = "" if status == "ok" else f" [{status}]"
+        attrs = record.get("attrs") or {}
+        tail = "  ".join(f"{key}={value}" for key, value in attrs.items())
+        line = f"{'  ' * depth}- {record['name']:<16} {millis:9.2f} ms{suffix}"
+        print(f"{line}  {tail}" if tail else line)
+        for child in children.get(record["span_id"], []):
+            walk(child, depth + 1)
+
+    for root in roots:
+        walk(root, 0)
+
+
+def _cmd_trace(args) -> int:
+    records = _trace_records(args)
+    if not records:
+        print("no spans recorded")
+        return 0
+
+    if args.action == "summary":
+        stats: dict[str, list[float]] = {}
+        for record in records:
+            stats.setdefault(record["name"], []).append(record.get("duration") or 0.0)
+        print(f"{'span':<18} {'count':>6} {'total ms':>10} {'mean ms':>9} {'max ms':>9}")
+        for name in sorted(stats, key=lambda n: -sum(stats[n])):
+            durations = stats[name]
+            total = sum(durations) * 1000.0
+            print(
+                f"{name:<18} {len(durations):>6} {total:>10.2f}"
+                f" {total / len(durations):>9.2f} {max(durations) * 1000.0:>9.2f}"
+            )
+        return 0
+
+    # show: newest traces last so the freshest tree ends up on screen
+    by_trace: dict[str, list[dict]] = {}
+    for record in records:
+        by_trace.setdefault(record["trace_id"], []).append(record)
+    ordered = sorted(
+        by_trace.values(), key=lambda spans: max(s.get("start") or 0.0 for s in spans)
+    )
+    for spans in ordered[-args.limit:]:
+        print(f"trace {spans[0]['trace_id']}  ({len(spans)} spans)")
+        _print_span_tree(spans)
+        print()
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(args.host, args.port) as client:
+        sys.stdout.write(client.metrics())
     return 0
 
 
@@ -515,6 +639,8 @@ _COMMANDS = {
     "convert": _cmd_convert,
     "cache": _cmd_cache,
     "serve": _cmd_serve,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
 }
 
 

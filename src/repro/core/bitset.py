@@ -549,6 +549,7 @@ def mask_is_balanced(
     active: int | None = None,
 ) -> bool:
     """Definition 7 on masks: no component holds more than half the members."""
+    counters.balance_checks += 1
     if active is None:
         active = (1 << len(member_masks)) - 1
     if total is None:

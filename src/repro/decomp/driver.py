@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.decomposition import Decomposition
 from repro.core.hypergraph import Hypergraph
@@ -50,12 +50,20 @@ class CheckOutcome:
     race was already won — its timeout verdict says nothing about what the
     algorithm would have answered with the full budget, so per-algorithm
     accounting (Table 3) must skip such outcomes.
+
+    ``counters`` and ``spans`` carry the telemetry a worker process shipped
+    back with this outcome: the :class:`~repro.perf.KernelCounters` delta
+    accrued during the attempt and the finished span records of the worker's
+    side of the trace.  Both stay ``None`` on paths that do not collect
+    telemetry, and neither participates in equality.
     """
 
     verdict: str  # YES, NO or TIMEOUT
     seconds: float
     decomposition: Decomposition | None = None
     cancelled: bool = False
+    counters: dict | None = field(default=None, compare=False, repr=False)
+    spans: list | None = field(default=None, compare=False, repr=False)
 
     @property
     def answered(self) -> bool:

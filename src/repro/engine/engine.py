@@ -31,8 +31,30 @@ from repro.engine.fingerprint import fingerprint
 from repro.engine.jobs import CHECK, PORTFOLIO, WIDTH, JobResult, JobSpec, Journal
 from repro.engine.methods import PORTFOLIO_KEY as _PORTFOLIO_KEY
 from repro.engine.store import ResultStore
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
+from repro.perf import counters as _kernel_counters, publish_delta
 
 __all__ = ["DecompositionEngine", "EngineStats", "BatchReport"]
+
+# Process-wide engine metric families (every engine instance publishes into
+# the same registry; per-instance numbers stay on EngineStats.snapshot()).
+_M_REQUESTS = REGISTRY.counter(
+    "repro_engine_requests_total",
+    "Decomposition requests routed through an engine (cache hits included).",
+)
+_M_CACHE_HITS = REGISTRY.counter(
+    "repro_engine_cache_hits_total",
+    "Engine requests answered by the result store.",
+)
+_M_IMPLIED = REGISTRY.counter(
+    "repro_engine_implied_total",
+    "Cache hits answered by the bounds index rather than an exact row.",
+)
+_M_EXECUTED = REGISTRY.counter(
+    "repro_engine_executed_total",
+    "Engine requests that dispatched actual check work.",
+)
 
 
 @dataclass
@@ -76,6 +98,10 @@ class EngineStats:
             self.cache_hits += cache_hits
             self.implied += implied
             self.executed += executed
+        _M_REQUESTS.inc(requests)
+        _M_CACHE_HITS.inc(cache_hits)
+        _M_IMPLIED.inc(implied)
+        _M_EXECUTED.inc(executed)
 
     def snapshot(self) -> dict:
         """A JSON-able copy of the counters (the service ``/stats`` payload)."""
@@ -251,16 +277,24 @@ PackedHypergraph` wire views and receive decompositions as mask lists
         k: int,
         method: str = "hd",
         timeout: float | None = None,
+        trace: tuple | None = None,
     ) -> CheckOutcome:
         """One ``Check(H, k)`` attempt: cache first (exact rows, then verdicts
-        implied by stored bounds), dispatch only when neither answers."""
-        fp = fingerprint(hypergraph)
-        outcome, _, _ = self._lookup(fp, hypergraph, method, k, timeout)
-        if outcome is not None:
+        implied by stored bounds), dispatch only when neither answers.
+
+        ``trace`` parents the ``engine.check`` span (default: the ambient
+        context; the service passes the submitting request's context).
+        """
+        with TRACER.span("engine.check", parent=trace, method=method, k=k) as span:
+            fp = fingerprint(hypergraph)
+            outcome, _, _ = self._lookup(fp, hypergraph, method, k, timeout)
+            if outcome is not None:
+                span.set(source="cache", verdict=outcome.verdict)
+                return outcome
+            outcome = self._execute(method, hypergraph, k, timeout)
+            self._remember(fp, method, k, timeout, outcome)
+            span.set(source="executed", verdict=outcome.verdict)
             return outcome
-        outcome = self._execute(method, hypergraph, k, timeout)
-        self._remember(fp, method, k, timeout, outcome)
-        return outcome
 
     def _execute(
         self,
@@ -269,12 +303,29 @@ PackedHypergraph` wire views and receive decompositions as mask lists
         k: int,
         timeout: float | None,
     ) -> CheckOutcome:
+        """Dispatch one cache-missed check (worker process or in-process).
+
+        Both shapes produce a ``worker.exec`` span parented on the ambient
+        context and a kernel-counter delta on the outcome: the worker path
+        ships them back over the pipe, the in-process path measures them
+        here (``mode="inproc"``).
+        """
         self.stats.book(executed=1)
         if self.parallel:
             return workers.run_checked(
                 method, hypergraph, k, timeout, self.grace, self.packed
             )
-        return timed_check(workers.resolve_method(method), hypergraph, k, timeout)
+        before = _kernel_counters.snapshot()
+        with TRACER.span("worker.exec", method=method, k=k, mode="inproc") as span:
+            outcome = timed_check(workers.resolve_method(method), hypergraph, k, timeout)
+            delta = _kernel_counters.delta_since(before)
+            publish_delta(delta)
+            outcome.counters = delta or None
+            span.set(
+                verdict=outcome.verdict,
+                **{f"kernel_{name}": value for name, value in delta.items()},
+            )
+        return outcome
 
     # ----------------------------------------------------------- exact width
 
@@ -285,6 +336,7 @@ PackedHypergraph` wire views and receive decompositions as mask lists
         max_k: int,
         method: str = "hd",
         timeout: float | None = None,
+        trace: tuple | None = None,
     ) -> WidthResult:
         """The Figure 4 protocol, every k-attempt routed through the engine.
 
@@ -298,22 +350,26 @@ PackedHypergraph` wire views and receive decompositions as mask lists
         to the linear protocol, whose loose-bounds semantics match the
         sequential driver exactly.
         """
-        if self.store is not None:
-            fp = fingerprint(hypergraph)
-            # Effective bounds fold in the cross-method kind interval: an hw
-            # sweep can bisect inside an interval another method established.
-            lo, hi = self.store.effective_bounds(fp, method)
-            if hi is not None and hi <= max_k:
-                result = self._bisect_width(hypergraph, max(1, lo), hi, method, timeout)
-                if result is not None:
-                    return result
+        with TRACER.span("engine.width", parent=trace, method=method, max_k=max_k):
+            if self.store is not None:
+                fp = fingerprint(hypergraph)
+                # Effective bounds fold in the cross-method kind interval: an
+                # hw sweep can bisect inside an interval another method
+                # established.
+                lo, hi = self.store.effective_bounds(fp, method)
+                if hi is not None and hi <= max_k:
+                    result = self._bisect_width(
+                        hypergraph, max(1, lo), hi, method, timeout
+                    )
+                    if result is not None:
+                        return result
 
-        def runner(_check, h, k, t):
-            return self.check(h, k, method=method, timeout=t)
+            def runner(_check, h, k, t):
+                return self.check(h, k, method=method, timeout=t)
 
-        return driver.exact_width(
-            workers.resolve_method(method), hypergraph, max_k, timeout, runner=runner
-        )
+            return driver.exact_width(
+                workers.resolve_method(method), hypergraph, max_k, timeout, runner=runner
+            )
 
     def _bisect_width(
         self,
@@ -358,6 +414,7 @@ PackedHypergraph` wire views and receive decompositions as mask lists
         hypergraph: Hypergraph,
         k: int,
         timeout: float | None = None,
+        trace: tuple | None = None,
     ) -> tuple[CheckOutcome, dict[str, CheckOutcome]]:
         """The Table 4 race: GlobalBIP ∥ LocalBIP ∥ BalSep, first answer wins.
 
@@ -368,6 +425,17 @@ PackedHypergraph` wire views and receive decompositions as mask lists
         ``portfolio`` key (per-algorithm verdicts and timings ride along in
         the row's metadata, so Table 3 style accounting survives cache hits).
         """
+        with TRACER.span("engine.portfolio", parent=trace, k=k) as span:
+            best, per_algorithm = self._portfolio_locked(hypergraph, k, timeout)
+            span.set(verdict=best.verdict)
+            return best, per_algorithm
+
+    def _portfolio_locked(
+        self,
+        hypergraph: Hypergraph,
+        k: int,
+        timeout: float | None,
+    ) -> tuple[CheckOutcome, dict[str, CheckOutcome]]:
         fp = fingerprint(hypergraph)
         outcome, extra, implied = self._lookup(fp, hypergraph, _PORTFOLIO_KEY, k, timeout)
         if outcome is not None:
@@ -449,70 +517,89 @@ PackedHypergraph` wire views and receive decompositions as mask lists
             journal = Journal(journal)
         done = journal.load() if journal is not None else {}
 
-        report = BatchReport(total=len(specs))
-        results: list[JobResult | None] = [None] * len(specs)
-        pending: list[int] = []
-        for index, spec in enumerate(specs):
-            payload = done.get(spec.key())
-            if payload is not None:
-                results[index] = JobResult.from_journal(spec, payload)
-                report.resumed += 1
-            else:
-                pending.append(index)
+        # The wave span parents on the first spec that carries a request
+        # trace context — run_batch typically executes on an executor thread
+        # where the submitting request's ambient context is unavailable.
+        wave_parent = next((s.trace for s in specs if s.trace is not None), None)
+        with TRACER.span("engine.wave", parent=wave_parent, jobs=len(specs)) as wave:
+            report = BatchReport(total=len(specs))
+            results: list[JobResult | None] = [None] * len(specs)
+            pending: list[int] = []
+            for index, spec in enumerate(specs):
+                payload = done.get(spec.key())
+                if payload is not None:
+                    results[index] = JobResult.from_journal(spec, payload)
+                    report.resumed += 1
+                else:
+                    pending.append(index)
 
-        # Serve whole jobs from the store where possible — either from exact
-        # rows or pruned outright because stored bounds imply the verdict.
-        to_run: list[int] = []
-        for index in pending:
-            result = self._replay_from_cache(specs[index])
-            if result is not None:
-                results[index] = result
-                report.cache_hits += 1
-                if result.implied:
-                    report.pruned += 1
-                if journal is not None:
-                    journal.append(specs[index], result)
-            else:
-                to_run.append(index)
-
-        # Fan cache-missed single checks across the pool; width sweeps and
-        # portfolio races go through their own engine paths (a portfolio
-        # race already uses the pool internally).
-        check_indices = [i for i in to_run if specs[i].kind == CHECK]
-        if self.parallel and len(check_indices) > 1:
-            tasks = [
-                (specs[i].method, specs[i].hypergraph, specs[i].k, specs[i].timeout)
-                for i in check_indices
-            ]
-            outcomes = workers.map_checks(tasks, self.jobs, self.grace, self.packed)
-            if self.store is not None:
-                # the replay peeks that routed these here were decisive misses
-                self.store.record_misses(len(check_indices))
-            for i, outcome in zip(check_indices, outcomes):
-                spec = specs[i]
-                self.stats.book(requests=1, executed=1)
-                self._remember(
-                    spec.fingerprint, spec.method, spec.k, spec.timeout, outcome
-                )
-                results[i] = JobResult(
-                    spec, outcome.verdict, outcome.seconds, outcome=outcome
-                )
-            to_run = [i for i in to_run if specs[i].kind != CHECK]
-
-        for index in to_run:
-            results[index] = self._run_spec(specs[index])
-
-        if journal is not None:
+            # Serve whole jobs from the store where possible — either from
+            # exact rows or pruned because stored bounds imply the verdict.
+            to_run: list[int] = []
             for index in pending:
-                result = results[index]
-                if result is not None and not result.cached and not result.resumed:
-                    journal.append(specs[index], result)
+                result = self._replay_from_cache(specs[index])
+                if result is not None:
+                    results[index] = result
+                    report.cache_hits += 1
+                    if result.implied:
+                        report.pruned += 1
+                    if journal is not None:
+                        journal.append(specs[index], result)
+                else:
+                    to_run.append(index)
 
-        report.executed = sum(
-            1 for r in results if r is not None and not r.cached and not r.resumed
-        )
-        report.results = [r for r in results if r is not None]
-        return report
+            # Fan cache-missed single checks across the pool; width sweeps and
+            # portfolio races go through their own engine paths (a portfolio
+            # race already uses the pool internally).
+            check_indices = [i for i in to_run if specs[i].kind == CHECK]
+            if self.parallel and len(check_indices) > 1:
+                tasks = [
+                    (specs[i].method, specs[i].hypergraph, specs[i].k, specs[i].timeout)
+                    for i in check_indices
+                ]
+                traces = [specs[i].trace or wave.context for i in check_indices]
+                outcomes = workers.map_checks(
+                    tasks, self.jobs, self.grace, self.packed, traces=traces
+                )
+                if self.store is not None:
+                    # the replay peeks that routed these here were decisive
+                    # misses
+                    self.store.record_misses(len(check_indices))
+                for i, outcome in zip(check_indices, outcomes):
+                    spec = specs[i]
+                    self.stats.book(requests=1, executed=1)
+                    self._remember(
+                        spec.fingerprint, spec.method, spec.k, spec.timeout, outcome
+                    )
+                    results[i] = JobResult(
+                        spec,
+                        outcome.verdict,
+                        outcome.seconds,
+                        outcome=outcome,
+                        counters=outcome.counters,
+                        spans=outcome.spans,
+                    )
+                to_run = [i for i in to_run if specs[i].kind != CHECK]
+
+            for index in to_run:
+                results[index] = self._run_spec(specs[index])
+
+            if journal is not None:
+                for index in pending:
+                    result = results[index]
+                    if result is not None and not result.cached and not result.resumed:
+                        journal.append(specs[index], result)
+
+            report.executed = sum(
+                1 for r in results if r is not None and not r.cached and not r.resumed
+            )
+            report.results = [r for r in results if r is not None]
+            wave.set(
+                resumed=report.resumed,
+                cache_hits=report.cache_hits,
+                executed=report.executed,
+            )
+            return report
 
     # ------------------------------------------------------------ batch bits
 
@@ -641,25 +728,46 @@ PackedHypergraph` wire views and receive decompositions as mask lists
     def _run_spec(self, spec: JobSpec) -> JobResult:
         # Only reached after _replay_from_cache missed (a non-recording peek),
         # so check jobs execute directly; the peek was the decisive lookup
-        # and is booked as the one miss.
-        if spec.kind == CHECK:
-            self.stats.book(requests=1)
-            if self.store is not None:
-                self.store.record_misses(1)
-            outcome = self._execute(spec.method, spec.hypergraph, spec.k, spec.timeout)
-            self._remember(
-                spec.fingerprint, spec.method, spec.k, spec.timeout, outcome
+        # and is booked as the one miss.  The spec's trace context (if the
+        # submitting request carried one) becomes ambient, so the engine /
+        # worker spans below land in that request's trace instead of the
+        # wave's.
+        with TRACER.attach(spec.trace):
+            if spec.kind == CHECK:
+                self.stats.book(requests=1)
+                if self.store is not None:
+                    self.store.record_misses(1)
+                outcome = self._execute(
+                    spec.method, spec.hypergraph, spec.k, spec.timeout
+                )
+                self._remember(
+                    spec.fingerprint, spec.method, spec.k, spec.timeout, outcome
+                )
+                return JobResult(
+                    spec,
+                    outcome.verdict,
+                    outcome.seconds,
+                    outcome=outcome,
+                    counters=outcome.counters,
+                    spans=outcome.spans,
+                )
+            if spec.kind == PORTFOLIO:
+                outcome, per_algorithm = self.portfolio(
+                    spec.hypergraph, spec.k, spec.timeout
+                )
+                winner = next(
+                    (name for name, o in per_algorithm.items() if o is outcome), None
+                )
+                return JobResult(
+                    spec,
+                    outcome.verdict,
+                    outcome.seconds,
+                    outcome=outcome,
+                    winner=winner,
+                    counters=outcome.counters,
+                    spans=outcome.spans,
+                )
+            width_result = self.exact_width(
+                spec.hypergraph, spec.max_k, spec.method, spec.timeout
             )
-            return JobResult(spec, outcome.verdict, outcome.seconds, outcome=outcome)
-        if spec.kind == PORTFOLIO:
-            outcome, per_algorithm = self.portfolio(spec.hypergraph, spec.k, spec.timeout)
-            winner = next(
-                (name for name, o in per_algorithm.items() if o is outcome), None
-            )
-            return JobResult(
-                spec, outcome.verdict, outcome.seconds, outcome=outcome, winner=winner
-            )
-        width_result = self.exact_width(
-            spec.hypergraph, spec.max_k, spec.method, spec.timeout
-        )
-        return self._width_job_result(spec, width_result, cached=False)
+            return self._width_job_result(spec, width_result, cached=False)

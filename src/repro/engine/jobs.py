@@ -16,7 +16,7 @@ not journalled (the spec still carries it), only the verdicts.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import cached_property
 from pathlib import Path
 
@@ -57,6 +57,11 @@ class JobSpec:
     k: int | None = None
     max_k: int | None = None
     timeout: float | None = None
+    #: The submitting request's :class:`~repro.obs.TraceContext` (or ``None``).
+    #: Travels with the spec into ``run_batch`` so the wave / worker spans
+    #: parent into the request's trace; excluded from identity and equality —
+    #: two requests for the same work still coalesce.
+    trace: object | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -71,9 +76,10 @@ class JobSpec:
         k: int,
         method: str = "hd",
         timeout: float | None = None,
+        trace: object | None = None,
     ) -> "JobSpec":
         """A single ``Check(H, k)`` attempt with the given algorithm."""
-        return cls(CHECK, hypergraph, method=method, k=k, timeout=timeout)
+        return cls(CHECK, hypergraph, method=method, k=k, timeout=timeout, trace=trace)
 
     @classmethod
     def width(
@@ -82,9 +88,12 @@ class JobSpec:
         max_k: int,
         method: str = "hd",
         timeout: float | None = None,
+        trace: object | None = None,
     ) -> "JobSpec":
         """An exact-width sweep, iterating k = 1..max_k (Figure 4 protocol)."""
-        return cls(WIDTH, hypergraph, method=method, max_k=max_k, timeout=timeout)
+        return cls(
+            WIDTH, hypergraph, method=method, max_k=max_k, timeout=timeout, trace=trace
+        )
 
     @classmethod
     def portfolio(
@@ -92,9 +101,12 @@ class JobSpec:
         hypergraph: Hypergraph,
         k: int,
         timeout: float | None = None,
+        trace: object | None = None,
     ) -> "JobSpec":
         """A GHD portfolio race at width ``k`` (Table 4 protocol)."""
-        return cls(PORTFOLIO, hypergraph, method="portfolio", k=k, timeout=timeout)
+        return cls(
+            PORTFOLIO, hypergraph, method="portfolio", k=k, timeout=timeout, trace=trace
+        )
 
     # ------------------------------------------------------------- identity
 
@@ -142,10 +154,14 @@ class JobResult:
     width_result: WidthResult | None = None
     #: Winning algorithm, for ``portfolio`` jobs.
     winner: str | None = None
+    #: Kernel-counter delta accrued executing this job (worker- or in-process
+    #: side), and the worker-side span records grafted into the parent trace.
+    counters: dict | None = None
+    spans: list | None = None
 
     def payload(self) -> dict:
         """The JSON-serialisable record written to the journal."""
-        return {
+        record = {
             "name": self.spec.name,
             "verdict": self.verdict,
             "seconds": round(self.seconds, 6),
@@ -155,6 +171,9 @@ class JobResult:
             "upper": self.upper,
             "winner": self.winner,
         }
+        if self.counters:
+            record["counters"] = self.counters
+        return record
 
     @classmethod
     def from_journal(cls, spec: JobSpec, payload: dict) -> "JobResult":
@@ -168,6 +187,7 @@ class JobResult:
             lower=payload.get("lower"),
             upper=payload.get("upper"),
             winner=payload.get("winner"),
+            counters=payload.get("counters"),
         )
 
 

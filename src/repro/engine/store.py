@@ -75,6 +75,23 @@ from repro.decomp.driver import NO, YES, CheckOutcome
 from repro.engine import methods as _methods
 from repro.errors import ReproError
 from repro.io.json_io import decomposition_from_json, decomposition_to_json
+from repro.obs.metrics import REGISTRY
+
+# Process-wide store metric families, published at the mutation sites (all
+# stores in the process aggregate here; per-store numbers stay on StoreStats).
+_M_HITS = REGISTRY.counter(
+    "repro_store_hits_total", "Result-store lookups answered from a stored row."
+)
+_M_MISSES = REGISTRY.counter(
+    "repro_store_misses_total", "Result-store lookups that found nothing."
+)
+_M_IMPLIED = REGISTRY.counter(
+    "repro_store_implied_total",
+    "Store hits derived from the bounds index rather than an exact row.",
+)
+_M_EVICTIONS = REGISTRY.counter(
+    "repro_store_evictions_total", "Rows evicted by the LRU size cap."
+)
 
 __all__ = [
     "MONOTONE_METHODS",
@@ -376,6 +393,8 @@ class ResultStore:
                     self.session_implied += 1
                     self._bump_meta("hits")
                     self._bump_meta("implied")
+                    _M_HITS.inc()
+                    _M_IMPLIED.inc()
                 return derived
         if row is None:
             row = self._conn.execute(
@@ -387,6 +406,7 @@ class ResultStore:
             if record:
                 self.session_misses += 1
                 self._bump_meta("misses")
+                _M_MISSES.inc()
             return None
         rowid, verdict, seconds, decomposition, extra = row
         self._conn.execute(
@@ -397,6 +417,7 @@ class ResultStore:
         if record:
             self.session_hits += 1
             self._bump_meta("hits")
+            _M_HITS.inc()
         return StoredResult(
             verdict,
             seconds,
@@ -469,6 +490,7 @@ class ResultStore:
                 "DELETE FROM results WHERE rowid = ?",
                 [(rowid,) for rowid, _, _ in victims],
             )
+            _M_EVICTIONS.inc(len(victims))
             # Evicted rows may have justified a bound; shrink the index back
             # to what the surviving rows prove.
             touched = {(fp, m) for _, fp, m in victims}
@@ -757,6 +779,8 @@ class ResultStore:
             if implied > 0:
                 self.session_implied += implied
                 self._bump_meta("implied", implied)
+        _M_HITS.inc(max(0, count))
+        _M_IMPLIED.inc(max(0, implied))
 
     def record_misses(self, count: int) -> None:
         """Book ``count`` cache misses observed via non-recording peeks."""
@@ -764,6 +788,7 @@ class ResultStore:
             if count > 0:
                 self.session_misses += count
                 self._bump_meta("misses", count)
+        _M_MISSES.inc(max(0, count))
 
     def _bump_meta(self, key: str, amount: int = 1) -> None:
         self._conn.execute(

@@ -47,6 +47,7 @@ microbenchmark in :mod:`repro.perf.harness`.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor
@@ -58,6 +59,8 @@ from repro.core.hypergraph import Hypergraph
 from repro.decomp.driver import TIMEOUT, CheckFunction, CheckOutcome, timed_check
 from repro.engine import methods as _methods
 from repro.engine.methods import CHECK_METHODS
+from repro.obs.trace import TRACER, make_span
+from repro.perf import counters, publish_delta
 
 __all__ = [
     "CHECK_METHODS",
@@ -103,6 +106,13 @@ def resolve_method(method: str | CheckFunction) -> CheckFunction:
 #: Tag of a mask-serialized outcome on the result pipe.
 _WIRE_OUTCOME = "__wire__"
 
+#: Tag of a legacy pickled outcome travelling with its telemetry.
+_WIRE_PICKLED = "__pickled__"
+
+
+def _method_label(method: str | CheckFunction) -> str:
+    return method if isinstance(method, str) else getattr(method, "__name__", "callable")
+
 
 def _child_check(
     conn: Connection,
@@ -110,24 +120,50 @@ def _child_check(
     payload: "PackedHypergraph | Hypergraph",
     k: int,
     timeout: float | None,
+    trace: tuple | None = None,
 ) -> None:
     """Worker entry point: run one timed check, ship the outcome back.
 
     A :class:`PackedHypergraph` payload is unpacked (view and fingerprint
     land pre-cached) and the outcome is serialized back in mask form; a
-    plain hypergraph round-trips the legacy pickled :class:`CheckOutcome`.
-    Exceptions are shipped back too, so a programming error inside a check
-    function surfaces in the parent instead of masquerading as a timeout;
-    only a worker that *dies* (OOM kill, crash) reads as a timeout.
+    plain hypergraph round-trips the legacy pickled :class:`CheckOutcome`
+    (now tagged, so its telemetry rides along).  Exceptions are shipped back
+    too, so a programming error inside a check function surfaces in the
+    parent instead of masquerading as a timeout; only a worker that *dies*
+    (OOM kill, crash) reads as a timeout.
+
+    Telemetry: the fork inherits the parent's :data:`~repro.perf.counters`
+    values, so the child snapshots them first and ships only the *delta* its
+    own work accrued, plus a detached ``worker.exec`` span record parented
+    on ``trace`` — the parent merges the delta and grafts the span into its
+    tracer on receipt.  (The child deliberately builds no :class:`Tracer` of
+    its own: the parent's ring, journal handle and registry are inherited
+    fork-state it must not double-write.)
     """
     try:
         try:
             packed = isinstance(payload, PackedHypergraph)
             hypergraph = payload.unpack() if packed else payload
+            before = counters.snapshot()
+            span = make_span(
+                "worker.exec",
+                parent=trace,
+                method=_method_label(method),
+                k=k,
+                mode="worker",
+                pid=os.getpid(),
+            )
             outcome = timed_check(resolve_method(method), hypergraph, k, timeout)
         except Exception as exc:  # noqa: BLE001 - forwarded to the parent
             conn.send(exc)
         else:
+            delta = counters.delta_since(before)
+            span.end(
+                verdict=outcome.verdict,
+                seconds=outcome.seconds,
+                **{f"kernel_{name}": value for name, value in delta.items()},
+            )
+            telemetry = {"counters": delta, "spans": [span.to_dict()]}
             if packed:
                 decomposition = (
                     pack_decomposition(outcome.decomposition)
@@ -135,12 +171,18 @@ def _child_check(
                     else None
                 )
                 conn.send(
-                    (_WIRE_OUTCOME, outcome.verdict, outcome.seconds, decomposition)
+                    (
+                        _WIRE_OUTCOME,
+                        outcome.verdict,
+                        outcome.seconds,
+                        decomposition,
+                        telemetry,
+                    )
                 )
             else:
                 # Legacy path: the decomposition travels back via pickle,
                 # dragging its hypergraph along; drop nothing.
-                conn.send(outcome)
+                conn.send((_WIRE_PICKLED, outcome, telemetry))
     finally:
         conn.close()
 
@@ -168,17 +210,41 @@ def _spawn(
     payload: "PackedHypergraph | Hypergraph",
     k: int,
     timeout: float | None,
+    trace: tuple | None = None,
 ) -> tuple[multiprocessing.Process, Connection]:
     resolve_method(method)  # fail in the parent on unknown method names
     parent_conn, child_conn = _CTX.Pipe(duplex=False)
     process = _CTX.Process(
         target=_child_check,
-        args=(child_conn, method, payload, k, timeout),
+        args=(child_conn, method, payload, k, timeout, trace),
         daemon=True,
     )
     process.start()
     child_conn.close()
     return process, parent_conn
+
+
+def _adopt_telemetry(outcome: CheckOutcome, telemetry: object) -> CheckOutcome:
+    """Merge a worker's shipped telemetry into the parent process.
+
+    The counter delta folds into the parent's :data:`~repro.perf.counters`
+    singleton (so worker-side kernel work is no longer invisible) and is
+    published to the metrics registry; the worker's span records graft into
+    the parent tracer's ring/journal.  Both also ride on the outcome so the
+    engine can attach them to the :class:`~repro.engine.jobs.JobResult`.
+    """
+    if not isinstance(telemetry, dict):
+        return outcome
+    delta = telemetry.get("counters")
+    spans = telemetry.get("spans")
+    if delta:
+        counters.merge(delta)
+        publish_delta(delta)
+    if spans:
+        TRACER.graft(spans)
+    outcome.counters = delta or None
+    outcome.spans = spans or None
+    return outcome
 
 
 def _receive(
@@ -201,13 +267,16 @@ def _receive(
     if isinstance(result, Exception):
         raise result
     if isinstance(result, tuple) and result and result[0] == _WIRE_OUTCOME:
-        _, verdict, seconds, payload = result
+        _, verdict, seconds, payload, telemetry = result
         decomposition = (
             unpack_decomposition(payload, hypergraph)
             if payload is not None and hypergraph is not None
             else None
         )
-        return CheckOutcome(verdict, seconds, decomposition)
+        return _adopt_telemetry(CheckOutcome(verdict, seconds, decomposition), telemetry)
+    if isinstance(result, tuple) and result and result[0] == _WIRE_PICKLED:
+        _, outcome, telemetry = result
+        return _adopt_telemetry(outcome, telemetry)
     return result
 
 
@@ -221,6 +290,7 @@ def run_checked(
     timeout: float | None = None,
     grace: float = DEFAULT_GRACE,
     packed: bool = True,
+    trace: tuple | None = None,
 ) -> CheckOutcome:
     """Run one ``Check(H, k)`` in a worker process with a hard timeout.
 
@@ -229,8 +299,14 @@ def run_checked(
     ``timeout + grace`` regardless.  With ``packed`` (the default) the
     hypergraph ships as a :class:`PackedHypergraph` and the decomposition
     returns as masks, re-named here against the caller's instance.
+
+    ``trace`` (a :class:`~repro.obs.TraceContext`, defaulting to the ambient
+    one) parents the worker's ``worker.exec`` span; the worker's kernel
+    counter delta and span records come back with the outcome.
     """
-    process, conn = _spawn(method, _payload_for(hypergraph, packed), k, timeout)
+    if trace is None:
+        trace = TRACER.current_context()
+    process, conn = _spawn(method, _payload_for(hypergraph, packed), k, timeout, trace)
     start = time.perf_counter()
     try:
         if conn.poll(_hard_budget(timeout, grace)):
@@ -251,6 +327,7 @@ def race_checks(
     timeout: float | None = None,
     grace: float = DEFAULT_GRACE,
     packed: bool = True,
+    trace: tuple | None = None,
 ) -> tuple[str | None, dict[str, CheckOutcome]]:
     """Race one worker per method; the first definite answer wins.
 
@@ -258,13 +335,16 @@ def race_checks(
     answered.  Losers still running when the winner reports are cancelled
     (killed) and recorded as timeouts at their cancellation time; methods
     that finished *before* the winner keep their genuine outcomes.  The
-    hypergraph is packed once and shared by every racer.
+    hypergraph is packed once and shared by every racer; every racer's
+    ``worker.exec`` span parents on ``trace`` (default: ambient context).
     """
+    if trace is None:
+        trace = TRACER.current_context()
     payload = _payload_for(hypergraph, packed)
     processes: dict[str, multiprocessing.Process] = {}
     pending: dict[Connection, str] = {}
     for method in methods:
-        process, conn = _spawn(method, payload, k, timeout)
+        process, conn = _spawn(method, payload, k, timeout, trace)
         processes[method] = process
         pending[conn] = method
     start = time.perf_counter()
@@ -360,6 +440,7 @@ def map_checks(
     jobs: int,
     grace: float = DEFAULT_GRACE,
     packed: bool = True,
+    traces: Sequence[tuple | None] | None = None,
 ) -> list[CheckOutcome]:
     """Stream ``(method, hypergraph, k, timeout)`` tasks through ≤ jobs workers.
 
@@ -367,6 +448,10 @@ def map_checks(
     a killed or crashed worker yields a timeout verdict for its task.
     A batch that checks one hypergraph at many ``(method, k)`` keys packs
     it exactly once — the packed view is shared across every dispatch.
+    ``traces`` is an optional per-task parallel sequence of
+    :class:`~repro.obs.TraceContext` parents (a batch wave carries one per
+    spec, so each worker span lands in the trace of the request that
+    submitted it).
     """
     payloads: dict[int, PackedHypergraph | Hypergraph] = {}
     if packed:
@@ -378,7 +463,8 @@ def map_checks(
     def start(index: int):
         method, hypergraph, k, timeout = tasks[index]
         payload = payloads.get(id(hypergraph), hypergraph)
-        process, conn = _spawn(method, payload, k, timeout)
+        trace = traces[index] if traces is not None else None
+        process, conn = _spawn(method, payload, k, timeout, trace)
         return process, conn, _hard_budget(timeout, grace)
 
     def receive(conn: Connection, elapsed: float, index: int) -> CheckOutcome:

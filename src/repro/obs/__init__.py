@@ -1,0 +1,55 @@
+"""Telemetry for the decomposition stack: spans, metrics, and surfaces.
+
+Two halves, both stdlib-only and process-global by default:
+
+* :mod:`repro.obs.trace` — context-manager **spans** with trace/span/parent
+  IDs, cross-process propagation through the worker wire protocol, a bounded
+  in-memory ring, and an optional JSONL journal.  Global instance:
+  :data:`TRACER`.
+* :mod:`repro.obs.metrics` — a **registry** of counters/gauges/histograms
+  that every stats surface publishes into, with Prometheus text exposition.
+  Global instance: :data:`REGISTRY`.
+
+The service exposes both (``GET /metrics``, ``GET /debug/traces``), and the
+``repro trace`` / ``repro metrics`` CLI subcommands read them offline or over
+HTTP.  See ``docs/OBSERVABILITY.md`` for the span model and the metric name
+catalogue.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    TraceContext,
+    Tracer,
+    TRACER,
+    current_context,
+    load_journal,
+    make_span,
+    span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "TRACER",
+    "NULL_SPAN",
+    "current_context",
+    "load_journal",
+    "make_span",
+    "span",
+]

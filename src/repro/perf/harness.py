@@ -57,6 +57,7 @@ __all__ = [
     "default_workload",
     "run_workload",
     "run_dispatch_workload",
+    "run_obs_workload",
     "compare_to_baseline",
     "main",
 ]
@@ -395,6 +396,83 @@ def run_dispatch_workload(
     }
 
 
+# ------------------------------------------------------------------- obs
+
+
+#: Telemetry overhead gate: enabled/disabled cold-check time ratio cap.
+OBS_OVERHEAD_LIMIT = 1.05
+
+#: Harness method names -> engine registry names where they differ.
+OBS_ENGINE_METHOD = {"detkdecomp": "hd"}
+
+
+def _obs_cases() -> list[BenchCase]:
+    """Cold checks big enough that per-check span/metric cost is marginal."""
+    return [
+        BenchCase("K6", "detkdecomp", 2, lambda: _clique(6)),
+        BenchCase("K7", "detkdecomp", 3, lambda: _clique(7)),
+        BenchCase("grid4x4", "detkdecomp", 2, lambda: _grid(4, 4)),
+        BenchCase("csp_s3", "balsep", 2, lambda: _random_csp(3, 14, 22, 3)),
+    ]
+
+
+def run_obs_workload(rounds: int = 3) -> dict:
+    """Instrumentation overhead: engine-routed cold checks, telemetry on/off.
+
+    The same fixed case list runs through a fresh in-process
+    :class:`~repro.engine.engine.DecompositionEngine` (so every check pays
+    the full instrumented path: ``engine.check`` span, ``worker.exec`` span,
+    counter delta publication, ``EngineStats`` metric increments) — once
+    with the global :data:`~repro.obs.trace.TRACER` and
+    :data:`~repro.obs.metrics.REGISTRY` disabled, once enabled, best-of-
+    ``rounds`` each.  Instances are rebuilt and the engine recreated per
+    round, so both passes are equally cold.  The report's
+    ``overhead_ratio`` (enabled / disabled) is gated at
+    :data:`OBS_OVERHEAD_LIMIT` by :func:`main`.
+    """
+    from repro.engine import DecompositionEngine
+    from repro.obs.metrics import REGISTRY
+    from repro.obs.trace import TRACER
+
+    cases = _obs_cases()
+
+    def timed_pass(warmup: bool = False) -> float:
+        best = None
+        for _ in range(1 if warmup else rounds):
+            engine = DecompositionEngine(jobs=1)
+            start = time.perf_counter()
+            for case in cases:
+                method = OBS_ENGINE_METHOD.get(case.method, case.method)
+                engine.check(case.build(), case.k, method=method,
+                             timeout=CASE_TIMEOUT)
+            seconds = time.perf_counter() - start
+            engine.close()
+            if best is None or seconds < best:
+                best = seconds
+        return best
+
+    tracer_was, registry_was = TRACER.enabled, REGISTRY.enabled
+    try:
+        TRACER.enabled = REGISTRY.enabled = False
+        timed_pass(warmup=True)  # warm allocator/bytecode before either pass
+        disabled = timed_pass()
+        TRACER.enabled = REGISTRY.enabled = True
+        enabled = timed_pass()
+    finally:
+        TRACER.enabled, REGISTRY.enabled = tracer_was, registry_was
+
+    ratio = enabled / max(disabled, 1e-9)
+    return {
+        "cases": [case.case_id for case in cases],
+        "rounds": rounds,
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "overhead_ratio": ratio,
+        "limit": OBS_OVERHEAD_LIMIT,
+        "within_limit": ratio <= OBS_OVERHEAD_LIMIT,
+    }
+
+
 # ------------------------------------------------------------ regression
 
 
@@ -471,11 +549,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="baseline BENCH_kernel.json for the regression gate")
     parser.add_argument("--no-dispatch", action="store_true",
                         help="skip the packed-vs-pickle dispatch benchmark")
+    parser.add_argument("--no-obs", action="store_true",
+                        help="skip the telemetry-overhead benchmark")
     args = parser.parse_args(argv)
 
     report = run_workload(quick=args.quick, repeat=args.repeat)
     if not args.no_dispatch:
         report["dispatch"] = run_dispatch_workload(repeat=args.repeat)
+    if not args.no_obs:
+        report["obs"] = run_obs_workload()
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
@@ -505,6 +587,16 @@ def main(argv: list[str] | None = None) -> int:
             f"({dispatch['speedup']:.2f}x)"
         )
 
+    obs = report.get("obs")
+    if obs is not None:
+        print(
+            f"\nobs overhead ({len(obs['cases'])} cold checks, best of "
+            f"{obs['rounds']}): telemetry on {obs['enabled_seconds']*1000:.1f} ms"
+            f" vs off {obs['disabled_seconds']*1000:.1f} ms "
+            f"({(obs['overhead_ratio'] - 1) * 100:+.1f}%, limit "
+            f"+{(obs['limit'] - 1) * 100:.0f}%)"
+        )
+
     status = 0
     if summary["verdict_mismatches"]:
         print(f"FAIL: {summary['verdict_mismatches']} verdict mismatch(es)")
@@ -513,6 +605,12 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"FAIL: {dispatch['verdict_mismatches']} packed-dispatch verdict "
             "mismatch(es) vs the reference kernel"
+        )
+        status = 1
+    if obs is not None and not obs["within_limit"]:
+        print(
+            f"FAIL: telemetry overhead {obs['overhead_ratio']:.3f}x exceeds "
+            f"the {obs['limit']:g}x gate"
         )
         status = 1
     if args.baseline:

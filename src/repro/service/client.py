@@ -179,5 +179,27 @@ class ServiceClient:
         return self._request("GET", "/stats")
 
     def healthz(self) -> dict:
-        """Liveness probe."""
+        """Liveness probe (uptime, version, pid, cache path ride along)."""
         return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The service's ``/metrics`` payload — raw Prometheus text."""
+        conn = self._connection()
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            data = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # one retry on a stale keep-alive socket, as in _request
+            self.close()
+            conn = self._connection()
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            data = response.read()
+        if response.status != 200:
+            raise ServiceError(response.status, {"error": data.decode("utf-8", "replace")})
+        return data.decode("utf-8")
+
+    def traces(self, limit: int = 20) -> dict:
+        """The tracer ring grouped by trace (the ``/debug/traces`` payload)."""
+        return self._request("GET", f"/debug/traces?limit={int(limit)}")

@@ -36,12 +36,15 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from dataclasses import dataclass, field
 
 from repro.core.hypergraph import Hypergraph
 from repro.engine.engine import DecompositionEngine
 from repro.engine.jobs import CHECK, JobResult, JobSpec
 from repro.io.json_io import decomposition_to_json
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
 
 __all__ = ["BatchScheduler", "ServiceStats", "EXPIRED", "ERROR"]
 
@@ -49,6 +52,32 @@ __all__ = ["BatchScheduler", "ServiceStats", "EXPIRED", "ERROR"]
 EXPIRED = "expired"
 #: Verdict of a request whose wave failed with an unexpected exception.
 ERROR = "error"
+
+# Process-wide service metric families (see docs/OBSERVABILITY.md).
+_M_REQUESTS = REGISTRY.counter(
+    "repro_service_requests_total", "Jobs submitted to the batch scheduler."
+)
+_M_STORE_ANSWERS = REGISTRY.counter(
+    "repro_service_store_answers_total",
+    "Scheduler requests answered synchronously from the result store.",
+)
+_M_COALESCED = REGISTRY.counter(
+    "repro_service_coalesced_total",
+    "Scheduler requests that joined an identical in-flight job.",
+)
+_M_EXPIRED = REGISTRY.counter(
+    "repro_service_expired_total",
+    "Scheduler requests whose deadline passed before their flight landed.",
+)
+_M_ERRORS = REGISTRY.counter(
+    "repro_service_errors_total", "Scheduler flights that resolved with an error."
+)
+_M_WAVES = REGISTRY.counter(
+    "repro_service_waves_total", "Batch waves dispatched to the engine."
+)
+_M_WAVE_JOBS = REGISTRY.counter(
+    "repro_service_wave_jobs_total", "Jobs dispatched across all batch waves."
+)
 
 
 @dataclass
@@ -70,10 +99,17 @@ class ServiceStats:
     waves: int = 0
     wave_jobs: int = 0
     by_kind: dict = field(default_factory=dict)
+    #: Monotonic clock reading at scheduler construction — ``uptime_seconds``
+    #: in the snapshot derives from it, immune to wall-clock adjustments.
+    started_at: float = field(default_factory=time.monotonic)
 
     @property
     def dispatched(self) -> int:
         return self.requests - self.store_answers - self.coalesced
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.monotonic() - self.started_at
 
     def snapshot(self) -> dict:
         return {
@@ -86,6 +122,8 @@ class ServiceStats:
             "waves": self.waves,
             "wave_jobs": self.wave_jobs,
             "by_kind": dict(self.by_kind),
+            "started_at": self.started_at,
+            "uptime_seconds": self.uptime_seconds,
         }
 
 
@@ -96,6 +134,8 @@ class _Flight:
     spec: JobSpec
     future: asyncio.Future
     waiters: int = 1
+    #: The ``scheduler.wait`` span measuring queue time until wave dispatch.
+    wait_span: object = None
 
 
 class BatchScheduler:
@@ -150,7 +190,10 @@ class BatchScheduler:
     ) -> dict:
         """One ``Check(H, k)``; coalesces with identical in-flight checks."""
         return await self.submit(
-            JobSpec.check(hypergraph, k, method=method, timeout=timeout),
+            JobSpec.check(
+                hypergraph, k, method=method, timeout=timeout,
+                trace=TRACER.current_context(),
+            ),
             deadline=deadline,
         )
 
@@ -164,7 +207,10 @@ class BatchScheduler:
     ) -> dict:
         """An exact-width sweep (Figure 4 protocol) as one batched job."""
         return await self.submit(
-            JobSpec.width(hypergraph, max_k, method=method, timeout=timeout),
+            JobSpec.width(
+                hypergraph, max_k, method=method, timeout=timeout,
+                trace=TRACER.current_context(),
+            ),
             deadline=deadline,
         )
 
@@ -177,7 +223,10 @@ class BatchScheduler:
     ) -> dict:
         """A Table 4 GHD portfolio race at width ``k``."""
         return await self.submit(
-            JobSpec.portfolio(hypergraph, k, timeout=timeout), deadline=deadline
+            JobSpec.portfolio(
+                hypergraph, k, timeout=timeout, trace=TRACER.current_context()
+            ),
+            deadline=deadline,
         )
 
     async def submit(self, spec: JobSpec, deadline: float | None = None) -> dict:
@@ -192,6 +241,7 @@ class BatchScheduler:
             raise RuntimeError("scheduler is closed")
         self.stats.requests += 1
         self.stats.by_kind[spec.kind] = self.stats.by_kind.get(spec.kind, 0) + 1
+        _M_REQUESTS.inc(kind=spec.kind)
         key = spec.key()
         flight = self._flights.get(key) if self.coalesce else None
         coalesced = flight is not None
@@ -199,8 +249,14 @@ class BatchScheduler:
             replay = self.engine.try_replay(spec)
             if replay is not None:
                 self.stats.store_answers += 1
+                _M_STORE_ANSWERS.inc()
                 return self._payload(spec, replay, coalesced=False, source="store")
             flight = _Flight(spec, asyncio.get_running_loop().create_future())
+            # Queue time: from registration until the wave that carries this
+            # flight dispatches (ended in _run, or at close for orphans).
+            flight.wait_span = TRACER.start_span(
+                "scheduler.wait", parent=spec.trace, kind=spec.kind
+            )
             if self.coalesce:
                 self._flights[key] = flight
             self._pending.append(flight)
@@ -209,6 +265,7 @@ class BatchScheduler:
         else:
             flight.waiters += 1
             self.stats.coalesced += 1
+            _M_COALESCED.inc()
         try:
             if deadline is not None:
                 # shield(): an expiring waiter must not cancel the shared
@@ -220,6 +277,7 @@ class BatchScheduler:
                 shared = await flight.future
         except asyncio.TimeoutError:
             self.stats.expired += 1
+            _M_EXPIRED.inc()
             return {
                 "kind": spec.kind,
                 "method": spec.method,
@@ -233,6 +291,7 @@ class BatchScheduler:
             }
         if shared.get("verdict") == ERROR:
             self.stats.errors += 1
+            _M_ERRORS.inc()
         # The flight's payload (decomposition serialization included) was
         # built exactly once when the wave landed; each waiter only takes a
         # shallow copy to stamp its own coalescing flag.
@@ -254,6 +313,8 @@ class BatchScheduler:
             await self._task
             self._task = None
         for flight in self._pending:
+            if flight.wait_span is not None:
+                flight.wait_span.end(status="cancelled")
             if not flight.future.done():
                 flight.future.set_result(
                     self._error_payload(
@@ -283,6 +344,9 @@ class BatchScheduler:
             if self._pending:
                 self._wake.set()  # next wave starts without a fresh trigger
             specs = [flight.spec for flight in wave]
+            for flight in wave:
+                if flight.wait_span is not None:
+                    flight.wait_span.end(wave_jobs=len(specs))
             try:
                 report = await loop.run_in_executor(
                     None, self.engine.run_batch, specs
@@ -297,6 +361,8 @@ class BatchScheduler:
                 continue
             self.stats.waves += 1
             self.stats.wave_jobs += len(specs)
+            _M_WAVES.inc()
+            _M_WAVE_JOBS.inc(len(specs))
             # run_batch preserves order and (journal-less) returns one
             # JobResult per spec, so zip() pairs flights with their results.
             # Payloads are built here, once per flight, before any waiter

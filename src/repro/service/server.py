@@ -22,27 +22,43 @@ Endpoints (all responses are JSON):
 ``GET /stats``
     Service, engine and store counters (coalescing, waves, hit rates).
 ``GET /healthz``
-    Liveness: ``{"status": "ok", ...}``.
+    Liveness: ``{"status": "ok", ...}`` plus uptime, version, pid and the
+    cache path.
+``GET /metrics``
+    The process metrics registry in Prometheus text exposition format.
+``GET /debug/traces``
+    The tracer's in-memory ring, grouped by trace (``?limit=N`` bounds the
+    number of traces, newest first).
 
 The HTTP layer is a deliberately minimal HTTP/1.1 implementation over
 ``asyncio`` streams — no routing framework, no threads, no dependencies —
 because the interesting concurrency lives in the scheduler, not the socket
 handling.  Connections are keep-alive by default; malformed requests get
 ``400``, unknown paths ``404``.
+
+Each job request runs under an ``http.request`` root span, so a ``/check``
+decomposes into scheduler-wait → wave → worker-exec time in
+``/debug/traces``; requests slower than ``slow_request_seconds`` are logged
+through the ``repro.service`` logger.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import logging
+import os
 import threading
 import time
+from urllib.parse import parse_qs
 
 from repro.core.hypergraph import Hypergraph
 from repro.engine.engine import DecompositionEngine
 from repro.engine.store import ResultStore
 from repro.errors import ReproError
 from repro.io.hg_format import parse_hypergraph
+from repro.obs.metrics import Gauge, REGISTRY
+from repro.obs.trace import TRACER
 from repro.service.scheduler import BatchScheduler
 
 __all__ = ["DecompositionServer", "ServiceThread", "serve"]
@@ -51,6 +67,18 @@ _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Al
 
 #: Request bodies above this are rejected (a hypergraph is a few KB of text).
 _MAX_BODY = 8 * 1024 * 1024
+
+#: Endpoints that submit scheduler jobs (traced under ``http.request``).
+_JOB_PATHS = ("/check", "/width", "/decompose", "/portfolio")
+
+_LOG = logging.getLogger("repro.service")
+
+_M_HTTP_REQUESTS = REGISTRY.counter(
+    "repro_http_requests_total", "HTTP requests served, by path and status."
+)
+_M_HTTP_SECONDS = REGISTRY.histogram(
+    "repro_http_request_seconds", "End-to-end HTTP request latency in seconds."
+)
 
 
 class _BadRequest(Exception):
@@ -102,10 +130,14 @@ class DecompositionServer:
         scheduler: BatchScheduler,
         host: str = "127.0.0.1",
         port: int = 0,
+        slow_request_seconds: float | None = 1.0,
     ):
         self.scheduler = scheduler
         self.host = host
         self.port = port
+        #: Requests at or above this many seconds are logged via the
+        #: ``repro.service`` logger; ``None`` disables the slow-request log.
+        self.slow_request_seconds = slow_request_seconds
         self._server: asyncio.base_events.Server | None = None
         self._started = time.time()
 
@@ -150,14 +182,27 @@ class DecompositionServer:
                     break
                 method, path, headers, body = request
                 keep_alive = headers.get("connection", "keep-alive").lower() != "close"
+                route = path.split("?", 1)[0]
+                started = time.monotonic()
                 try:
-                    status, payload = await self._dispatch(method, path, body)
+                    status, payload = await self._handle(method, path, body)
                 except _BadRequest as exc:
                     status, payload = 400, {"error": str(exc)}
                 except (ReproError, json.JSONDecodeError, UnicodeDecodeError) as exc:
                     status, payload = 400, {"error": str(exc)}
                 except Exception as exc:  # noqa: BLE001 - a 500, not a crash
                     status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+                elapsed = time.monotonic() - started
+                _M_HTTP_REQUESTS.inc(path=route, status=status)
+                _M_HTTP_SECONDS.observe(elapsed)
+                if (
+                    self.slow_request_seconds is not None
+                    and elapsed >= self.slow_request_seconds
+                ):
+                    _LOG.warning(
+                        "slow request: %s %s took %.3fs (status %d)",
+                        method, route, elapsed, status,
+                    )
                 await self._respond(writer, status, payload, keep_alive)
                 if not keep_alive:
                     break
@@ -202,13 +247,20 @@ class DecompositionServer:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict,
+        payload: dict | str,
         keep_alive: bool,
     ) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        # A ``str`` payload is served verbatim as plain text (the Prometheus
+        # exposition of ``/metrics``); everything else is JSON.
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload, sort_keys=True).encode("utf-8")
+            content_type = "application/json"
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
-            "Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             "\r\n"
@@ -218,21 +270,61 @@ class DecompositionServer:
 
     # --------------------------------------------------------------- routing
 
-    async def _dispatch(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
-        path = path.split("?", 1)[0]
+    async def _handle(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict | str]:
+        """Route one request, giving job submissions an ``http.request`` span.
+
+        The span is the request's trace root: the scheduler picks it up as
+        the ambient context, so scheduler-wait / wave / worker spans all land
+        in one trace per HTTP request.
+        """
+        route = path.split("?", 1)[0]
+        if method == "POST" and route in _JOB_PATHS:
+            with TRACER.span("http.request", path=route) as span:
+                status, payload = await self._dispatch(method, path, body)
+                span.set(status=status)
+                return status, payload
+        return await self._dispatch(method, path, body)
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict | str]:
+        path, _, query = path.partition("?")
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "use GET"}
+            store = self.scheduler.engine.store
+            from repro import __version__
+
             return 200, {
                 "status": "ok",
                 "uptime": round(time.time() - self._started, 3),
+                "uptime_seconds": round(self.scheduler.stats.uptime_seconds, 3),
+                "started": self._started,
+                "version": __version__,
+                "pid": os.getpid(),
+                "cache": store.path if store is not None else None,
                 "in_flight": len(self.scheduler._flights),
             }
         if path == "/stats":
             if method != "GET":
                 return 405, {"error": "use GET"}
             return 200, self.scheduler.stats_snapshot()
-        if path in ("/check", "/width", "/decompose", "/portfolio"):
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            return 200, REGISTRY.render(extra=self._live_gauges())
+        if path == "/debug/traces":
+            if method != "GET":
+                return 405, {"error": "use GET"}
+            params = parse_qs(query)
+            try:
+                limit = int(params.get("limit", ["20"])[0])
+            except ValueError:
+                raise _BadRequest("'limit' must be an integer") from None
+            return 200, {"traces": TRACER.traces(limit=limit)}
+        if path in _JOB_PATHS:
             if method != "POST":
                 return 405, {"error": "use POST"}
             payload = json.loads(body.decode("utf-8") or "{}")
@@ -240,6 +332,28 @@ class DecompositionServer:
                 raise _BadRequest("request body must be a JSON object")
             return 200, await self._run_job(path, payload)
         return 404, {"error": f"unknown path {path!r}"}
+
+    def _live_gauges(self) -> list[Gauge]:
+        """Ad-hoc gauges over live objects, rendered per scrape (not stored)."""
+        gauges = []
+        store = self.scheduler.engine.store
+        if store is not None:
+            entries = Gauge(
+                "repro_store_entries", "Rows currently in the result store."
+            )
+            entries.set(len(store))
+            gauges.append(entries)
+        in_flight = Gauge(
+            "repro_service_in_flight", "Flights currently queued or mid-wave."
+        )
+        in_flight.set(len(self.scheduler._flights))
+        gauges.append(in_flight)
+        uptime = Gauge(
+            "repro_service_uptime_seconds", "Seconds since scheduler start."
+        )
+        uptime.set(self.scheduler.stats.uptime_seconds)
+        gauges.append(uptime)
+        return gauges
 
     async def _run_job(self, path: str, payload: dict) -> dict:
         hypergraph = _hypergraph_from(payload)
@@ -299,11 +413,13 @@ class ServiceThread:
         window: float = 0.02,
         max_wave: int = 32,
         close_engine: bool = True,
+        slow_request_seconds: float | None = 1.0,
     ):
         self.engine = engine
         self.scheduler: BatchScheduler | None = None
         self.server: DecompositionServer | None = None
         self._close_engine = close_engine
+        self._slow = slow_request_seconds
         self._ready = threading.Event()
         self._stop: asyncio.Event | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -324,7 +440,10 @@ class ServiceThread:
                 self.scheduler = BatchScheduler(
                     self.engine, window=window, max_wave=max_wave
                 )
-                self.server = DecompositionServer(self.scheduler, host=host, port=port)
+                self.server = DecompositionServer(
+                    self.scheduler, host=host, port=port,
+                    slow_request_seconds=self._slow,
+                )
                 await self.server.start()
             except BaseException as exc:  # noqa: BLE001 - surfaced to the caller
                 self._error = exc
@@ -366,12 +485,23 @@ async def serve(
     jobs: int = 1,
     window: float = 0.02,
     max_wave: int = 32,
+    slow_request_seconds: float | None = 1.0,
+    trace_journal: str | None = None,
 ) -> None:
-    """Run the service until cancelled (the ``repro serve`` entry point)."""
+    """Run the service until cancelled (the ``repro serve`` entry point).
+
+    ``trace_journal`` appends every finished span as JSONL to the given path
+    (readable offline with ``repro trace show --journal``);
+    ``slow_request_seconds`` tunes the slow-request log threshold.
+    """
+    if trace_journal is not None:
+        TRACER.set_journal(trace_journal)
     store = ResultStore(store_path) if store_path is not None else ResultStore()
     engine = DecompositionEngine(store=store, jobs=jobs)
     scheduler = BatchScheduler(engine, window=window, max_wave=max_wave)
-    server = DecompositionServer(scheduler, host=host, port=port)
+    server = DecompositionServer(
+        scheduler, host=host, port=port, slow_request_seconds=slow_request_seconds
+    )
     await server.start()
     print(f"repro service on {server.url} "
           f"(jobs={jobs}, cache={store_path or ':memory:'})", flush=True)
