@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Distributed dispatch equivalence: queue + workers vs the in-process engine.
+
+The acceptance check for the distributed layer: the same batch of jobs is
+run twice —
+
+* **single** — one ``DecompositionEngine.run_batch`` over a fresh
+  in-memory store, the reference execution;
+* **queue** — a :class:`~repro.engine.remote.Dispatcher` feeding a durable
+  :class:`~repro.engine.queue.JobQueue`, drained by two concurrent
+  :class:`~repro.engine.remote.QueueWorker` threads writing through a
+  shared fingerprint-sharded store.
+
+Exit status is non-zero if any verdict differs, if any job is lost or
+duplicated (completions must equal distinct jobs), or if either worker sat
+out entirely.  Results land in the ``"queue"`` section of
+``BENCH_kernel.json`` (merged in place, next to the kernel, dispatch and
+service sections)::
+
+    PYTHONPATH=src python benchmarks/bench_queue.py
+    PYTHONPATH=src python benchmarks/bench_queue.py --jobs 96 --shards 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.engine import (
+    DecompositionEngine,
+    Dispatcher,
+    JobQueue,
+    JobSpec,
+    QueueWorker,
+    ResultStore,
+    ShardedResultStore,
+)
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from tests.conftest import random_hypergraph  # noqa: E402
+
+
+def _specs(count: int, k: int) -> list[JobSpec]:
+    return [JobSpec.check(random_hypergraph(seed), k) for seed in range(count)]
+
+
+def _run_single(specs: list[JobSpec]) -> tuple[float, list[str]]:
+    engine = DecompositionEngine(store=ResultStore())
+    start = time.perf_counter()
+    report = engine.run_batch(specs)
+    return time.perf_counter() - start, [r.verdict for r in report.results]
+
+
+def _run_queue(
+    specs: list[JobSpec], workdir: Path, n_workers: int, shards: int
+) -> tuple[float, list[str], dict, list[QueueWorker]]:
+    queue = JobQueue(workdir / "jobs.db")
+    store = ShardedResultStore(workdir / "cache.d", shards=shards)
+    workers = [
+        QueueWorker(
+            queue,
+            DecompositionEngine(store=store),
+            worker_id=f"bench-{i}",
+            lease_n=4,
+            poll=0.005,
+        )
+        for i in range(n_workers)
+    ]
+    threads = [
+        threading.Thread(target=w.run, kwargs={"max_idle": 60}, daemon=True)
+        for w in workers
+    ]
+    dispatcher = Dispatcher(queue, DecompositionEngine(store=store), wait_timeout=300)
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    report = dispatcher.run_batch(specs)
+    elapsed = time.perf_counter() - start
+    for worker in workers:
+        worker.stop()
+    for thread in threads:
+        thread.join(timeout=30)
+    stats = dispatcher.stats()
+    store.close()
+    queue.close()
+    return elapsed, [r.verdict for r in report.results], stats, workers
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    parser.add_argument("--jobs", type=int, default=48,
+                        help="batch size (the acceptance floor is 48)")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("-k", type=int, default=2)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_kernel.json"),
+                        help="report file; the 'queue' section is merged in place")
+    args = parser.parse_args(argv)
+
+    specs = _specs(args.jobs, args.k)
+    distinct = len({spec.key() for spec in specs})
+    single_seconds, single_verdicts = _run_single(specs)
+    with tempfile.TemporaryDirectory(prefix="bench-queue-") as tmp:
+        queue_seconds, queue_verdicts, stats, workers = _run_queue(
+            specs, Path(tmp), args.workers, args.shards
+        )
+
+    failures = []
+    if queue_verdicts != single_verdicts:
+        mismatches = sum(
+            1 for a, b in zip(queue_verdicts, single_verdicts) if a != b
+        )
+        failures.append(
+            f"{mismatches} verdict(s) differ between queue and single-process runs"
+        )
+    if len(queue_verdicts) != args.jobs:
+        failures.append(
+            f"queue run returned {len(queue_verdicts)} results for {args.jobs} jobs"
+        )
+    if stats["counters"]["completed"] != distinct:
+        failures.append(
+            f"completions ({stats['counters']['completed']}) != distinct jobs"
+            f" ({distinct}): work was lost or duplicated"
+        )
+    idle_workers = [w.worker_id for w in workers if w.completed == 0]
+    if idle_workers:
+        failures.append(f"worker(s) sat out the whole batch: {idle_workers}")
+
+    section = {
+        "jobs": args.jobs,
+        "distinct_jobs": distinct,
+        "k": args.k,
+        "workers": args.workers,
+        "shards": args.shards,
+        "verdicts_agree": queue_verdicts == single_verdicts,
+        "single_seconds": single_seconds,
+        "queue_seconds": queue_seconds,
+        "dispatched": stats["dispatched"],
+        "completed": stats["counters"]["completed"],
+        "leases_granted": stats["counters"]["leased"],
+        "expired": stats["counters"]["expired"],
+        "dead": stats["dead"],
+        "per_worker_completed": {w.worker_id: w.completed for w in workers},
+    }
+
+    report = {}
+    if args.out.exists():
+        report = json.loads(args.out.read_text(encoding="utf-8"))
+    report["queue"] = section
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+
+    print(f"batch: {args.jobs} jobs ({distinct} distinct) at k={args.k}")
+    print(f"single-process : {single_seconds:.3f}s")
+    print(f"queue ({args.workers} workers, {args.shards} shards) : "
+          f"{queue_seconds:.3f}s, {section['dispatched']} dispatched, "
+          f"{section['completed']} completed")
+    print(f"per-worker     : "
+          + ", ".join(f"{w}={n}" for w, n in section["per_worker_completed"].items())
+          + f" -> {args.out}")
+    if failures:
+        print("FAILURES:\n  " + "\n  ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

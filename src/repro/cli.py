@@ -16,6 +16,10 @@ Subcommands::
     python -m repro cache clear --cache results.db
     python -m repro serve --port 8080 --cache results.db --jobs 4   # HTTP service
     python -m repro serve --port 8080 --trace-journal traces.jsonl --slow-ms 500
+    python -m repro serve --queue jobs.db --cache cache.d --shards 4  # distributed
+    python -m repro worker --queue jobs.db --cache cache.d           # pull-worker
+    python -m repro queue stats --queue jobs.db      # depth / leases / retries
+    python -m repro queue requeue --queue jobs.db    # sweep expired leases now
     python -m repro trace show --journal traces.jsonl    # span trees, newest first
     python -m repro trace summary --journal traces.jsonl # per-span-name timings
     python -m repro trace show --port 8080               # live /debug/traces
@@ -27,6 +31,14 @@ API (``/check``, ``/width``, ``/decompose``, ``/portfolio``, ``/stats``,
 ``/healthz``) whose scheduler coalesces concurrent duplicate requests and
 batches the rest into ``run_batch`` waves — docs/ARCHITECTURE.md describes
 the protocol, ``examples/service_client.py`` walks a client session.
+
+``serve --queue`` plus any number of ``worker`` processes form the
+distributed topology (docs/DISTRIBUTED.md): the server enqueues waves into
+a persistent SQLite job queue and pull-workers lease, execute, and write
+results back through the shared ``--cache`` — pass a directory (or
+``--shards N``) to spread that cache over N fingerprint-routed shard
+files.  ``queue stats`` shows depth/lease/retry counters; ``queue
+requeue`` sweeps expired leases (``--dead`` also resurrects dead jobs).
 
 ``cache bounds`` lists two tables: the per-method intervals each method's
 own rows prove, and the *cross-method* intervals derived per width kind via
@@ -62,7 +74,7 @@ from repro.decomp.balsep import check_ghd_balsep
 from repro.decomp.detkdecomp import check_hd
 from repro.decomp.driver import exact_width, timed_check
 from repro.decomp.fractional import DEFAULT_PRECISION, best_fractional_improvement
-from repro.engine import CHECK_METHODS, DecompositionEngine, ResultStore
+from repro.engine import CHECK_METHODS, DecompositionEngine, open_result_store
 from repro.engine import methods as _methods
 from repro.errors import ReproError
 from repro.io.hg_format import format_hypergraph, read_hypergraph
@@ -85,13 +97,22 @@ def _add_engine_flags(
     parser.add_argument(
         "--cache", type=Path, default=None, metavar="PATH", help=cache_help
     )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="shard --cache over N fingerprint-routed files (a directory;"
+        " an existing shard directory's count is authoritative)",
+    )
 
 
 def _make_engine(args) -> DecompositionEngine | None:
     """An engine when ``--jobs``/``--cache`` ask for one, else ``None``."""
     if args.jobs <= 1 and args.cache is None:
         return None
-    store = ResultStore(args.cache) if args.cache is not None else None
+    store = (
+        open_result_store(args.cache, shards=getattr(args, "shards", None))
+        if args.cache is not None
+        else None
+    )
     return DecompositionEngine(store=store, jobs=args.jobs)
 
 
@@ -200,10 +221,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-journal", type=Path, default=None, metavar="PATH",
         help="append every finished span to this JSONL file (repro trace reads it)",
     )
+    serve.add_argument(
+        "--queue", type=Path, default=None, metavar="PATH",
+        help=(
+            "persistent job queue: dispatch waves to external 'repro worker' "
+            "processes instead of the in-process pool"
+        ),
+    )
     _add_engine_flags(
         serve,
         jobs_help="worker processes shared by all clients (1 = in-process)",
         cache_help="SQLite result store every client shares (default: in-memory)",
+    )
+
+    worker = sub.add_parser(
+        "worker",
+        help="pull-worker: lease jobs from a queue, execute, write results back",
+    )
+    worker.add_argument(
+        "--queue", type=Path, required=True, metavar="PATH",
+        help="the job queue file shared with 'serve --queue' (or a Dispatcher)",
+    )
+    worker.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="lease-holder identity (default: host-pid-random)",
+    )
+    worker.add_argument(
+        "--lease-n", type=int, default=4, metavar="N",
+        help="jobs leased per wave (executed as one run_batch)",
+    )
+    worker.add_argument(
+        "--lease-seconds", type=float, default=30.0, metavar="SECONDS",
+        help="lease duration; heartbeats extend it while a wave executes",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="idle sleep between empty lease attempts",
+    )
+    worker.add_argument(
+        "--max-idle", type=float, default=None, metavar="SECONDS",
+        help="exit after this many consecutive idle seconds (default: run forever)",
+    )
+    worker.add_argument(
+        "--max-waves", type=int, default=None, metavar="N",
+        help="exit after executing N waves (smoke/test harnesses)",
+    )
+    _add_engine_flags(
+        worker,
+        jobs_help="local worker processes per leased wave (1 = in-process)",
+        cache_help="result store shared with the dispatcher (file or shard dir)",
+    )
+
+    queue = sub.add_parser(
+        "queue", help="inspect or sweep a persistent job queue"
+    )
+    queue.add_argument("action", choices=("stats", "requeue"))
+    queue.add_argument(
+        "--queue", type=Path, required=True, metavar="PATH",
+        help="the job queue file",
+    )
+    queue.add_argument(
+        "--dead", action="store_true",
+        help="requeue: also give dead jobs a fresh attempt budget",
     )
 
     trace = sub.add_parser(
@@ -479,7 +558,9 @@ def _cmd_cache(args) -> int:
     if not args.cache.exists():
         print(f"error: no result store at {args.cache}", file=sys.stderr)
         return 2
-    with ResultStore(args.cache) as store:
+    # open_result_store detects shard directories, so `cache stats` works
+    # unchanged on a sharded --cache and aggregates across the shard files.
+    with open_result_store(args.cache) as store:
         if args.action == "clear":
             cleared = len(store)
             store.clear()
@@ -540,10 +621,57 @@ def _cmd_serve(args) -> int:
                 max_wave=args.max_wave,
                 slow_request_seconds=slow,
                 trace_journal=journal,
+                queue_path=str(args.queue) if args.queue is not None else None,
+                shards=args.shards,
             )
         )
     except KeyboardInterrupt:
         print("service stopped", file=sys.stderr)
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.engine.remote import run_worker
+
+    completed = run_worker(
+        str(args.queue),
+        str(args.cache) if args.cache is not None else None,
+        jobs=args.jobs,
+        shards=args.shards,
+        worker_id=args.worker_id,
+        lease_n=args.lease_n,
+        lease_seconds=args.lease_seconds,
+        poll=args.poll,
+        max_idle=args.max_idle,
+        max_waves=args.max_waves,
+    )
+    print(f"worker done: {completed} job(s) completed", file=sys.stderr)
+    return 0
+
+
+def _cmd_queue(args) -> int:
+    from repro.engine.queue import JobQueue
+
+    if not args.queue.exists():
+        print(f"error: no job queue at {args.queue}", file=sys.stderr)
+        return 2
+    with JobQueue(args.queue) as queue:
+        if args.action == "requeue":
+            swept = queue.requeue_expired()
+            line = f"requeued {swept} expired lease(s)"
+            if args.dead:
+                line += f", resurrected {queue.resurrect_dead()} dead job(s)"
+            print(line)
+            return 0
+        snapshot = queue.stats()
+        print(f"queue        {args.queue}")
+        print(f"total        {snapshot['total']}")
+        print(f"depth        {snapshot['depth']}   (leasable now)")
+        for state in ("pending", "leased", "failed", "done", "dead"):
+            print(f"  {state:<10} {snapshot[state]}")
+        print("lifetime counters")
+        for key, value in snapshot["counters"].items():
+            print(f"  {key:<10} {value}")
     return 0
 
 
@@ -639,6 +767,8 @@ _COMMANDS = {
     "convert": _cmd_convert,
     "cache": _cmd_cache,
     "serve": _cmd_serve,
+    "worker": _cmd_worker,
+    "queue": _cmd_queue,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
 }

@@ -27,6 +27,9 @@ from repro.engine.engine import BatchReport, DecompositionEngine, EngineStats
 from repro.engine.fingerprint import canonical_form, fingerprint, structural_fingerprint
 from repro.engine.jobs import JobResult, JobSpec, Journal
 from repro.engine.methods import CHECK_METHODS, MethodSpec
+from repro.engine.queue import JobLease, JobQueue
+from repro.engine.remote import Dispatcher, QueueWorker
+from repro.engine.shards import ShardedResultStore, open_result_store
 from repro.engine.store import (
     MONOTONE_METHODS,
     WIDTH_RELATIONS,
@@ -50,7 +53,13 @@ __all__ = [
     "EngineStats",
     "BatchReport",
     "ResultStore",
+    "ShardedResultStore",
+    "open_result_store",
     "StoredResult",
+    "JobQueue",
+    "JobLease",
+    "QueueWorker",
+    "Dispatcher",
     "MONOTONE_METHODS",
     "WIDTH_RELATIONS",
     "WidthRelation",

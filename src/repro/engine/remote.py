@@ -1,0 +1,428 @@
+"""Pull-workers and the dispatcher: distributed execution over a job queue.
+
+Two roles share one :class:`~repro.engine.queue.JobQueue` file:
+
+**Workers** (``repro worker --queue Q --cache C``, any number, any host that
+can reach the two paths) run :class:`QueueWorker`: lease a wave of jobs,
+rebuild their :class:`~repro.engine.jobs.JobSpec`\\ s, execute them through a
+local :class:`~repro.engine.engine.DecompositionEngine` — which means the
+existing packed wire protocol, kernel counters, ``worker.exec`` spans, and
+write-back through the (shared, possibly sharded) result store all apply
+unchanged — and report each job :meth:`~repro.engine.queue.JobQueue.complete`
+or :meth:`~repro.engine.queue.JobQueue.fail`.  A daemon heartbeat extends the
+wave's leases at a third of the lease interval for as long as the wave
+executes, so slow jobs are not swept out from under a *live* worker; a
+SIGKILLed worker stops heartbeating and its leases simply expire.
+
+The **dispatcher** (:class:`Dispatcher`) is the batch owner's side: it
+mirrors ``DecompositionEngine.run_batch`` — same signature, same
+:class:`~repro.engine.engine.BatchReport` shape, same journal-resume and
+store fast paths — but instead of executing cache-missed jobs in-process it
+enqueues them and waits for workers to finish them, sweeping expired leases
+while it waits.  Enqueueing is idempotent on the spec's content-addressed
+key, so a dispatcher that crashed after enqueueing reconciles on restart:
+jobs the workers finished in the meantime are adopted as resumed results,
+jobs still queued are simply waited for again.
+
+The split keeps every correctness property in one place: the queue proves
+exclusive leases and exactly-once completion, the store proves verdicts,
+and the dispatcher only *routes* — it never interprets results beyond the
+journal payloads workers produce.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import socket
+import threading
+import time
+import uuid
+
+from repro.engine.engine import BatchReport, DecompositionEngine
+from repro.engine.jobs import JobResult, JobSpec, Journal
+from repro.engine.queue import DEAD, DONE, JobLease, JobQueue
+from repro.errors import ReproError
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import TRACER
+from repro.perf import counters as _kernel_counters, publish_delta
+
+__all__ = ["QueueWorker", "Dispatcher", "run_worker"]
+
+logger = logging.getLogger("repro.remote")
+
+_M_WAVES = REGISTRY.counter(
+    "repro_worker_waves_total", "Leased waves executed by queue workers."
+)
+_M_JOBS = REGISTRY.counter(
+    "repro_worker_jobs_total", "Queue jobs executed by queue workers."
+)
+_M_LOST = REGISTRY.counter(
+    "repro_worker_lost_leases_total",
+    "Job results discarded because the lease was revoked mid-execution.",
+)
+
+
+def default_worker_id() -> str:
+    """A worker identity unique across hosts, processes, and restarts."""
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+class _Heartbeat:
+    """Extends a wave's leases on a timer until stopped.
+
+    Runs as a daemon thread so a crashing worker process takes its
+    heartbeat with it — which is exactly what lets the sweeper reclaim the
+    leases.  The interval is a third of the lease duration: two beats may
+    be missed (scheduler stalls, GC pauses) before a lease can expire.
+    """
+
+    def __init__(self, queue: JobQueue, worker_id: str, job_ids: list[int], lease_seconds: float):
+        self.queue = queue
+        self.worker_id = worker_id
+        self.job_ids = job_ids
+        self.lease_seconds = lease_seconds
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        self._thread.join(timeout=self.lease_seconds)
+
+    def _run(self) -> None:
+        interval = max(0.05, self.lease_seconds / 3.0)
+        while not self._stop.wait(interval):
+            try:
+                self.queue.extend(self.worker_id, self.job_ids, self.lease_seconds)
+            except ReproError:  # pragma: no cover - queue closed under us
+                return
+
+
+class QueueWorker:
+    """One pull-loop worker: lease, execute, heartbeat, report.
+
+    Parameters
+    ----------
+    queue / engine:
+        The shared job queue and the local execution engine.  The engine's
+        store should be the cache shared with the dispatcher (same file or
+        shard directory), so completed verdicts are visible to everyone.
+    worker_id:
+        Lease-holder identity; defaults to ``host-pid-random``.
+    lease_n:
+        Maximum jobs leased per wave (the wave executes as one
+        ``run_batch``, so this is also the worker's fan-out unit).
+    lease_seconds:
+        Lease duration granted and heartbeat-extended while executing.
+    poll:
+        Idle sleep between empty lease attempts.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        engine: DecompositionEngine,
+        worker_id: str | None = None,
+        lease_n: int = 4,
+        lease_seconds: float = 30.0,
+        poll: float = 0.2,
+    ):
+        self.queue = queue
+        self.engine = engine
+        self.worker_id = worker_id or default_worker_id()
+        self.lease_n = max(1, int(lease_n))
+        self.lease_seconds = float(lease_seconds)
+        self.poll = float(poll)
+        self.waves = 0
+        self.completed = 0
+        self.failed = 0
+        self.lost = 0
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        """Ask the pull loop to exit after the current wave (thread-safe)."""
+        self._stop.set()
+
+    def run(
+        self,
+        max_idle: float | None = None,
+        max_waves: int | None = None,
+    ) -> int:
+        """Pull and execute waves until stopped; returns jobs completed.
+
+        ``max_idle`` exits after that many consecutive seconds without a
+        lease (None = run forever); ``max_waves`` caps executed waves (test
+        and smoke harnesses).  Both conditions are checked between waves —
+        a wave in flight always finishes.
+        """
+        idle_since: float | None = None
+        while not self._stop.is_set():
+            if max_waves is not None and self.waves >= max_waves:
+                break
+            with TRACER.span(
+                "worker.lease", worker=self.worker_id, want=self.lease_n
+            ) as span:
+                leases = self.queue.lease(
+                    self.worker_id, self.lease_n, self.lease_seconds
+                )
+                span.set(granted=len(leases))
+            if not leases:
+                now = time.monotonic()
+                if idle_since is None:
+                    idle_since = now
+                elif max_idle is not None and now - idle_since >= max_idle:
+                    break
+                self._stop.wait(self.poll)
+                continue
+            idle_since = None
+            self.waves += 1
+            _M_WAVES.inc()
+            self._execute_wave(leases)
+        return self.completed
+
+    def _execute_wave(self, leases: list[JobLease]) -> None:
+        specs: list[JobSpec] = []
+        parsed: list[JobLease] = []
+        for lease in leases:
+            try:
+                specs.append(lease.spec())
+                parsed.append(lease)
+            except (KeyError, TypeError, ValueError) as exc:
+                # A payload this worker cannot rebuild will fail everywhere;
+                # burn its attempts through the normal budget so it lands in
+                # `dead` with the parse error recorded, not in a hot loop.
+                self.queue.fail(self.worker_id, lease.job_id, f"bad payload: {exc}")
+        if not parsed:
+            return
+        job_ids = [lease.job_id for lease in parsed]
+        try:
+            with _Heartbeat(self.queue, self.worker_id, job_ids, self.lease_seconds):
+                report = self.engine.run_batch(specs)
+        except Exception as exc:  # noqa: BLE001 - a wave must never kill the loop
+            for lease in parsed:
+                if self.queue.fail(self.worker_id, lease.job_id, repr(exc)):
+                    self.failed += 1
+            return
+        for lease, result in zip(parsed, report.results):
+            if self.queue.complete(self.worker_id, lease.job_id, result.payload()):
+                self.completed += 1
+                _M_JOBS.inc()
+            else:
+                # The sweeper revoked this lease mid-execution (e.g. the wave
+                # outran even the heartbeats); the re-lease owns the outcome
+                # now.  The verdict itself is not lost — run_batch already
+                # wrote it to the shared store, so the re-execution replays
+                # it from cache.
+                self.lost += 1
+                _M_LOST.inc()
+
+
+def run_worker(
+    queue_path: str,
+    cache_path: str | None,
+    jobs: int = 1,
+    shards: int | None = None,
+    worker_id: str | None = None,
+    lease_n: int = 4,
+    lease_seconds: float = 30.0,
+    poll: float = 0.2,
+    max_idle: float | None = None,
+    max_waves: int | None = None,
+) -> int:
+    """CLI entry: run one pull-worker process until idle/stopped.
+
+    Imported lazily by ``repro worker``; returns the completed-job count
+    (the process exit code is 0 regardless — an idle worker is not an
+    error).
+    """
+    from repro.engine.shards import open_result_store
+
+    store = open_result_store(cache_path, shards=shards)
+    with JobQueue(queue_path) as queue, DecompositionEngine(
+        store=store, jobs=jobs
+    ) as engine:
+        worker = QueueWorker(
+            queue,
+            engine,
+            worker_id=worker_id,
+            lease_n=lease_n,
+            lease_seconds=lease_seconds,
+            poll=poll,
+        )
+        return worker.run(max_idle=max_idle, max_waves=max_waves)
+
+
+class Dispatcher:
+    """Queue-backed drop-in for ``DecompositionEngine.run_batch``.
+
+    The engine (when given) serves the same store fast paths as in-process
+    dispatch — journal resume, exact-row replay, bounds-implied pruning —
+    so only genuinely cold jobs ever reach the queue.  Workers execute
+    those; the dispatcher sweeps expired leases while it waits, which makes
+    worker crash recovery progress even when every worker is dead (the
+    re-queued job is picked up by whichever worker returns first).
+
+    ``run_batch`` blocks until every job is terminal, so it can sit behind
+    :class:`~repro.service.scheduler.BatchScheduler`'s executor-thread
+    dispatch exactly like the engine does.
+    """
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        engine: DecompositionEngine | None = None,
+        poll: float = 0.05,
+        sweep_interval: float = 0.5,
+        wait_timeout: float | None = None,
+    ):
+        self.queue = queue
+        self.engine = engine
+        self.poll = float(poll)
+        self.sweep_interval = float(sweep_interval)
+        #: Overall wait cap per run_batch (None = wait forever).  Mostly a
+        #: test/smoke guard: a production dispatcher should wait, because
+        #: the sweeper guarantees every job terminates in done|dead.
+        self.wait_timeout = wait_timeout
+        self.dispatched = 0
+        self.reconciled = 0
+
+    def run_batch(
+        self,
+        specs: list[JobSpec],
+        journal: "str | Journal | None" = None,
+    ) -> BatchReport:
+        """Execute a job list through the queue; same contract as the engine.
+
+        Accounting mirrors :class:`BatchReport`'s in-process semantics:
+        ``resumed`` counts journal (and reconciled-from-queue) skips,
+        ``cache_hits``/``pruned`` count store replays — whether served
+        locally before enqueueing or by the worker that leased the job —
+        and ``executed`` counts jobs a worker actually ran.
+        """
+        if journal is not None and not isinstance(journal, Journal):
+            journal = Journal(journal)
+        done = journal.load() if journal is not None else {}
+
+        report = BatchReport(total=len(specs))
+        results: list[JobResult | None] = [None] * len(specs)
+        # job row id -> spec indices: duplicate specs in one batch collapse
+        # onto a single queue row (enqueue is key-idempotent), but every
+        # index still owes the caller a result.
+        waiting: dict[int, list[int]] = {}
+
+        for index, spec in enumerate(specs):
+            payload = done.get(spec.key())
+            if payload is not None:
+                results[index] = JobResult.from_journal(spec, payload)
+                report.resumed += 1
+                continue
+            replayed = self.engine.try_replay(spec) if self.engine is not None else None
+            if replayed is not None:
+                results[index] = replayed
+                report.cache_hits += 1
+                if replayed.implied:
+                    report.pruned += 1
+                if journal is not None:
+                    journal.append(spec, replayed)
+                continue
+            job = self.queue.enqueue(spec)
+            if job.state == DONE and job.result is not None:
+                # A previous dispatcher run enqueued this spec and a worker
+                # finished it while nobody was watching; adopt the stored
+                # outcome instead of re-running.
+                results[index] = JobResult.from_journal(spec, job.result)
+                report.resumed += 1
+                self.reconciled += 1
+                if journal is not None:
+                    journal.append(spec, results[index])
+                continue
+            if job.state == DEAD:
+                results[index] = self._dead_result(spec, "exhausted before this run")
+                continue
+            indices = waiting.setdefault(job.job_id, [])
+            if not indices:
+                self.dispatched += 1
+            indices.append(index)
+
+        self._await(specs, results, waiting, report, journal)
+
+        report.executed = sum(
+            1
+            for r in results
+            if r is not None and not r.cached and not r.resumed and not r.implied
+        )
+        report.results = [r for r in results if r is not None]
+        return report
+
+    def _await(
+        self,
+        specs: list[JobSpec],
+        results: list[JobResult | None],
+        waiting: dict[int, list[int]],
+        report: BatchReport,
+        journal: Journal | None,
+    ) -> None:
+        deadline = (
+            None if self.wait_timeout is None else time.monotonic() + self.wait_timeout
+        )
+        last_sweep = time.monotonic()
+        while waiting:
+            finished = self.queue.poll(list(waiting))
+            for job_id, (state, payload, error) in finished.items():
+                merged = False
+                for index in waiting.pop(job_id):
+                    spec = specs[index]
+                    if state == DONE and payload is not None:
+                        result = JobResult.from_journal(spec, payload)
+                        result.resumed = False
+                        if result.cached:
+                            report.cache_hits += 1
+                            if result.implied:
+                                report.pruned += 1
+                        # The worker's kernel counters travelled in the
+                        # payload; fold them into this process's totals like
+                        # the packed wire protocol does for in-process waves
+                        # (once per job, however many batch indices share it).
+                        if result.counters and not merged:
+                            _kernel_counters.merge(result.counters)
+                            publish_delta(result.counters)
+                            merged = True
+                        results[index] = result
+                    else:
+                        results[index] = self._dead_result(spec, error or "job died")
+                    if journal is not None and results[index] is not None:
+                        journal.append(spec, results[index])
+            if not waiting:
+                return
+            now = time.monotonic()
+            if now - last_sweep >= self.sweep_interval:
+                self.queue.requeue_expired()
+                last_sweep = now
+            if deadline is not None and now >= deadline:
+                raise ReproError(
+                    f"dispatcher timed out with {len(waiting)} job(s) pending"
+                )
+            time.sleep(self.poll)
+
+    @staticmethod
+    def _dead_result(spec: JobSpec, error: str) -> JobResult:
+        """A terminal failure surfaced as an ``error`` verdict.
+
+        Mirrors how the in-process engine surfaces a crashed worker
+        process: the batch completes, the job's verdict says why it has no
+        answer.
+        """
+        logger.warning("job %s died in the queue: %s", spec.name, error)
+        return JobResult(spec, "error", 0.0, counters=None)
+
+    def stats(self) -> dict:
+        """Dispatcher- plus queue-level accounting for ``/stats``."""
+        return {
+            "dispatched": self.dispatched,
+            "reconciled": self.reconciled,
+            **self.queue.stats(),
+        }

@@ -761,6 +761,85 @@ class ResultStore:
                 )
             ]
 
+    # ------------------------------------------------- sharding / migration
+
+    def kind_bounds_for(self, fingerprint: str) -> list[tuple[str, int, int | None]]:
+        """One fingerprint's cross-method rows as ``(kind, lo, hi)`` tuples."""
+        with self._lock:
+            return [
+                (kind, lo, hi)
+                for kind, lo, hi in self._conn.execute(
+                    "SELECT kind, lo, hi FROM kind_bounds WHERE fingerprint = ?"
+                    " ORDER BY kind",
+                    (fingerprint,),
+                )
+            ]
+
+    def seed_kind_bounds(
+        self, fingerprint: str, rows: list[tuple[str, int, int | None]]
+    ) -> None:
+        """Replace one fingerprint's ``kind_bounds`` rows with ``rows``.
+
+        Used by :class:`~repro.engine.shards.ShardedResultStore` to replicate
+        the owning shard's cross-method knowledge to the other shards, where
+        no ``results`` rows back it — so the rows are *seeded*, not derived.
+        A later :meth:`put` of the same fingerprint on this store would
+        recompute from local rows only; the sharded wrapper re-replicates
+        after every put to keep the replicas authoritative.
+        """
+        with self._lock:
+            self._conn.execute(
+                "DELETE FROM kind_bounds WHERE fingerprint = ?", (fingerprint,)
+            )
+            self._conn.executemany(
+                "INSERT INTO kind_bounds (fingerprint, kind, lo, hi)"
+                " VALUES (?, ?, ?, ?)",
+                [(fingerprint, kind, lo, hi) for kind, lo, hi in rows],
+            )
+
+    def export_rows(self) -> list[tuple]:
+        """Every ``results`` row in insertable form (migration to shards)."""
+        with self._lock:
+            return self._conn.execute(
+                "SELECT fingerprint, method, k, timeout, verdict, seconds,"
+                " decomposition, extra, created_at, last_used, use_count"
+                " FROM results ORDER BY fingerprint, method, k, timeout"
+            ).fetchall()
+
+    def import_rows(self, rows: list[tuple]) -> None:
+        """Bulk-load rows exported by :meth:`export_rows`, then re-derive
+        the bounds and kind_bounds indices for every touched fingerprint.
+
+        Timestamps and use counts are preserved, so LRU ordering survives a
+        migration to a sharded layout.
+        """
+        if not rows:
+            return
+        with self._lock:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO results"
+                " (fingerprint, method, k, timeout, verdict, seconds,"
+                "  decomposition, extra, created_at, last_used, use_count)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+            touched = {(row[0], row[1]) for row in rows}
+            for fp, method in touched:
+                if method in MONOTONE_METHODS:
+                    self._recompute_bounds(fp, method)
+            for fp in {fp for fp, _ in touched}:
+                self._recompute_kind_bounds(fp)
+
+    def adopt_meta(self, hits: int = 0, misses: int = 0, implied: int = 0) -> None:
+        """Carry lifetime counters over from a store being migrated away."""
+        with self._lock:
+            if hits:
+                self._bump_meta("hits", hits)
+            if misses:
+                self._bump_meta("misses", misses)
+            if implied:
+                self._bump_meta("implied", implied)
+
     # ------------------------------------------------------------ accounting
 
     def __len__(self) -> int:

@@ -158,6 +158,12 @@ class BatchScheduler:
         ``False`` disables duplicate coalescing (every request becomes its
         own flight) — kept for the ``benchmarks/bench_service.py`` baseline,
         not for production use.
+    dispatcher:
+        A :class:`~repro.engine.remote.Dispatcher` to route waves through a
+        persistent job queue instead of the in-process pool (``repro serve
+        --queue``).  The store fast path and coalescing still run here; only
+        the wave execution moves — the dispatcher's ``run_batch`` mirrors
+        the engine's contract, so everything downstream is unchanged.
     """
 
     def __init__(
@@ -166,11 +172,13 @@ class BatchScheduler:
         window: float = 0.02,
         max_wave: int = 32,
         coalesce: bool = True,
+        dispatcher=None,
     ):
         self.engine = engine
         self.window = max(0.0, float(window))
         self.max_wave = max(1, int(max_wave))
         self.coalesce = coalesce
+        self.dispatcher = dispatcher
         self.stats = ServiceStats()
         self._flights: dict[tuple, _Flight] = {}
         self._pending: list[_Flight] = []
@@ -347,10 +355,13 @@ class BatchScheduler:
             for flight in wave:
                 if flight.wait_span is not None:
                     flight.wait_span.end(wave_jobs=len(specs))
+            run_batch = (
+                self.dispatcher.run_batch
+                if self.dispatcher is not None
+                else self.engine.run_batch
+            )
             try:
-                report = await loop.run_in_executor(
-                    None, self.engine.run_batch, specs
-                )
+                report = await loop.run_in_executor(None, run_batch, specs)
             except Exception as exc:  # noqa: BLE001 - resolved, not raised
                 for flight in wave:
                     self._flights.pop(flight.spec.key(), None)
@@ -429,4 +440,6 @@ class BatchScheduler:
         payload.update(self.engine.stats_snapshot())
         payload["in_flight"] = len(self._flights)
         payload["queued"] = len(self._pending)
+        if self.dispatcher is not None:
+            payload["queue"] = self.dispatcher.stats()
         return payload

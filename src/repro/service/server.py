@@ -54,7 +54,11 @@ from urllib.parse import parse_qs
 
 from repro.core.hypergraph import Hypergraph
 from repro.engine.engine import DecompositionEngine
-from repro.engine.store import ResultStore
+# Imported for the side effect too: registering the repro_queue_* metric
+# families so /metrics always exposes them, queue-backed or not.
+from repro.engine.queue import JobQueue
+from repro.engine.remote import Dispatcher
+from repro.engine.shards import open_result_store
 from repro.errors import ReproError
 from repro.io.hg_format import parse_hypergraph
 from repro.obs.metrics import Gauge, REGISTRY
@@ -305,6 +309,11 @@ class DecompositionServer:
                 "version": __version__,
                 "pid": os.getpid(),
                 "cache": store.path if store is not None else None,
+                "queue": (
+                    self.scheduler.dispatcher.queue.path
+                    if getattr(self.scheduler, "dispatcher", None) is not None
+                    else None
+                ),
                 "in_flight": len(self.scheduler._flights),
             }
         if path == "/stats":
@@ -353,6 +362,17 @@ class DecompositionServer:
         )
         uptime.set(self.scheduler.stats.uptime_seconds)
         gauges.append(uptime)
+        dispatcher = getattr(self.scheduler, "dispatcher", None)
+        if dispatcher is not None:
+            snapshot = dispatcher.queue.stats()
+            for name, help_text, value in (
+                ("repro_queue_depth", "Jobs leasable right now.", snapshot["depth"]),
+                ("repro_queue_leased", "Jobs currently under lease.", snapshot["leased"]),
+                ("repro_queue_dead_jobs", "Jobs that exhausted their attempt budget.", snapshot["dead"]),
+            ):
+                gauge = Gauge(name, help_text)
+                gauge.set(value)
+                gauges.append(gauge)
         return gauges
 
     async def _run_job(self, path: str, payload: dict) -> dict:
@@ -487,27 +507,45 @@ async def serve(
     max_wave: int = 32,
     slow_request_seconds: float | None = 1.0,
     trace_journal: str | None = None,
+    queue_path: str | None = None,
+    shards: int | None = None,
 ) -> None:
     """Run the service until cancelled (the ``repro serve`` entry point).
 
     ``trace_journal`` appends every finished span as JSONL to the given path
     (readable offline with ``repro trace show --journal``);
     ``slow_request_seconds`` tunes the slow-request log threshold.
+
+    ``queue_path`` switches wave execution to distributed dispatch: waves go
+    into the persistent job queue at that path, and external ``repro
+    worker`` processes (sharing the queue and ``--cache``) execute them.
+    The serving process then does no decomposition work itself — with no
+    workers attached, requests wait in the queue.  ``shards`` opens the
+    cache as a :class:`~repro.engine.shards.ShardedResultStore` (N files,
+    routed by fingerprint), the layout that spreads worker write-back.
     """
     if trace_journal is not None:
         TRACER.set_journal(trace_journal)
-    store = ResultStore(store_path) if store_path is not None else ResultStore()
+    store = open_result_store(store_path, shards=shards)
     engine = DecompositionEngine(store=store, jobs=jobs)
-    scheduler = BatchScheduler(engine, window=window, max_wave=max_wave)
+    dispatcher = None
+    if queue_path is not None:
+        dispatcher = Dispatcher(JobQueue(queue_path), engine)
+    scheduler = BatchScheduler(
+        engine, window=window, max_wave=max_wave, dispatcher=dispatcher
+    )
     server = DecompositionServer(
         scheduler, host=host, port=port, slow_request_seconds=slow_request_seconds
     )
     await server.start()
+    mode = f", queue={queue_path}" if queue_path is not None else ""
     print(f"repro service on {server.url} "
-          f"(jobs={jobs}, cache={store_path or ':memory:'})", flush=True)
+          f"(jobs={jobs}, cache={store_path or ':memory:'}{mode})", flush=True)
     try:
         await server.serve_forever()
     except asyncio.CancelledError:
         pass
     finally:
         await server.stop(close_engine=True)
+        if dispatcher is not None:
+            dispatcher.queue.close()

@@ -1,12 +1,24 @@
-"""Shared fixtures: hypergraphs with known widths, small databases, helpers."""
+"""Shared fixtures: hypergraphs with known widths, small databases, helpers,
+and the fault-injection harness for the distributed-dispatch tests (a
+controllable clock for lease expiry, worker subprocesses, and a
+``crashing_worker`` that SIGKILLs one mid-lease)."""
 
 from __future__ import annotations
 
+import os
 import random
+import signal
+import sqlite3
+import subprocess
+import sys
+import time
+from pathlib import Path
 
 import pytest
 
 from repro.core.hypergraph import Hypergraph
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 @pytest.fixture
@@ -92,3 +104,111 @@ def random_hypergraph(
         arity = rng.randint(1, min(max_arity, num_vertices))
         edges[f"e{j}"] = rng.sample(pool, arity)
     return Hypergraph(edges, name=f"rand{seed}").dedupe()
+
+
+# --------------------------------------------------- fault-injection harness
+
+
+class FakeClock:
+    """A controllable time source for deterministic lease-expiry tests.
+
+    Inject as ``JobQueue(clock=fake_clock)``; :meth:`advance` is the clock
+    skew — jump past a lease deadline without sleeping and the next
+    ``requeue_expired()`` sweep sees the lease as expired.
+    """
+
+    def __init__(self, start: float = 1_000_000.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        self.now += float(seconds)
+        return self.now
+
+
+@pytest.fixture
+def fake_clock() -> FakeClock:
+    return FakeClock()
+
+
+def spawn_worker(
+    queue_path: Path,
+    cache_path: Path | None = None,
+    *extra_args: str,
+) -> subprocess.Popen:
+    """Start a real ``repro worker`` process against the given queue.
+
+    Used both directly (the two-worker end-to-end test) and by the
+    ``crashing_worker`` fixture.  The caller owns the process; SIGKILLing it
+    is an intended use.
+    """
+    cmd = [sys.executable, "-m", "repro", "worker", "--queue", str(queue_path)]
+    if cache_path is not None:
+        cmd += ["--cache", str(cache_path)]
+    cmd += list(extra_args)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        cmd, env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+    )
+
+
+def wait_for_leased(queue_path: Path, minimum: int = 1, timeout: float = 30.0) -> int:
+    """Block until ≥ ``minimum`` jobs are under lease in the queue file.
+
+    Reads the SQLite file directly (read-only is enough under WAL) so the
+    observation does not perturb the queue under test.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with sqlite3.connect(queue_path, timeout=1.0) as conn:
+                leased = conn.execute(
+                    "SELECT COUNT(*) FROM jobs WHERE state = 'leased'"
+                ).fetchone()[0]
+        except sqlite3.DatabaseError:
+            leased = 0
+        if leased >= minimum:
+            return leased
+        time.sleep(0.02)
+    raise TimeoutError(f"never saw {minimum} leased job(s) in {queue_path}")
+
+
+@pytest.fixture
+def crashing_worker():
+    """A worker launcher whose processes get SIGKILLed mid-lease.
+
+    Yields ``crash(queue_path, cache_path, **kw)``: starts a real worker
+    subprocess, waits until it holds at least one lease, then SIGKILLs it —
+    no atexit hooks, no cleanup, exactly like an OOM-kill or a powered-off
+    host.  Returns the killed process (already reaped).  Any stragglers are
+    killed at teardown.
+    """
+    procs: list[subprocess.Popen] = []
+
+    def crash(
+        queue_path: Path,
+        cache_path: Path | None = None,
+        *extra_args: str,
+        min_leased: int = 1,
+    ) -> subprocess.Popen:
+        proc = spawn_worker(queue_path, cache_path, *extra_args)
+        procs.append(proc)
+        try:
+            wait_for_leased(queue_path, minimum=min_leased)
+        except TimeoutError:
+            proc.kill()
+            proc.wait(timeout=10)
+            raise
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=10)
+        return proc
+
+    yield crash
+
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)

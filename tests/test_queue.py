@@ -1,0 +1,519 @@
+"""Distributed dispatch, proven correct under fault injection.
+
+Four layers of evidence, bottom up:
+
+1. **Queue lifecycle** — the `pending → leased → done|failed|dead` state
+   machine on one in-memory queue with a controllable clock: exclusive
+   leases, monotone deadlines, lease-fenced completion, exponential backoff,
+   attempt budgets, expiry sweeping, idempotent enqueue.
+2. **Property-based invariants** (hypothesis) — arbitrary interleavings of
+   enqueue / lease / complete / fail / clock-skew / sweep never double-lease
+   a live job, never exceed an attempt budget, and always drain every job
+   to ``done`` or ``dead``.
+3. **Crash recovery** — a *real* worker subprocess SIGKILLed mid-lease: its
+   leases expire, the sweeper requeues them, a second worker completes
+   them, and nothing is lost or duplicated.
+4. **End-to-end equivalence** — a two-worker distributed ``run_batch``
+   produces verdicts identical to the single-process engine on the same
+   specs; a dispatcher that "crashes" resumes from its journal without
+   re-dispatching finished work.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    DecompositionEngine,
+    Dispatcher,
+    JobQueue,
+    JobSpec,
+    QueueWorker,
+    ResultStore,
+)
+from repro.engine.queue import (
+    DEAD,
+    DONE,
+    FAILED,
+    LEASED,
+    PENDING,
+    payload_from_spec,
+    spec_from_payload,
+)
+from repro.obs.trace import TraceContext
+from tests.conftest import FakeClock, random_hypergraph, spawn_worker, wait_for_leased
+
+
+# ---------------------------------------------------------------- lifecycle
+
+
+class TestQueueLifecycle:
+    def test_enqueue_is_idempotent_on_spec_key(self, triangle):
+        queue = JobQueue()
+        spec = JobSpec.check(triangle, 2)
+        first = queue.enqueue(spec)
+        second = queue.enqueue(spec)
+        assert first.created and not second.created
+        assert first.job_id == second.job_id
+        assert len(queue) == 1
+
+    def test_lease_is_exclusive_while_live(self, triangle):
+        queue = JobQueue()
+        queue.enqueue(JobSpec.check(triangle, 2))
+        assert len(queue.lease("w1", 5)) == 1
+        assert queue.lease("w2", 5) == []
+        assert queue.lease("w1", 5) == []  # not even to the same worker
+
+    def test_lease_rebuilds_the_spec(self, triangle):
+        queue = JobQueue()
+        spec = JobSpec.check(triangle, 2, timeout=5.0)
+        queue.enqueue(spec)
+        lease = queue.lease("w", 1)[0]
+        rebuilt = lease.spec()
+        assert rebuilt.key() == spec.key()
+        assert rebuilt.hypergraph.edges == spec.hypergraph.edges
+
+    def test_complete_is_lease_fenced(self, triangle, fake_clock):
+        queue = JobQueue(clock=fake_clock)
+        queue.enqueue(JobSpec.check(triangle, 2))
+        lease = queue.lease("w1", 1, lease_seconds=5)[0]
+        # the sweeper revokes the lease before w1 reports
+        fake_clock.advance(6)
+        assert queue.requeue_expired() == 1
+        assert not queue.complete("w1", lease.job_id, {"verdict": "yes"})
+        # the re-lease's completion (after backoff) is the one that counts
+        fake_clock.advance(1)
+        release = queue.lease("w2", 1)[0]
+        assert queue.complete("w2", release.job_id, {"verdict": "yes"})
+        assert queue.job(lease.job_id)["state"] == DONE
+        assert queue.stats()["counters"]["completed"] == 1
+
+    def test_extend_deadlines_are_monotone(self, triangle, fake_clock):
+        queue = JobQueue(clock=fake_clock)
+        queue.enqueue(JobSpec.check(triangle, 2))
+        lease = queue.lease("w", 1, lease_seconds=100)[0]
+        # a shorter heartbeat must never shrink the deadline
+        assert queue.extend("w", [lease.job_id], lease_seconds=1) == 1
+        assert queue.job(lease.job_id)["lease_deadline"] == lease.deadline
+        fake_clock.advance(50)
+        assert queue.extend("w", [lease.job_id], lease_seconds=100) == 1
+        assert queue.job(lease.job_id)["lease_deadline"] == pytest.approx(
+            fake_clock.now + 100
+        )
+
+    def test_extend_reports_revoked_leases(self, triangle, fake_clock):
+        queue = JobQueue(clock=fake_clock)
+        queue.enqueue(JobSpec.check(triangle, 2))
+        lease = queue.lease("w1", 1, lease_seconds=5)[0]
+        fake_clock.advance(10)
+        queue.requeue_expired()
+        assert queue.extend("w1", [lease.job_id]) == 0
+
+    def test_fail_backs_off_exponentially_then_kills(self, triangle, fake_clock):
+        queue = JobQueue(clock=fake_clock, max_attempts=3, backoff=1.0)
+        queue.enqueue(JobSpec.check(triangle, 2))
+        delays = []
+        for attempt in range(1, 4):
+            lease = queue.lease("w", 1, lease_seconds=60)
+            assert len(lease) == 1, f"attempt {attempt} not leasable"
+            assert lease[0].attempts == attempt
+            assert queue.fail("w", lease[0].job_id, f"boom {attempt}")
+            job = queue.job(lease[0].job_id)
+            if attempt < 3:
+                assert job["state"] == FAILED
+                delays.append(job["not_before"] - fake_clock.now)
+                assert queue.lease("w", 1) == []  # backoff gates the re-lease
+                fake_clock.advance(delays[-1])
+            else:
+                assert job["state"] == DEAD
+                assert job["error"] == "boom 3"
+        assert delays == [1.0, 2.0]  # backoff * 2**(attempts-1)
+        assert queue.lease("w", 1) == []
+
+    def test_expiry_consumes_the_attempt_budget(self, triangle, fake_clock):
+        queue = JobQueue(clock=fake_clock, max_attempts=2, backoff=0.5)
+        queue.enqueue(JobSpec.check(triangle, 2))
+        for _ in range(2):
+            assert len(queue.lease("w", 1, lease_seconds=5)) == 1
+            fake_clock.advance(10)
+            assert queue.requeue_expired() == 1
+            fake_clock.advance(1)  # clear the retry backoff
+        stats = queue.stats()
+        assert stats["dead"] == 1
+        assert stats["counters"]["expired"] == 2
+        assert stats["counters"]["retries"] == 1
+
+    def test_failed_attempts_are_leasable_after_backoff(self, triangle, fake_clock):
+        queue = JobQueue(clock=fake_clock, backoff=2.0)
+        queue.enqueue(JobSpec.check(triangle, 2))
+        lease = queue.lease("w", 1)[0]
+        queue.fail("w", lease.job_id, "transient")
+        assert queue.job(lease.job_id)["state"] == FAILED
+        assert queue.stats()["depth"] == 0
+        fake_clock.advance(2.0)
+        assert queue.stats()["depth"] == 1
+        again = queue.lease("w", 1)[0]
+        assert queue.complete("w", again.job_id, {"verdict": "yes"})
+        assert queue.job(again.job_id)["error"] is None
+
+    def test_resurrect_dead_restores_the_budget(self, triangle, fake_clock):
+        queue = JobQueue(clock=fake_clock, max_attempts=1)
+        queue.enqueue(JobSpec.check(triangle, 2))
+        lease = queue.lease("w", 1, lease_seconds=1)[0]
+        fake_clock.advance(5)
+        queue.requeue_expired()
+        assert queue.job(lease.job_id)["state"] == DEAD
+        assert queue.resurrect_dead() == 1
+        job = queue.job(lease.job_id)
+        assert job["state"] == PENDING and job["attempts"] == 0
+
+    def test_queue_survives_reopen(self, triangle, tmp_path):
+        path = tmp_path / "queue.db"
+        spec = JobSpec.check(triangle, 2)
+        with JobQueue(path) as queue:
+            queue.enqueue(spec)
+            queue.lease("w", 1)
+        with JobQueue(path) as queue:
+            assert len(queue) == 1
+            assert queue.stats()[LEASED] == 1
+            existing = queue.enqueue(spec)
+            assert not existing.created
+
+    def test_stats_counts_states_and_counters(self, triangle, fake_clock):
+        queue = JobQueue(clock=fake_clock)
+        specs = [JobSpec.check(random_hypergraph(seed), 2) for seed in range(4)]
+        ids = [queue.enqueue(s).job_id for s in specs]
+        leases = queue.lease("w", 2)
+        queue.complete("w", leases[0].job_id, {"verdict": "yes"})
+        stats = queue.stats()
+        assert stats["total"] == 4
+        assert stats[DONE] == 1 and stats[LEASED] == 1 and stats[PENDING] == 2
+        assert stats["depth"] == 2
+        assert stats["counters"]["enqueued"] == 4
+        assert stats["counters"]["leased"] == 2
+        assert stats["counters"]["completed"] == 1
+        assert set(queue.poll(ids)) == {leases[0].job_id}
+
+
+class TestPayloadRoundTrip:
+    def test_spec_round_trips_with_trace(self, triangle):
+        trace = TraceContext("t" * 16, "s" * 8)
+        spec = JobSpec.width(triangle, max_k=4, method="balsep", timeout=2.5, trace=trace)
+        rebuilt = spec_from_payload(payload_from_spec(spec))
+        assert rebuilt.key() == spec.key()
+        assert rebuilt.hypergraph.edges == spec.hypergraph.edges
+        assert rebuilt.hypergraph.name == triangle.name
+        assert tuple(rebuilt.trace) == tuple(trace)
+
+    def test_payload_is_byte_stable_for_equal_specs(self, triangle):
+        import json
+
+        from repro.core.hypergraph import Hypergraph
+
+        shuffled = Hypergraph(
+            {"t": ["x", "z"], "s": ["z", "y"], "r": ["y", "x"]}, name="triangle"
+        )
+        a = json.dumps(payload_from_spec(JobSpec.check(triangle, 2)), sort_keys=True)
+        b = json.dumps(payload_from_spec(JobSpec.check(shuffled, 2)), sort_keys=True)
+        assert a == b
+
+
+# ----------------------------------------------------- property-based model
+
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("enqueue"), st.integers(0, 5)),
+        st.tuples(st.just("lease"), st.sampled_from(["w1", "w2", "w3"])),
+        st.tuples(st.just("complete"), st.sampled_from(["w1", "w2", "w3"])),
+        st.tuples(st.just("fail"), st.sampled_from(["w1", "w2", "w3"])),
+        st.tuples(st.just("advance"), st.floats(0.1, 30.0)),
+        st.tuples(st.just("sweep"), st.just(None)),
+    ),
+    max_size=40,
+)
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(ops=_OPS)
+def test_queue_invariants_hold_under_arbitrary_interleavings(ops):
+    """No double-lease, budget respected, and every job drains to done|dead."""
+    clock = FakeClock()
+    max_attempts = 3
+    queue = JobQueue(
+        clock=clock, max_attempts=max_attempts, backoff=1.0, lease_seconds=10.0
+    )
+    held: dict[str, list[int]] = {"w1": [], "w2": [], "w3": []}
+    enqueued: set[int] = set()
+
+    def check_invariants() -> None:
+        seen: set[int] = set()
+        for jobs in held.values():
+            for job_id in jobs:
+                row = queue.job(job_id)
+                if row["state"] != LEASED:
+                    continue  # lease silently revoked by a sweep — allowed
+                assert job_id not in seen, "job under two live leases"
+                seen.add(job_id)
+        for job_id in enqueued:
+            assert queue.job(job_id)["attempts"] <= max_attempts
+
+    for op, arg in ops:
+        if op == "enqueue":
+            job = queue.enqueue({"n": arg}, key=("job", arg))
+            enqueued.add(job.job_id)
+        elif op == "lease":
+            for lease in queue.lease(arg, 2):
+                held[arg].append(lease.job_id)
+        elif op == "complete":
+            if held[arg]:
+                queue.complete(arg, held[arg].pop(0), {"verdict": "yes"})
+        elif op == "fail":
+            if held[arg]:
+                queue.fail(arg, held[arg].pop(0), "injected")
+        elif op == "advance":
+            clock.advance(arg)
+        elif op == "sweep":
+            queue.requeue_expired()
+        check_invariants()
+
+    # Drain: losing every worker and sweeping forever must terminate every
+    # job — the attempt budget bounds the retries.
+    for worker in held.values():
+        worker.clear()
+    for _ in range(4 * max_attempts):
+        clock.advance(60.0)
+        queue.requeue_expired()
+        for lease in queue.lease("drain", 100):
+            queue.complete("drain", lease.job_id, {"verdict": "yes"})
+    for job_id in enqueued:
+        row = queue.job(job_id)
+        assert row["state"] in (DONE, DEAD), row
+        assert row["attempts"] <= max_attempts
+
+
+# ---------------------------------------------------------- crash recovery
+
+
+def _enqueue_specs(queue: JobQueue, count: int, k: int = 2) -> list[JobSpec]:
+    specs = [JobSpec.check(random_hypergraph(seed), k) for seed in range(count)]
+    for spec in specs:
+        queue.enqueue(spec)
+    return specs
+
+
+def _slow_specs(count: int) -> list[JobSpec]:
+    """Distinct `hw(K8+pendants) <= 3` jobs, each ~0.1 s: long enough that a
+    worker wave stays observably ``leased`` while the fault injector aims."""
+    from repro.core.hypergraph import Hypergraph
+    from tests.conftest import clique_hypergraph
+
+    specs = []
+    for tag in range(count):
+        edges = {k: list(v) for k, v in clique_hypergraph(8).edges.items()}
+        edges[f"p{tag}"] = ["v0", f"w{tag}"]
+        for i in range(tag):
+            edges[f"q{tag}_{i}"] = [f"w{tag}", f"u{tag}_{i}"]
+        specs.append(JobSpec.check(Hypergraph(edges, name=f"K8p{tag}"), 3))
+    return specs
+
+
+def _drain_in_thread(
+    queue: JobQueue, store, lease_n: int = 4, timeout: float = 60.0
+) -> QueueWorker:
+    """Run an in-thread worker until the queue holds no runnable work."""
+    import time
+
+    engine = DecompositionEngine(store=store)
+    worker = QueueWorker(queue, engine, lease_n=lease_n, poll=0.01)
+    thread = threading.Thread(target=worker.run, kwargs={"max_idle": timeout}, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        queue.requeue_expired()
+        stats = queue.stats()
+        if stats[DONE] + stats[DEAD] == stats["total"]:
+            break
+        time.sleep(0.05)
+    worker.stop()
+    thread.join(timeout=10)
+    return worker
+
+
+class TestCrashRecovery:
+    def test_sigkilled_worker_leases_expire_and_complete_elsewhere(
+        self, tmp_path, crashing_worker
+    ):
+        """The acceptance scenario: kill a worker mid-lease, lose nothing.
+
+        A real subprocess worker leases jobs and dies by SIGKILL (as an OOM
+        kill would).  Its heartbeat dies with it, the leases expire, the
+        sweeper requeues them, and an in-thread worker finishes the queue —
+        every job exactly once, verdicts matching a single-process run.
+        """
+        queue_path = tmp_path / "queue.db"
+        cache_path = tmp_path / "cache.db"
+        queue = JobQueue(queue_path, lease_seconds=1.0, backoff=0.05)
+        specs = _slow_specs(12)
+        for spec in specs:
+            queue.enqueue(spec)
+
+        killed = crashing_worker(
+            queue_path,
+            cache_path,
+            "--lease-n", "12",
+            "--lease-seconds", "1",
+            "--poll", "0.05",
+            min_leased=1,
+        )
+        assert killed.returncode == -9  # died by SIGKILL, not cleanly
+
+        # the dead worker still "holds" leases; they must expire, not block
+        stats = queue.stats()
+        assert stats[DONE] + stats[LEASED] + stats[PENDING] == stats["total"]
+        survivor = _drain_in_thread(queue, ResultStore(cache_path))
+        assert survivor.completed > 0
+
+        stats = queue.stats()
+        assert stats[DONE] == len(specs), stats
+        assert stats[DEAD] == 0, stats
+        assert stats["counters"]["expired"] > 0, "no lease ever expired"
+        # exactly-once: completions equal jobs, despite the re-leases
+        assert stats["counters"]["completed"] == len(specs)
+
+        # no lost and no corrupted results: verdicts match a fresh engine
+        reference = DecompositionEngine(store=ResultStore()).run_batch(specs)
+        for spec, expected in zip(specs, reference.results):
+            state, payload, _error = queue.poll(
+                [queue.enqueue(spec).job_id]
+            ).popitem()[1]
+            assert state == DONE
+            assert payload["verdict"] == expected.verdict
+
+    def test_clock_skew_shim_expires_leases_without_waiting(
+        self, triangle, fake_clock
+    ):
+        """The same recovery logic, driven purely by the clock shim."""
+        queue = JobQueue(clock=fake_clock, backoff=0.0)
+        queue.enqueue(JobSpec.check(triangle, 2))
+        queue.lease("doomed", 1, lease_seconds=30)
+        assert queue.requeue_expired() == 0
+        fake_clock.advance(31)
+        assert queue.requeue_expired() == 1
+        release = queue.lease("survivor", 1)
+        assert len(release) == 1 and release[0].attempts == 2
+
+
+# ------------------------------------------------- dispatcher + end-to-end
+
+
+class TestDispatcher:
+    def test_journal_resume_after_dispatcher_crash(self, tmp_path):
+        """A restarted dispatcher re-runs nothing the journal already has."""
+        queue = JobQueue(tmp_path / "queue.db", lease_seconds=10)
+        store = ResultStore(tmp_path / "cache.db")
+        journal = tmp_path / "batch.jsonl"
+        first_wave = [JobSpec.check(random_hypergraph(seed), 2) for seed in range(4)]
+        full_batch = first_wave + [
+            JobSpec.check(random_hypergraph(seed), 2) for seed in range(4, 8)
+        ]
+
+        worker_engine = DecompositionEngine(store=store)
+        worker = QueueWorker(queue, worker_engine, lease_n=4, poll=0.01)
+        thread = threading.Thread(target=worker.run, kwargs={"max_idle": 30}, daemon=True)
+        thread.start()
+        try:
+            # "crashing" dispatcher: finishes the first half, then is gone
+            crashed = Dispatcher(queue, DecompositionEngine(store=store), wait_timeout=60)
+            report = crashed.run_batch(first_wave, journal=str(journal))
+            assert report.total == 4 and len(report.results) == 4
+
+            # restart: a new dispatcher object, same journal, full batch
+            restarted = Dispatcher(queue, DecompositionEngine(store=store), wait_timeout=60)
+            report = restarted.run_batch(full_batch, journal=str(journal))
+        finally:
+            worker.stop()
+            thread.join(timeout=10)
+
+        assert report.total == 8
+        assert report.resumed == 4, "journalled first wave was not resumed"
+        assert len(report.results) == 8
+        # the resumed half cost no new queue traffic
+        assert restarted.dispatched <= 4
+
+    def test_reconciles_completions_it_never_saw(self, tmp_path):
+        """Queue `done` rows from a previous run are adopted, not re-run."""
+        queue = JobQueue(tmp_path / "queue.db")
+        store = ResultStore(tmp_path / "cache.db")
+        specs = _enqueue_specs(queue, 3)
+        _drain_in_thread(queue, store)  # a worker finished everything...
+
+        dispatcher = Dispatcher(queue, engine=None, wait_timeout=10)
+        report = dispatcher.run_batch(specs)  # ...before this dispatcher ran
+        assert report.resumed == 3 and dispatcher.reconciled == 3
+        assert dispatcher.dispatched == 0
+        assert [r.verdict for r in report.results] != []
+
+    def test_dead_jobs_surface_as_error_verdicts(self, tmp_path, fake_clock):
+        queue = JobQueue(
+            tmp_path / "queue.db", clock=fake_clock, max_attempts=1, backoff=0.0
+        )
+        spec = JobSpec.check(random_hypergraph(0), 2)
+        queue.enqueue(spec)
+        lease = queue.lease("crashy", 1, lease_seconds=1)[0]
+        queue.fail("crashy", lease.job_id, "simulated crash")
+        dispatcher = Dispatcher(queue, engine=None, wait_timeout=5)
+        report = dispatcher.run_batch([spec])
+        assert report.results[0].verdict == "error"
+
+
+class TestTwoWorkerEndToEnd:
+    def test_two_process_run_matches_single_process_engine(self, tmp_path):
+        """≥ 48 jobs across two real worker processes ≡ one in-process run."""
+        queue_path = tmp_path / "queue.db"
+        cache_dir = tmp_path / "cache.d"
+        specs = [JobSpec.check(random_hypergraph(seed), 2) for seed in range(48)]
+
+        workers = [
+            spawn_worker(
+                queue_path,
+                cache_dir,
+                "--shards", "4",
+                "--lease-n", "6",
+                "--poll", "0.05",
+                "--max-idle", "20",
+            )
+            for _ in range(2)
+        ]
+        try:
+            queue = JobQueue(queue_path, lease_seconds=30)
+            from repro.engine import open_result_store
+
+            store = open_result_store(cache_dir, shards=4)
+            dispatcher = Dispatcher(
+                queue, DecompositionEngine(store=store), wait_timeout=120
+            )
+            report = dispatcher.run_batch(specs)
+        finally:
+            for proc in workers:
+                if proc.poll() is None:
+                    proc.terminate()
+                proc.wait(timeout=30)
+
+        assert report.total == 48 and len(report.results) == 48
+        reference = DecompositionEngine(store=ResultStore()).run_batch(specs)
+        assert [r.verdict for r in report.results] == [
+            r.verdict for r in reference.results
+        ]
+        # exactly-once per distinct job: duplicate specs collapse onto one
+        # queue row, and nothing was completed twice
+        unique_jobs = len({spec.key() for spec in specs})
+        assert queue.stats()["counters"]["completed"] == unique_jobs

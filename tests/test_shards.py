@@ -1,0 +1,235 @@
+"""The fingerprint-sharded result store.
+
+Routing determinism (every process agrees on each row's home shard),
+``kind_bounds`` replication (implied answers stay shard-local no matter
+which shard a reader consults), the aggregated accounting surfaces the CLI
+``cache stats|clear`` commands sit on, LRU capping split across shards, and
+in-place migration of a pre-shard single-file cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.decomp.driver import CheckOutcome
+from repro.engine import (
+    DecompositionEngine,
+    JobSpec,
+    ResultStore,
+    ShardedResultStore,
+    fingerprint,
+    open_result_store,
+)
+from repro.engine.shards import shard_for
+from repro.errors import ReproError
+from tests.conftest import random_hypergraph
+from tests.test_cross_bounds import write_pr2_era_store
+
+
+def _fingerprints(count: int) -> list[str]:
+    return [fingerprint(random_hypergraph(seed)) for seed in range(count)]
+
+
+# ---------------------------------------------------------------- routing
+
+
+class TestRouting:
+    def test_routing_is_deterministic_and_in_range(self):
+        for n_shards in (1, 2, 4, 7):
+            for fp in _fingerprints(20):
+                route = shard_for(fp, n_shards)
+                assert 0 <= route < n_shards
+                assert route == shard_for(fp, n_shards)  # stable
+                assert route == int(fp[:2], 16) % n_shards
+
+    def test_non_hex_fingerprints_still_route(self):
+        assert 0 <= shard_for("not-hex-at-all", 4) < 4
+        assert shard_for("not-hex-at-all", 4) == shard_for("not-hex-at-all", 4)
+
+    def test_rows_land_on_their_routed_shard(self, tmp_path):
+        fps = _fingerprints(12)
+        with ShardedResultStore(tmp_path / "cache.d", shards=4) as store:
+            for fp in fps:
+                store.put(fp, "hd", 2, None, CheckOutcome("yes", 0.1))
+            for fp in fps:
+                owner = shard_for(fp, 4)
+                for index, shard in enumerate(store.shards):
+                    # bounds=False bypasses the replicated knowledge layer,
+                    # so only the owner holds the literal row
+                    hit = shard.get(fp, "hd", 2, None, record=False, bounds=False)
+                    assert (hit is not None) == (index == owner)
+
+    def test_reopen_recovers_the_same_routing(self, tmp_path):
+        fps = _fingerprints(8)
+        with ShardedResultStore(tmp_path / "cache.d", shards=3) as store:
+            for fp in fps:
+                store.put(fp, "hd", 2, None, CheckOutcome("no", 0.1))
+        # no shard count passed: the manifest decides
+        with open_result_store(tmp_path / "cache.d") as store:
+            assert isinstance(store, ShardedResultStore)
+            assert store.n_shards == 3
+            for fp in fps:
+                assert store.get(fp, "hd", 2, None, record=False).verdict == "no"
+
+    def test_conflicting_shard_count_is_refused(self, tmp_path):
+        with ShardedResultStore(tmp_path / "cache.d", shards=2):
+            pass
+        with pytest.raises(ReproError, match="resharding"):
+            ShardedResultStore(tmp_path / "cache.d", shards=5)
+
+
+# ------------------------------------------------------------- replication
+
+
+class TestKindBoundsReplication:
+    def test_every_shard_sees_the_owners_kind_bounds(self, tmp_path):
+        fps = _fingerprints(10)
+        with ShardedResultStore(tmp_path / "cache.d", shards=4) as store:
+            for fp in fps:
+                store.put(fp, "hd", 2, None, CheckOutcome("yes", 0.1))
+                store.put(fp, "hd", 1, None, CheckOutcome("no", 0.1))
+            for fp in fps:
+                expected = store.kind_bounds(fp, "hw")
+                assert expected == (2, 2)
+                for shard in store.shards:
+                    assert shard.kind_bounds(fp, "hw") == expected
+
+    def test_implied_answers_are_shard_local(self, tmp_path):
+        """A reader must never need a cross-shard query to prune a job.
+
+        hw ≤ 2 implies ghw ≤ 2 (and hw ≥ 2 implies ghw ≥ ceil(2/3) wait —
+        the exact relation lives in WIDTH_RELATIONS); the point here is
+        that whatever `implied` derives on the owner is derivable on every
+        shard, because the kind_bounds rows were replicated.
+        """
+        fps = _fingerprints(10)
+        with ShardedResultStore(tmp_path / "cache.d", shards=4) as store:
+            for fp in fps:
+                store.put(fp, "hd", 2, None, CheckOutcome("yes", 0.1))
+            for fp in fps:
+                owner_implied = store.implied(fp, "balsep", 2)
+                assert owner_implied is not None  # hw <= 2 => ghw <= 2
+                for shard in store.shards:
+                    local = shard.implied(fp, "balsep", 2)
+                    assert local is not None
+                    assert local.verdict == owner_implied.verdict
+
+    def test_aggregate_kind_rows_dedupe_replicas(self, tmp_path):
+        fps = _fingerprints(6)
+        with ShardedResultStore(tmp_path / "cache.d", shards=4) as store:
+            for fp in fps:
+                store.put(fp, "hd", 2, None, CheckOutcome("yes", 0.1))
+            rows = store.kind_bounds_rows()
+            keys = [(fp, kind) for fp, kind, _lo, _hi in rows]
+            assert len(keys) == len(set(keys)), "replicas leaked into the view"
+            assert {fp for fp, _ in keys} == set(fps)
+
+
+# -------------------------------------------------- accounting + eviction
+
+
+class TestAccountingAndEviction:
+    def test_engine_runs_identically_on_a_sharded_store(self, tmp_path):
+        specs = [JobSpec.check(random_hypergraph(seed), 2) for seed in range(12)]
+        sharded = DecompositionEngine(
+            store=ShardedResultStore(tmp_path / "cache.d", shards=4)
+        )
+        plain = DecompositionEngine(store=ResultStore())
+        assert [r.verdict for r in sharded.run_batch(specs).results] == [
+            r.verdict for r in plain.run_batch(specs).results
+        ]
+        # second pass: everything replays from the shards
+        rerun = sharded.run_batch(specs)
+        assert rerun.executed == 0
+        assert rerun.cache_hits == len(specs)
+
+    def test_lru_cap_is_split_across_shards(self):
+        store = ShardedResultStore(shards=4, max_entries=8)
+        for fp in _fingerprints(40):
+            store.put(fp, "hd", 2, None, CheckOutcome("yes", 0.1))
+        assert len(store) <= 8 + 4  # per-shard ceil split: total <= cap + n
+        assert all(len(shard) <= 2 for shard in store.shards)
+
+    def test_cli_cache_stats_aggregates_shards(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache.d"
+        with ShardedResultStore(cache_dir, shards=4) as store:
+            for fp in _fingerprints(10):
+                store.put(fp, "hd", 2, None, CheckOutcome("yes", 0.1))
+                store.get(fp, "hd", 2, None)  # one recorded hit each
+        assert main(["cache", "stats", "--cache", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "entries      10" in out
+        assert "hits         10" in out
+
+    def test_cli_cache_clear_empties_every_shard(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache.d"
+        with ShardedResultStore(cache_dir, shards=4) as store:
+            for fp in _fingerprints(10):
+                store.put(fp, "hd", 2, None, CheckOutcome("yes", 0.1))
+        assert main(["cache", "clear", "--cache", str(cache_dir)]) == 0
+        assert "cleared 10" in capsys.readouterr().out
+        with open_result_store(cache_dir) as store:
+            assert len(store) == 0
+            assert all(len(shard) == 0 for shard in store.shards)
+
+
+# --------------------------------------------------------------- migration
+
+
+class TestSingleFileMigration:
+    def test_pre_shard_file_migrates_in_place(self, tmp_path, triangle):
+        """A PR 2-era single-file cache becomes a shard directory, losslessly.
+
+        Two schema eras at once: the old file predates the knowledge layer
+        *and* the shard layout, so opening it sharded exercises the full
+        upgrade path — column migration first (ResultStore), then row
+        distribution (ShardedResultStore)."""
+        path = tmp_path / "cache.db"
+        fp = write_pr2_era_store(path, triangle)
+
+        with ShardedResultStore(path, shards=2) as store:
+            assert store.n_shards == 2
+            assert len(store) == 3
+            hit = store.get(fp, "hd", 2, None, record=False)
+            assert hit.verdict == "yes"
+            assert hit.decomposition_json is not None
+            assert store.bounds(fp, "hd") == (2, 2)
+            # migrated rows rebuilt the knowledge layer and replicated it
+            for shard in store.shards:
+                assert shard.kind_bounds(fp, "hw") == (2, 2)
+
+        assert path.is_dir()
+        backup = tmp_path / "cache.db.preshard"
+        assert backup.is_file(), "original file must survive as a backup"
+        manifest = json.loads((path / "shards.json").read_text())
+        assert manifest == {"version": 1, "shards": 2}
+
+    def test_migrated_rows_route_correctly(self, tmp_path, triangle):
+        path = tmp_path / "cache.db"
+        fp = write_pr2_era_store(path, triangle)
+        with ShardedResultStore(path, shards=2) as store:
+            owner = shard_for(fp, 2)
+            for index, shard in enumerate(store.shards):
+                held = shard.get(fp, "hd", 2, None, record=False, bounds=False)
+                assert (held is not None) == (index == owner)
+
+    def test_lifetime_counters_survive_migration(self, tmp_path, triangle):
+        path = tmp_path / "cache.db"
+        write_pr2_era_store(path, triangle)  # records hits=5 in meta
+        with ShardedResultStore(path, shards=4) as store:
+            assert store.stats.hits == 5
+
+    def test_open_result_store_picks_the_right_flavour(self, tmp_path, triangle):
+        assert isinstance(open_result_store(None), ResultStore)
+        assert isinstance(open_result_store(None, shards=4), ShardedResultStore)
+        single = tmp_path / "single.db"
+        with open_result_store(single) as store:
+            assert isinstance(store, ResultStore)
+        # a single file + --shards migrates; the manifest then sticks
+        with open_result_store(single, shards=2) as store:
+            assert isinstance(store, ShardedResultStore)
+        with open_result_store(single) as store:
+            assert isinstance(store, ShardedResultStore)
+            assert store.n_shards == 2
