@@ -20,23 +20,81 @@ work-avoidance:
 
 Exit status is non-zero if any of those properties fails, so the script
 doubles as the CI service smoke test.
+
+With ``--overload N`` the script instead becomes a burst driver for a
+service running with tight admission budgets (``repro serve
+--max-pending …``): it fires N *distinct* concurrent requests, tallies
+the statuses, and asserts that every answer is a clean 200, 429 or 503 —
+an overloaded service must refuse work, never fail it with a 500.  Used
+by the CI chaos-smoke step (see docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import collections
 import sys
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.hypergraph import Hypergraph
 from repro.service import ServiceClient
+from repro.service.client import ServiceError
+
+
+def overload_burst(host: str, port: int, burst: int) -> int:
+    """Fire ``burst`` distinct concurrent checks; assert no 5xx escapes."""
+
+    def distinct(tag: int) -> Hypergraph:
+        # A (tag+3)-cycle plus a pendant edge: every request has a unique
+        # fingerprint, so coalescing cannot absorb the burst — admission
+        # control has to do the refusing.
+        n = 3 + tag
+        edges = {f"c{i}": [f"x{i}", f"x{(i + 1) % n}"] for i in range(n)}
+        edges["pendant"] = ["x0", f"p{tag}"]
+        return Hypergraph(edges, name=f"burst{tag}")
+
+    statuses: collections.Counter[int] = collections.Counter()
+
+    def ask(tag: int) -> None:
+        with ServiceClient(host=host, port=port, timeout=120.0) as client:
+            try:
+                result = client.check(distinct(tag), 2, tenant=f"t{tag % 4}")
+            except ServiceError as exc:
+                statuses[exc.status] += 1
+                if exc.status in (429, 503):
+                    assert exc.payload.get("verdict") == "rejected", exc.payload
+            else:
+                statuses[200] += 1
+                assert result["verdict"] in ("yes", "no", "expired"), result
+
+    with ThreadPoolExecutor(max_workers=burst) as pool:
+        list(pool.map(ask, range(burst)))
+
+    served = statuses[200]
+    refused = statuses[429] + statuses[503]
+    other = {s: n for s, n in statuses.items() if s not in (200, 429, 503)}
+    print(f"overload burst of {burst}: {served} served, "
+          f"{statuses[429]}x429, {statuses[503]}x503, other={other}")
+    assert not other, f"overloaded service answered non-200/429/503: {other}"
+    assert served + refused == burst, statuses
+    assert served >= 1, "overloaded service served nothing at all"
+    print("overload burst ok: every request was served or cleanly refused")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument(
+        "--overload", type=int, default=0, metavar="N",
+        help="instead of the walkthrough, fire N distinct concurrent "
+             "requests and assert the service only answers 200/429/503",
+    )
     args = parser.parse_args(argv)
+
+    if args.overload:
+        return overload_burst(args.host, args.port, args.overload)
 
     # The paper's running example: the triangle query, hw = ghw = 2.
     triangle = Hypergraph(

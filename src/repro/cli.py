@@ -228,6 +228,47 @@ def build_parser() -> argparse.ArgumentParser:
             "processes instead of the in-process pool"
         ),
     )
+    serve.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help=(
+            "admission control: pending-flight budget; requests beyond it "
+            "get 429 (default: unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--kind-limit", action="append", default=None, metavar="KIND=N",
+        help=(
+            "per-kind in-flight cap, e.g. --kind-limit width=2 "
+            "(repeatable; uncapped kinds admit freely)"
+        ),
+    )
+    serve.add_argument(
+        "--tenant-rate", type=float, default=None, metavar="PER_SECOND",
+        help="per-tenant token-bucket admission rate (default: off)",
+    )
+    serve.add_argument(
+        "--tenant-burst", type=float, default=None, metavar="N",
+        help="per-tenant burst allowance (default: max(1, --tenant-rate))",
+    )
+    serve.add_argument(
+        "--breaker-failures", type=int, default=5, metavar="N",
+        help=(
+            "consecutive wave failures that open the dispatch circuit "
+            "breaker (0 disables breaking; default 5)"
+        ),
+    )
+    serve.add_argument(
+        "--breaker-reset", type=float, default=30.0, metavar="SECONDS",
+        help="open-breaker cooldown before the half-open probe wave",
+    )
+    serve.add_argument(
+        "--drain-seconds", type=float, default=5.0, metavar="SECONDS",
+        help="graceful-drain budget for in-flight waves on SIGTERM/SIGINT",
+    )
+    serve.add_argument(
+        "--max-body-kb", type=int, default=8192, metavar="KB",
+        help="request bodies over this many KiB get 413 (default 8192)",
+    )
     _add_engine_flags(
         serve,
         jobs_help="worker processes shared by all clients (1 = in-process)",
@@ -610,6 +651,18 @@ def _cmd_serve(args) -> int:
     store_path = str(args.cache) if args.cache is not None else None
     slow = args.slow_ms / 1000.0 if args.slow_ms > 0 else None
     journal = str(args.trace_journal) if args.trace_journal is not None else None
+    kind_limits = None
+    if args.kind_limit:
+        kind_limits = {}
+        for entry in args.kind_limit:
+            kind, sep, cap = entry.partition("=")
+            if not sep or not kind or not cap.isdigit():
+                print(
+                    f"error: --kind-limit wants KIND=N, got {entry!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            kind_limits[kind] = int(cap)
     try:
         asyncio.run(
             _serve(
@@ -623,6 +676,14 @@ def _cmd_serve(args) -> int:
                 trace_journal=journal,
                 queue_path=str(args.queue) if args.queue is not None else None,
                 shards=args.shards,
+                max_pending=args.max_pending,
+                kind_limits=kind_limits,
+                tenant_rate=args.tenant_rate,
+                tenant_burst=args.tenant_burst,
+                breaker_failures=args.breaker_failures,
+                breaker_reset=args.breaker_reset,
+                drain_seconds=args.drain_seconds,
+                max_body_bytes=args.max_body_kb * 1024,
             )
         )
     except KeyboardInterrupt:

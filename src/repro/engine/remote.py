@@ -237,8 +237,12 @@ def run_worker(
 
     Imported lazily by ``repro worker``; returns the completed-job count
     (the process exit code is 0 regardless — an idle worker is not an
-    error).
+    error).  SIGTERM/SIGINT ask the pull loop to stop *after the current
+    wave* — leased jobs finish and report rather than being abandoned to
+    the lease sweeper (SIGKILL remains the crash-drill path).
     """
+    import signal as _signal
+
     from repro.engine.shards import open_result_store
 
     store = open_result_store(cache_path, shards=shards)
@@ -253,7 +257,19 @@ def run_worker(
             lease_seconds=lease_seconds,
             poll=poll,
         )
-        return worker.run(max_idle=max_idle, max_waves=max_waves)
+        previous = {}
+        for sig in (_signal.SIGTERM, _signal.SIGINT):
+            try:
+                previous[sig] = _signal.signal(
+                    sig, lambda _sig, _frame: worker.stop()
+                )
+            except ValueError:  # pragma: no cover - not the main thread
+                pass
+        try:
+            return worker.run(max_idle=max_idle, max_waves=max_waves)
+        finally:
+            for sig, handler in previous.items():
+                _signal.signal(sig, handler)
 
 
 class Dispatcher:
@@ -294,6 +310,7 @@ class Dispatcher:
         self,
         specs: list[JobSpec],
         journal: "str | Journal | None" = None,
+        deadline: float | None = None,
     ) -> BatchReport:
         """Execute a job list through the queue; same contract as the engine.
 
@@ -302,6 +319,15 @@ class Dispatcher:
         ``cache_hits``/``pruned`` count store replays — whether served
         locally before enqueueing or by the worker that leased the job —
         and ``executed`` counts jobs a worker actually ran.
+
+        ``deadline`` bounds *this call's* queue wait, in seconds: once it
+        passes, still-pending jobs resolve as ``error`` results ("deadline
+        exceeded") and the batch returns — the scheduler's deadline
+        propagation, hop four.  The jobs themselves stay in the queue;
+        whichever worker leases them still writes their verdicts to the
+        shared store, so later askers replay them.  Unlike the
+        ``wait_timeout`` guard (which raises), a deadline is an expected,
+        per-wave outcome, not a harness failure.
         """
         if journal is not None and not isinstance(journal, Journal):
             journal = Journal(journal)
@@ -348,7 +374,7 @@ class Dispatcher:
                 self.dispatched += 1
             indices.append(index)
 
-        self._await(specs, results, waiting, report, journal)
+        self._await(specs, results, waiting, report, journal, deadline)
 
         report.executed = sum(
             1
@@ -365,9 +391,13 @@ class Dispatcher:
         waiting: dict[int, list[int]],
         report: BatchReport,
         journal: Journal | None,
+        wave_deadline: float | None = None,
     ) -> None:
         deadline = (
             None if self.wait_timeout is None else time.monotonic() + self.wait_timeout
+        )
+        cutoff = (
+            None if wave_deadline is None else time.monotonic() + wave_deadline
         )
         last_sweep = time.monotonic()
         while waiting:
@@ -402,6 +432,16 @@ class Dispatcher:
             if now - last_sweep >= self.sweep_interval:
                 self.queue.requeue_expired()
                 last_sweep = now
+            if cutoff is not None and now >= cutoff:
+                # Every remaining waiter's deadline has passed: stop waiting
+                # (the jobs stay queued; workers still land their verdicts
+                # in the shared store for the next asker).
+                for job_id in list(waiting):
+                    for index in waiting.pop(job_id):
+                        results[index] = self._dead_result(
+                            specs[index], "deadline exceeded waiting in queue"
+                        )
+                return
             if deadline is not None and now >= deadline:
                 raise ReproError(
                     f"dispatcher timed out with {len(waiting)} job(s) pending"

@@ -10,7 +10,12 @@ an asyncio scheduler that
 * **coalesces concurrent duplicate requests** by ``(fingerprint, method,
   k)`` so N identical in-flight asks cost one engine dispatch, and
 * batches the remainder into :meth:`run_batch` waves with per-request
-  deadlines.
+  deadlines, and
+* **refuses work it cannot serve** (see :mod:`repro.service.overload` and
+  ``docs/ROBUSTNESS.md``): a bounded admission budget, per-tenant rate
+  limits and priority classes, a circuit breaker around wave dispatch, and
+  graceful SIGTERM drain — overload degrades into typed 429/503 refusals
+  instead of unbounded queues.
 
 Start one with ``repro serve --port 8080 --cache results.db --jobs 4``,
 embed one with :class:`ServiceThread`, talk to one with
@@ -19,6 +24,13 @@ fit and ``examples/service_client.py`` for a walkthrough.
 """
 
 from repro.service.client import ServiceClient, ServiceError
+from repro.service.overload import (
+    REJECTED,
+    AdmissionController,
+    CircuitBreaker,
+    Rejected,
+    TokenBucket,
+)
 from repro.service.scheduler import BatchScheduler, ServiceStats
 from repro.service.server import DecompositionServer, ServiceThread, serve
 
@@ -29,5 +41,10 @@ __all__ = [
     "ServiceThread",
     "ServiceClient",
     "ServiceError",
+    "AdmissionController",
+    "CircuitBreaker",
+    "TokenBucket",
+    "Rejected",
+    "REJECTED",
     "serve",
 ]

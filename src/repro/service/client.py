@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
+import time
 
 from repro.core.hypergraph import Hypergraph
 from repro.errors import ReproError
@@ -30,20 +32,45 @@ from repro.io.hg_format import format_hypergraph
 
 __all__ = ["ServiceClient", "ServiceError"]
 
+#: Statuses the backoff loop may retry: the server *asked* us to come back
+#: later (overload refusals), never plain client or server errors.
+_RETRYABLE = (429, 503)
+
 
 class ServiceError(ReproError):
-    """The service answered with an error status (the body rides along)."""
+    """The service answered with an error status (the body rides along).
 
-    def __init__(self, status: int, payload: dict):
+    ``retry_after`` carries the server's ``Retry-After`` hint in seconds
+    (header or payload field), when one was sent — overload refusals
+    (429/503) include it so callers can pace their retries.
+    """
+
+    def __init__(
+        self, status: int, payload: dict, retry_after: float | None = None
+    ):
         super().__init__(f"service returned {status}: {payload.get('error', payload)}")
         self.status = status
         self.payload = payload
+        self.retry_after = retry_after
 
 
 def _wire_hypergraph(hypergraph: Hypergraph | str) -> str:
     if isinstance(hypergraph, Hypergraph):
         return format_hypergraph(hypergraph)
     return hypergraph
+
+
+def _retry_after_from(response, payload: dict) -> float | None:
+    """The server's pacing hint: the ``Retry-After`` header (integer
+    seconds) or the JSON ``retry_after`` field, whichever is present."""
+    header = response.getheader("Retry-After")
+    if header is not None:
+        try:
+            return float(header)
+        except ValueError:
+            pass
+    value = payload.get("retry_after") if isinstance(payload, dict) else None
+    return float(value) if isinstance(value, (int, float)) else None
 
 
 class ServiceClient:
@@ -58,12 +85,43 @@ class ServiceClient:
         request may take end to end.  Distinct from the *job* ``timeout``
         (the engine's per-check budget) and ``deadline`` (how long the
         service holds the request before answering ``"expired"``).
+    retries:
+        How many times a ``429``/``503`` overload refusal is retried with
+        jittered exponential backoff before the :class:`ServiceError`
+        escapes.  ``0`` (the default) surfaces refusals immediately —
+        callers that *want* pacing opt in.  Other statuses never retry.
+    retry_budget:
+        Total seconds the backoff loop may spend sleeping across one
+        logical request; when the next delay would exceed it, the refusal
+        escapes even with retries left.
+    backoff_base / backoff_cap:
+        The exponential schedule: attempt *n* sleeps
+        ``min(cap, base * 2**n)`` scaled by a jitter factor in
+        ``[0.5, 1.0)`` — and never less than the server's ``Retry-After``
+        hint, which overrides a too-eager schedule.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 300.0):
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout: float = 300.0,
+        retries: int = 0,
+        retry_budget: float = 30.0,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 5.0,
+        rng=random.random,
+        sleep=time.sleep,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.retry_budget = float(retry_budget)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self._rng = rng
+        self._sleep = sleep
         self._conn: http.client.HTTPConnection | None = None
 
     # -------------------------------------------------------------- plumbing
@@ -76,6 +134,27 @@ class ServiceClient:
         return self._conn
 
     def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        """One logical request: overload refusals retry under the budget."""
+        slept = 0.0
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(method, path, body)
+            except ServiceError as exc:
+                if exc.status not in _RETRYABLE or attempt >= self.retries:
+                    raise
+                delay = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+                delay *= 0.5 + self._rng() / 2.0  # jitter: [0.5, 1.0) x
+                if exc.retry_after is not None:
+                    # The server knows better than our schedule does.
+                    delay = max(delay, exc.retry_after)
+                if slept + delay > self.retry_budget:
+                    raise
+                self._sleep(delay)
+                slept += delay
+                attempt += 1
+
+    def _request_once(self, method: str, path: str, body: dict | None = None) -> dict:
         payload = None if body is None else json.dumps(body).encode("utf-8")
         headers = {"Content-Type": "application/json"} if payload else {}
         for attempt in (0, 1):
@@ -103,7 +182,10 @@ class ServiceClient:
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise ServiceError(response.status, {"error": f"non-JSON body: {exc}"}) from exc
         if response.status != 200:
-            raise ServiceError(response.status, decoded)
+            raise ServiceError(
+                response.status, decoded,
+                retry_after=_retry_after_from(response, decoded),
+            )
         return decoded
 
     def close(self) -> None:
@@ -126,11 +208,14 @@ class ServiceClient:
         method: str = "hd",
         timeout: float | None = None,
         deadline: float | None = None,
+        tenant: str | None = None,
+        priority: str = "normal",
     ) -> dict:
         """One ``Check(H, k)`` verdict (no decomposition in the response)."""
         return self._request("POST", "/check", {
             "hypergraph": _wire_hypergraph(hypergraph), "k": k, "method": method,
             "timeout": timeout, "deadline": deadline,
+            "tenant": tenant, "priority": priority,
         })
 
     def decompose(
@@ -140,11 +225,14 @@ class ServiceClient:
         method: str = "hd",
         timeout: float | None = None,
         deadline: float | None = None,
+        tenant: str | None = None,
+        priority: str = "normal",
     ) -> dict:
         """Like :meth:`check`, but a "yes" carries the decomposition tree."""
         return self._request("POST", "/decompose", {
             "hypergraph": _wire_hypergraph(hypergraph), "k": k, "method": method,
             "timeout": timeout, "deadline": deadline,
+            "tenant": tenant, "priority": priority,
         })
 
     def width(
@@ -154,11 +242,14 @@ class ServiceClient:
         method: str = "hd",
         timeout: float | None = None,
         deadline: float | None = None,
+        tenant: str | None = None,
+        priority: str = "normal",
     ) -> dict:
         """Exact width by iterating k (``"width"`` present when exact)."""
         return self._request("POST", "/width", {
             "hypergraph": _wire_hypergraph(hypergraph), "max_k": max_k,
             "method": method, "timeout": timeout, "deadline": deadline,
+            "tenant": tenant, "priority": priority,
         })
 
     def portfolio(
@@ -167,11 +258,14 @@ class ServiceClient:
         k: int,
         timeout: float | None = None,
         deadline: float | None = None,
+        tenant: str | None = None,
+        priority: str = "normal",
     ) -> dict:
         """The Table 4 GHD portfolio race at width ``k``."""
         return self._request("POST", "/portfolio", {
             "hypergraph": _wire_hypergraph(hypergraph), "k": k,
             "timeout": timeout, "deadline": deadline,
+            "tenant": tenant, "priority": priority,
         })
 
     def stats(self) -> dict:

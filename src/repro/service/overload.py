@@ -1,0 +1,370 @@
+"""Overload-protection primitives: admission, rate limits, circuit breaking.
+
+Everything here exists so the service *degrades* instead of collapsing when
+offered more work than it can serve.  Three cooperating mechanisms, all
+consulted by :class:`~repro.service.scheduler.BatchScheduler` before any
+engine work is created:
+
+* :class:`AdmissionController` — a bounded pending-job budget (with
+  priority-class watermarks so high-priority traffic keeps headroom when
+  the budget tightens), per-kind concurrency caps, and per-tenant
+  :class:`TokenBucket` rate limits.  A request past any limit raises
+  :class:`Rejected` *immediately* — the HTTP layer maps it to ``429`` or
+  ``503`` with a ``Retry-After`` hint — instead of queueing unboundedly.
+* :class:`CircuitBreaker` — wraps engine/dispatcher wave dispatch.  Repeated
+  consecutive wave failures open the circuit: new work is refused with fast
+  503s (and ``/healthz`` reports ``degraded``) until a cooldown passes, then
+  a single half-open probe wave decides whether to close again.  This turns
+  a wedged backend (dead workers, a hung queue) from a pile-up of blocked
+  requests into an immediately visible, immediately cheap failure mode.
+* :class:`Rejected` — the typed refusal every layer shares, carrying a
+  machine-readable ``reason`` and an optional ``retry_after`` hint that
+  clients (see :class:`~repro.service.client.ServiceClient`'s backoff) are
+  expected to honor.
+
+The verdict taxonomy, watermark policy and breaker state machine are
+documented in ``docs/ROBUSTNESS.md``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import OrderedDict
+
+from repro.errors import ReproError
+from repro.obs.metrics import REGISTRY
+
+__all__ = [
+    "Rejected",
+    "TokenBucket",
+    "AdmissionController",
+    "CircuitBreaker",
+    "REJECTED",
+    "PRIORITIES",
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+]
+
+#: Verdict of a request refused at admission (HTTP 429/503 + ``Retry-After``).
+REJECTED = "rejected"
+
+#: Priority classes, in admission order: ``high`` may use the full pending
+#: budget, ``normal`` is cut off at 90 % of it, ``low`` at 50 % — so when the
+#: service saturates, background traffic is shed first and urgent traffic
+#: keeps reserved headroom.
+PRIORITIES = {"high": 0, "normal": 1, "low": 2}
+_WATERMARKS = {0: 1.0, 1: 0.9, 2: 0.5}
+
+# Circuit breaker states (gauge encoding below must match the docs).
+CLOSED = "closed"
+HALF_OPEN = "half_open"
+OPEN = "open"
+_STATE_CODES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+#: Tenants tracked per controller before the least-recently-seen bucket is
+#: dropped (a dropped tenant simply starts over with a full bucket).
+_MAX_TENANTS = 1024
+
+_M_REJECTED = REGISTRY.counter(
+    "repro_service_rejected_total",
+    "Requests refused at admission, by reason (capacity/kind/rate/breaker/draining).",
+)
+_M_SHED = REGISTRY.counter(
+    "repro_service_shed_total",
+    "Admitted flights dropped before dispatch (expired deadline or open breaker).",
+)
+_M_BREAKER = REGISTRY.gauge(
+    "repro_service_breaker_state",
+    "Wave-dispatch circuit breaker state: 0 closed, 1 half-open, 2 open.",
+)
+
+
+class Rejected(ReproError):
+    """A request refused by overload protection (never queued, never run).
+
+    ``reason`` is machine-readable — ``capacity`` (pending budget),
+    ``kind`` (per-kind cap), ``rate`` (tenant token bucket), ``breaker``
+    (circuit open), ``draining`` (shutdown in progress).  ``retry_after``
+    is the seconds the caller should wait before retrying, when the server
+    can estimate one.
+    """
+
+    def __init__(self, reason: str, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class TokenBucket:
+    """The classic leaky-bucket rate limiter (``rate`` tokens/s, ``burst`` cap).
+
+    Not thread-safe on its own — the owning :class:`AdmissionController`
+    serialises access.  ``clock`` is injectable for deterministic tests.
+
+    >>> clock = iter([0.0, 0.0, 0.0, 0.1, 2.0]).__next__
+    >>> bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+    >>> bucket.take(), bucket.take()     # the burst allowance
+    (0.0, 0.0)
+    >>> bucket.take() > 0.0              # empty: returns the wait, in seconds
+    True
+    >>> bucket.take()                    # 2 s later: refilled
+    0.0
+    """
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("token bucket rate and burst must be positive")
+        self.rate = float(rate)
+        self.capacity = float(burst)
+        self.tokens = self.capacity
+        self._clock = clock
+        self._updated = clock()
+
+    def take(self) -> float:
+        """Take one token: ``0.0`` on success, else seconds until one refills."""
+        now = self._clock()
+        self.tokens = min(self.capacity, self.tokens + (now - self._updated) * self.rate)
+        self._updated = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class AdmissionController:
+    """Decide, synchronously and cheaply, whether new work may enter.
+
+    Parameters
+    ----------
+    max_pending:
+        The pending-job budget: flights queued or mid-wave.  ``None``
+        disables the budget.  Priority watermarks apply (see
+        :data:`PRIORITIES`): ``high`` fills the whole budget, ``normal``
+        90 %, ``low`` 50 % — each at least 1, so tiny budgets still admit.
+    kind_limits:
+        Per-kind in-flight caps, e.g. ``{"width": 2}`` keeps long sweeps
+        from crowding out cheap checks.  Kinds absent from the map are
+        uncapped.
+    tenant_rate / tenant_burst:
+        Per-tenant token-bucket admission: ``tenant_rate`` new flights per
+        second sustained, bursts up to ``tenant_burst``.  Requests without a
+        tenant share one anonymous bucket.  ``None`` disables rate limiting.
+    retry_after_hint:
+        The ``Retry-After`` suggestion attached to capacity/kind rejections
+        (rate rejections compute the exact bucket refill time instead).
+    """
+
+    def __init__(
+        self,
+        max_pending: int | None = None,
+        kind_limits: dict[str, int] | None = None,
+        tenant_rate: float | None = None,
+        tenant_burst: float | None = None,
+        retry_after_hint: float = 1.0,
+        clock=time.monotonic,
+    ):
+        self.max_pending = None if max_pending is None else max(1, int(max_pending))
+        self.kind_limits = dict(kind_limits) if kind_limits else {}
+        self.tenant_rate = tenant_rate
+        self.tenant_burst = (
+            tenant_burst
+            if tenant_burst is not None
+            else (max(1.0, tenant_rate) if tenant_rate is not None else None)
+        )
+        self.retry_after_hint = float(retry_after_hint)
+        self._clock = clock
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+
+    def threshold(self, rank: int) -> int | None:
+        """The pending count at which this priority class is cut off."""
+        if self.max_pending is None:
+            return None
+        return max(1, int(self.max_pending * _WATERMARKS.get(rank, 0.5)))
+
+    def admit(
+        self,
+        kind: str,
+        tenant: str | None,
+        rank: int,
+        pending: int,
+        kind_pending: dict[str, int],
+    ) -> None:
+        """Raise :class:`Rejected` if this request must not create new work.
+
+        ``pending`` and ``kind_pending`` are the scheduler's live in-flight
+        counts; coalesced joins and store answers never reach here, so only
+        genuinely new flights consume budget and tokens.
+        """
+        threshold = self.threshold(rank)
+        if threshold is not None and pending >= threshold:
+            raise Rejected(
+                "capacity",
+                f"pending budget exhausted ({pending} in flight, "
+                f"budget {self.max_pending}, priority cutoff {threshold})",
+                self.retry_after_hint,
+            )
+        limit = self.kind_limits.get(kind)
+        if limit is not None and kind_pending.get(kind, 0) >= limit:
+            raise Rejected(
+                "kind",
+                f"too many in-flight {kind!r} jobs (cap {limit})",
+                self.retry_after_hint,
+            )
+        if self.tenant_rate is not None:
+            name = tenant or ""
+            bucket = self._buckets.get(name)
+            if bucket is None:
+                bucket = TokenBucket(self.tenant_rate, self.tenant_burst, self._clock)
+                self._buckets[name] = bucket
+                while len(self._buckets) > _MAX_TENANTS:
+                    self._buckets.popitem(last=False)
+            else:
+                self._buckets.move_to_end(name)
+            wait = bucket.take()
+            if wait > 0.0:
+                raise Rejected(
+                    "rate",
+                    f"tenant {name or 'anonymous'!r} exceeded "
+                    f"{self.tenant_rate}/s (burst {self.tenant_burst})",
+                    wait,
+                )
+
+    def snapshot(self) -> dict:
+        """JSON-able policy + live-bucket view for ``/stats``."""
+        return {
+            "max_pending": self.max_pending,
+            "kind_limits": dict(self.kind_limits),
+            "tenant_rate": self.tenant_rate,
+            "tenant_burst": self.tenant_burst,
+            "tenants_tracked": len(self._buckets),
+        }
+
+
+class CircuitBreaker:
+    """closed → (N consecutive failures) → open → (cooldown) → half-open probe.
+
+    ``record_failure`` / ``record_success`` are fed by the scheduler's wave
+    loop: a wave that raises is a failure, a wave that returns is a success.
+    While **open**, :meth:`allow` refuses dispatch and admission refuses new
+    flights (fast 503s); after ``reset_seconds`` the breaker turns
+    **half-open** and :meth:`allow` grants exactly one probe wave — its
+    outcome closes or re-opens the circuit.
+
+    Thread-safe: the scheduler calls from its event loop, ``/healthz`` and
+    ``/stats`` read :attr:`state` from wherever they like.
+
+    >>> clock = iter([float(i) for i in range(10)]).__next__
+    >>> breaker = CircuitBreaker(failure_threshold=2, reset_seconds=3.0, clock=clock)
+    >>> breaker.record_failure(); breaker.state
+    'closed'
+    >>> breaker.record_failure(); breaker.state
+    'open'
+    >>> breaker.allow()
+    False
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_seconds: float = 30.0,
+        clock=time.monotonic,
+    ):
+        self.failure_threshold = max(1, int(failure_threshold))
+        self.reset_seconds = float(reset_seconds)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        #: Lifetime open transitions (the "how often did we trip" counter).
+        self.opened = 0
+        _M_BREAKER.set(_STATE_CODES[CLOSED])
+
+    # ------------------------------------------------------------- internals
+
+    def _tick(self) -> str:
+        """Advance open → half-open when the cooldown has elapsed (locked)."""
+        if self._state == OPEN and self._clock() - self._opened_at >= self.reset_seconds:
+            self._state = HALF_OPEN
+            self._probing = False
+            _M_BREAKER.set(_STATE_CODES[HALF_OPEN])
+        return self._state
+
+    # ---------------------------------------------------------------- public
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._tick()
+
+    @property
+    def failures(self) -> int:
+        with self._lock:
+            return self._failures
+
+    def allow(self) -> bool:
+        """May a wave dispatch right now?  Half-open grants a single probe."""
+        with self._lock:
+            state = self._tick()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._probing = False
+            if self._state != CLOSED:
+                self._state = CLOSED
+                _M_BREAKER.set(_STATE_CODES[CLOSED])
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._failures += 1
+            state = self._tick()
+            if state == HALF_OPEN or (
+                state == CLOSED and self._failures >= self.failure_threshold
+            ):
+                if self._state != OPEN:
+                    self.opened += 1
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._probing = False
+                _M_BREAKER.set(_STATE_CODES[OPEN])
+
+    def retry_after(self) -> float:
+        """Seconds until the next half-open probe (0 when not open)."""
+        with self._lock:
+            if self._tick() != OPEN:
+                return 0.0
+            return max(0.0, self.reset_seconds - (self._clock() - self._opened_at))
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            state = self._tick()
+            return {
+                "state": state,
+                "consecutive_failures": self._failures,
+                "failure_threshold": self.failure_threshold,
+                "reset_seconds": self.reset_seconds,
+                "opened": self.opened,
+                "retry_after": (
+                    max(0.0, self.reset_seconds - (self._clock() - self._opened_at))
+                    if state == OPEN
+                    else 0.0
+                ),
+            }
+
+
+def retry_after_header(retry_after: float | None) -> str | None:
+    """Format a ``Retry-After`` value (integer seconds, rounded up)."""
+    if retry_after is None:
+        return None
+    return str(max(0, math.ceil(retry_after)))
