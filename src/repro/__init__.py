@@ -66,12 +66,25 @@ __version__ = "1.2.0"
 #: importing asyncio machinery.
 _SERVICE_EXPORTS = ("ServiceClient", "ServiceThread", "BatchScheduler")
 
+_EXPERIMENT_EXPORTS = (
+    "Manifest",
+    "ExperimentRunner",
+    "ExperimentResults",
+    "build_corpus",
+    "default_manifest",
+    "write_report",
+)
+
 
 def __getattr__(name: str):
     if name in _SERVICE_EXPORTS:
         from repro import service
 
         return getattr(service, name)
+    if name in _EXPERIMENT_EXPORTS:
+        from repro import experiment
+
+        return getattr(experiment, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -105,5 +118,11 @@ __all__ = [
     "ServiceClient",
     "ServiceThread",
     "BatchScheduler",
+    "Manifest",
+    "ExperimentRunner",
+    "ExperimentResults",
+    "build_corpus",
+    "default_manifest",
+    "write_report",
     "__version__",
 ]

@@ -26,8 +26,10 @@ from repro.benchmark.repository import HyperBenchRepository
 from repro.utils.tables import render_table
 
 __all__ = [
+    "CANONICAL_ORDER",
     "ExperimentResult",
     "StudyResult",
+    "assemble_study",
     "table1_overview",
     "table2_properties",
     "figure3_sizes",
@@ -385,6 +387,20 @@ def edge_clique_cover_candidates(repository: HyperBenchRepository) -> Experiment
 # ------------------------------------------------------------------- studies
 
 
+#: Canonical rendering order of the paper's artefacts (Sections 6.1–6.5).
+CANONICAL_ORDER = (
+    "table1",
+    "table2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+)
+
+
 @dataclass
 class StudyResult:
     """Everything the full evaluation produces, ready for rendering."""
@@ -396,18 +412,40 @@ class StudyResult:
     results: dict[str, ExperimentResult] = field(default_factory=dict)
 
     def render_all(self) -> str:
-        order = [
-            "table1",
-            "table2",
-            "figure3",
-            "figure4",
-            "figure5",
-            "table3",
-            "table4",
-            "table5",
-            "table6",
-        ]
-        return "\n\n".join(self.results[key].rendered for key in order)
+        """Render the artefacts that exist: canonical order, then extras.
+
+        A study holding only a subset (a partial experiment, or extras like
+        ``edge_clique_cover_candidates``) renders what it has instead of
+        raising ``KeyError``.
+        """
+        keys = [key for key in CANONICAL_ORDER if key in self.results]
+        keys += [key for key in sorted(self.results) if key not in CANONICAL_ORDER]
+        return "\n\n".join(self.results[key].rendered for key in keys)
+
+
+def assemble_study(
+    repository: HyperBenchRepository,
+    hw: HwAnalysis,
+    ghw: GhwAnalysis,
+    fractional: FractionalAnalysis,
+) -> StudyResult:
+    """Build every paper artefact from finished analyses.
+
+    Shared by :func:`run_full_study` (live analyses) and the experiment
+    pipeline's results view (store-replayed analyses), so both produce
+    identical tables from identical inputs.
+    """
+    study = StudyResult(repository, hw, ghw, fractional)
+    study.results["table1"] = table1_overview(repository)
+    study.results["table2"] = table2_properties(repository)
+    study.results["figure3"] = figure3_sizes(repository)
+    study.results["figure4"] = figure4_hw(hw)
+    study.results["figure5"] = figure5_correlation(repository)
+    study.results["table3"] = table3_ghw_algorithms(ghw)
+    study.results["table4"] = table4_ghw_portfolio(ghw)
+    study.results["table5"] = table5_improve_hd(fractional)
+    study.results["table6"] = table6_frac_improve(fractional)
+    return study
 
 
 def run_full_study(
@@ -437,14 +475,4 @@ def run_full_study(
         timeout=frac_timeout if frac_timeout is not None else timeout,
         engine=engine,
     )
-    study = StudyResult(repository, hw, ghw, fractional)
-    study.results["table1"] = table1_overview(repository)
-    study.results["table2"] = table2_properties(repository)
-    study.results["figure3"] = figure3_sizes(repository)
-    study.results["figure4"] = figure4_hw(hw)
-    study.results["figure5"] = figure5_correlation(repository)
-    study.results["table3"] = table3_ghw_algorithms(ghw)
-    study.results["table4"] = table4_ghw_portfolio(ghw)
-    study.results["table5"] = table5_improve_hd(fractional)
-    study.results["table6"] = table6_frac_improve(fractional)
-    return study
+    return assemble_study(repository, hw, ghw, fractional)

@@ -70,7 +70,7 @@ class BenchmarkEntry:
 
     def as_record(self) -> dict[str, object]:
         stats = self.statistics
-        return {
+        record: dict[str, object] = {
             "name": self.name,
             "class": str(self.benchmark_class),
             "vertices": stats.num_vertices if stats else self.hypergraph.num_vertices,
@@ -87,6 +87,14 @@ class BenchmarkEntry:
             "ghw_high": self.ghw_high,
             "fhw_high": self.fhw_high,
         }
+        # Scalar annotations (e.g. the experiment pipeline's corpus family)
+        # export too; structured extras like stashed decompositions do not,
+        # and nothing may shadow the base columns.
+        for key in sorted(self.extra):
+            value = self.extra[key]
+            if key not in record and isinstance(value, (str, int, float, bool)):
+                record[key] = value
+        return record
 
 
 class HyperBenchRepository:
@@ -210,12 +218,22 @@ class HyperBenchRepository:
     # ---------------------------------------------------------------- export
 
     def to_csv(self) -> str:
-        """The repository as a CSV document (one row per instance)."""
+        """The repository as a CSV document (one row per instance).
+
+        Records may be heterogeneous (extras appear on some entries only),
+        so the header is the union of all keys in first-seen order; rows
+        lacking a column leave it empty.
+        """
         records = [entry.as_record() for entry in self._entries.values()]
         if not records:
             return ""
+        fieldnames: list[str] = []
+        for record in records:
+            for key in record:
+                if key not in fieldnames:
+                    fieldnames.append(key)
         buffer = io.StringIO()
-        writer = csv.DictWriter(buffer, fieldnames=list(records[0]))
+        writer = csv.DictWriter(buffer, fieldnames=fieldnames, restval="")
         writer.writeheader()
         writer.writerows(records)
         return buffer.getvalue()

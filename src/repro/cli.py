@@ -20,6 +20,10 @@ Subcommands::
     python -m repro worker --queue jobs.db --cache cache.d           # pull-worker
     python -m repro queue stats --queue jobs.db      # depth / leases / retries
     python -m repro queue requeue --queue jobs.db    # sweep expired leases now
+    python -m repro experiment run --dir exp/ --scale 0.1   # start an experiment
+    python -m repro experiment resume --dir exp/            # continue after a crash
+    python -m repro experiment status --dir exp/            # phases + journal counts
+    python -m repro experiment report --dir exp/ --format md  # Tables 1-6/Figs 3-5
     python -m repro trace show --journal traces.jsonl    # span trees, newest first
     python -m repro trace summary --journal traces.jsonl # per-span-name timings
     python -m repro trace show --port 8080               # live /debug/traces
@@ -349,6 +353,71 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument("--host", default="127.0.0.1")
     metrics.add_argument("--port", type=int, default=8080)
+
+    experiment = sub.add_parser(
+        "experiment",
+        help="resumable corpus -> runner -> report pipeline (docs/EXPERIMENTS.md)",
+    )
+    exp_sub = experiment.add_subparsers(dest="exp_action", required=True)
+    exp_run = exp_sub.add_parser("run", help="start an experiment directory")
+    exp_resume = exp_sub.add_parser(
+        "resume", help="continue an interrupted experiment"
+    )
+    for p in (exp_run, exp_resume):
+        p.add_argument(
+            "--dir", type=Path, required=True, metavar="DIR",
+            help="experiment directory (manifest + journals + store)",
+        )
+        p.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes with hard timeouts (1 = in-process)",
+        )
+        p.add_argument(
+            "--shards", type=int, default=None, metavar="N",
+            help="shard the experiment store over N files",
+        )
+        p.add_argument(
+            "--queue", type=Path, default=None, metavar="PATH",
+            help="dispatch waves through this job queue (start `repro worker"
+            " --queue PATH --cache DIR/store.db` processes separately)",
+        )
+    exp_run.add_argument(
+        "--manifest", type=Path, default=None, metavar="FILE",
+        help="corpus manifest JSON (default: the default-benchmark corpus)",
+    )
+    exp_run.add_argument("--scale", type=float, default=0.25,
+                         help="default-corpus scale (default 0.25)")
+    exp_run.add_argument("--seed", type=int, default=42)
+    exp_run.add_argument("--timeout", type=float, default=1.0,
+                         help="per-check timeout in seconds (default 1.0)")
+    exp_run.add_argument("--max-k", type=int, default=6, dest="max_k")
+    exp_run.add_argument(
+        "--timed", action="store_true",
+        help="keep wall-clock runtimes in reports (default: zeroed, so"
+        " reports are byte-stable)",
+    )
+    exp_status = exp_sub.add_parser("status", help="phases and journal counts")
+    exp_status.add_argument("--dir", type=Path, required=True, metavar="DIR")
+    exp_report = exp_sub.add_parser(
+        "report", help="render Tables 1-6 / Figures 3-5 from stored results"
+    )
+    exp_report.add_argument("--dir", type=Path, required=True, metavar="DIR")
+    exp_report.add_argument(
+        "--format", choices=["md", "html", "csv", "json", "all"], default="md"
+    )
+    exp_report.add_argument(
+        "--dest", type=Path, default=None, metavar="DIR",
+        help="write report files here (default: print to stdout)",
+    )
+    exp_report.add_argument(
+        "--partial", action="store_true",
+        help="report on an unfinished experiment (missing checks run live)",
+    )
+    exp_report.add_argument(
+        "--timed", action="store_true",
+        help="keep wall-clock runtimes (overrides the manifest's"
+        " deterministic flag)",
+    )
 
     convert = sub.add_parser("convert", help="convert CQ/XCSP/SQL to hypergraphs")
     source = convert.add_mutually_exclusive_group(required=True)
@@ -819,6 +888,125 @@ def _cmd_metrics(args) -> int:
     return 0
 
 
+def _cmd_experiment(args) -> int:
+    from repro.experiment import (
+        ExperimentPaths,
+        ExperimentResults,
+        ExperimentRunner,
+        Manifest,
+        default_manifest,
+        experiment_status,
+        render_csv,
+        render_html,
+        render_json,
+        render_markdown,
+        write_report,
+    )
+
+    paths = ExperimentPaths.at(args.dir)
+
+    if args.exp_action == "status":
+        status = experiment_status(paths)
+        if not status.exists:
+            print(f"no experiment at {paths.root}")
+            return 1
+        print(f"experiment   {paths.root}")
+        print(f"instances    {status.instances}")
+        done = " ".join(
+            f"{phase}:{'done' if ok else 'pending'}"
+            for phase, ok in status.phases.items()
+        )
+        print(f"phases       {done}")
+        for kind, count in sorted(status.jobs.items()):
+            print(f"jobs[{kind}]  {count}")
+        print(f"complete     {status.complete}")
+        return 0
+
+    if args.exp_action == "report":
+        results = ExperimentResults(
+            paths,
+            deterministic=False if args.timed else None,
+            partial=args.partial,
+        )
+        with results:
+            if args.dest is not None:
+                formats = (
+                    ("md", "html", "csv", "json")
+                    if args.format == "all"
+                    else (args.format,)
+                )
+                for fmt, path in write_report(results, args.dest, formats).items():
+                    print(f"wrote {path}")
+            else:
+                renderer = {
+                    "md": render_markdown,
+                    "html": render_html,
+                    "csv": render_csv,
+                    "json": render_json,
+                    "all": render_markdown,
+                }[args.format]
+                sys.stdout.write(renderer(results))
+        return 0
+
+    # run / resume
+    if args.exp_action == "run":
+        if paths.meta.exists() and _experiment_started(paths):
+            print(
+                f"error: experiment at {paths.root} already started; "
+                "use `repro experiment resume`",
+                file=sys.stderr,
+            )
+            return 2
+        if args.manifest is not None:
+            manifest = Manifest.from_file(args.manifest)
+        else:
+            manifest = default_manifest(
+                scale=args.scale,
+                seed=args.seed,
+                timeout=args.timeout,
+                max_k=args.max_k,
+                deterministic=not args.timed,
+            )
+    else:  # resume
+        if not paths.manifest.exists():
+            print(f"error: no experiment at {paths.root}", file=sys.stderr)
+            return 2
+        manifest = Manifest.from_file(paths.manifest)
+
+    paths.root.mkdir(parents=True, exist_ok=True)
+    store = open_result_store(paths.store, shards=args.shards)
+    engine = DecompositionEngine(store=store, jobs=args.jobs)
+    dispatcher = None
+    queue = None
+    try:
+        if args.queue is not None:
+            from repro.engine import Dispatcher, JobQueue
+
+            queue = JobQueue(args.queue)
+            dispatcher = Dispatcher(queue, engine=engine)
+        runner = ExperimentRunner(
+            paths, engine, dispatcher=dispatcher, manifest=manifest
+        )
+        summary = runner.run()
+    finally:
+        engine.close()
+        if queue is not None:
+            queue.close()
+    print(f"instances    {summary.instances}")
+    print(f"waves        {summary.waves}")
+    print(f"jobs         {summary.total_jobs}")
+    print(f"resumed      {summary.resumed}")
+    print(f"cache hits   {summary.cache_hits}")
+    print(f"executed     {summary.executed}")
+    return 0
+
+
+def _experiment_started(paths) -> bool:
+    from repro.experiment import MetaJournal
+
+    return bool(MetaJournal(paths.meta).load())
+
+
 _COMMANDS = {
     "analyze": _cmd_analyze,
     "width": _cmd_width,
@@ -832,6 +1020,7 @@ _COMMANDS = {
     "queue": _cmd_queue,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
+    "experiment": _cmd_experiment,
 }
 
 

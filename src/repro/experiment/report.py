@@ -1,0 +1,209 @@
+"""Data-driven report rendering for experiment results.
+
+Every renderer walks the same artefact list — the paper's Tables 1–6 and
+Figures 3–5 in their section order, then any extras alphabetically — and
+emits one of four formats: GitHub-flavoured markdown tables, a standalone
+static HTML page, a long-format CSV (``artefact,row,column,value`` — the
+SimCash results-generator shape, trivially loadable into pandas/R), or a
+single JSON document.  All four are pure functions of the structured rows:
+no timestamps, no environment probes, stable ``\\n`` line endings — with a
+deterministic results view the bytes are reproducible across runs, which
+the golden-file tests pin.
+
+Renderers accept either an :class:`~repro.experiment.results.
+ExperimentResults` view or a bare :class:`~repro.analysis.experiments.
+StudyResult`.
+"""
+
+from __future__ import annotations
+
+import csv
+import html
+import io
+import json
+from pathlib import Path
+
+from repro.analysis.experiments import ExperimentResult, StudyResult
+
+__all__ = [
+    "ARTEFACT_ORDER",
+    "REPORT_FORMATS",
+    "render_csv",
+    "render_html",
+    "render_json",
+    "render_markdown",
+    "write_report",
+]
+
+#: The paper's artefacts in section order (Section 6.1 through 6.5).
+ARTEFACT_ORDER = (
+    "table1",
+    "table2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+)
+
+REPORT_FORMATS = ("md", "html", "csv", "json")
+
+
+def _study(results) -> StudyResult:
+    return results if isinstance(results, StudyResult) else results.study
+
+
+def _artefacts(results) -> list[ExperimentResult]:
+    table = _study(results).results
+    ordered = [table[key] for key in ARTEFACT_ORDER if key in table]
+    extras = [table[key] for key in sorted(table) if key not in ARTEFACT_ORDER]
+    return ordered + extras
+
+
+def _meta(results) -> dict:
+    """Header facts: only what is deterministic in the experiment inputs."""
+    meta: dict = {"instances": len(_study(results).repository)}
+    manifest = getattr(results, "manifest", None)
+    if manifest is not None:
+        meta["name"] = manifest.name
+        meta["seed"] = manifest.seed
+        meta["deterministic"] = bool(getattr(results, "deterministic", True))
+    return meta
+
+
+def _cell(value) -> str:
+    return "" if value is None else str(value)
+
+
+# ------------------------------------------------------------------ markdown
+
+
+def render_markdown(results, title: str | None = None) -> str:
+    meta = _meta(results)
+    lines = [f"# {title or meta.get('name', 'Experiment report')}", ""]
+    lines.append(
+        "Instances: %d%s" % (
+            meta["instances"],
+            "  ·  seed: %s" % meta["seed"] if "seed" in meta else "",
+        )
+    )
+    if meta.get("deterministic"):
+        lines.append("Runtimes are zeroed (deterministic report mode).")
+    for artefact in _artefacts(results):
+        lines += ["", f"## {artefact.title}", ""]
+        header = [_cell(h).replace("|", "\\|") for h in artefact.headers]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "|".join(" --- " for _ in header) + "|")
+        for row in artefact.rows:
+            cells = [_cell(v).replace("|", "\\|") for v in row]
+            lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------- html
+
+_HTML_STYLE = (
+    "body{font-family:sans-serif;margin:2em}"
+    "table{border-collapse:collapse;margin:1em 0}"
+    "th,td{border:1px solid #999;padding:0.3em 0.6em;text-align:right}"
+    "th{background:#eee}td:first-child,th:first-child{text-align:left}"
+)
+
+
+def render_html(results, title: str | None = None) -> str:
+    meta = _meta(results)
+    heading = html.escape(title or str(meta.get("name", "Experiment report")))
+    parts = [
+        "<!doctype html>",
+        "<html><head><meta charset=\"utf-8\">",
+        f"<title>{heading}</title>",
+        f"<style>{_HTML_STYLE}</style>",
+        "</head><body>",
+        f"<h1>{heading}</h1>",
+        "<p>Instances: %d%s</p>" % (
+            meta["instances"],
+            " · seed: %s" % meta["seed"] if "seed" in meta else "",
+        ),
+    ]
+    if meta.get("deterministic"):
+        parts.append("<p>Runtimes are zeroed (deterministic report mode).</p>")
+    for artefact in _artefacts(results):
+        parts.append(f"<h2>{html.escape(artefact.title)}</h2>")
+        parts.append("<table><tr>")
+        parts += [f"<th>{html.escape(_cell(h))}</th>" for h in artefact.headers]
+        parts.append("</tr>")
+        for row in artefact.rows:
+            parts.append(
+                "<tr>"
+                + "".join(f"<td>{html.escape(_cell(v))}</td>" for v in row)
+                + "</tr>"
+            )
+        parts.append("</table>")
+    parts.append("</body></html>")
+    return "\n".join(parts) + "\n"
+
+
+# ----------------------------------------------------------------------- csv
+
+
+def render_csv(results) -> str:
+    """Long format: one line per cell, ready for pandas/R group-bys."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["artefact", "row", "column", "value"])
+    for artefact in _artefacts(results):
+        for row_index, row in enumerate(artefact.rows):
+            for header, value in zip(artefact.headers, row):
+                writer.writerow(
+                    [artefact.experiment_id, row_index, header, _cell(value)]
+                )
+    return buffer.getvalue()
+
+
+# ---------------------------------------------------------------------- json
+
+
+def render_json(results) -> str:
+    payload = {
+        **_meta(results),
+        "artefacts": [
+            {
+                "id": artefact.experiment_id,
+                "title": artefact.title,
+                "headers": [str(h) for h in artefact.headers],
+                "rows": artefact.rows,
+            }
+            for artefact in _artefacts(results)
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+
+
+# --------------------------------------------------------------------- files
+
+_RENDERERS = {
+    "md": render_markdown,
+    "html": render_html,
+    "csv": render_csv,
+    "json": render_json,
+}
+
+
+def write_report(
+    results,
+    dest: str | Path,
+    formats: tuple[str, ...] = REPORT_FORMATS,
+) -> dict[str, Path]:
+    """Write ``report.<fmt>`` for each requested format; returns the paths."""
+    dest = Path(dest)
+    dest.mkdir(parents=True, exist_ok=True)
+    written: dict[str, Path] = {}
+    for fmt in formats:
+        if fmt not in _RENDERERS:
+            raise ValueError(f"unknown report format {fmt!r} (know {REPORT_FORMATS})")
+        path = dest / f"report.{fmt}"
+        path.write_text(_RENDERERS[fmt](results))
+        written[fmt] = path
+    return written

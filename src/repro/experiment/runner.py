@@ -1,0 +1,386 @@
+"""The resumable experiment runner: corpus → batched engine waves.
+
+An experiment lives in one directory::
+
+    expdir/
+      manifest.json   what to run (corpus sections + protocol knobs)
+      meta.jsonl      instance fingerprints, statistics, phase markers
+      jobs.jsonl      the engine's batch journal (one line per finished job)
+      store.db        the content-addressed ResultStore (file or shard dir)
+
+Both journals are append-only and flushed per record, so a SIGKILL at any
+point loses at most the line being written.  ``meta.jsonl`` is read with a
+tolerant loader that skips torn lines; ``jobs.jsonl`` is the engine's own
+:class:`~repro.engine.jobs.Journal`, which compacts damage away on load.
+Resume is therefore not a special mode: :meth:`ExperimentRunner.run` always
+replays the phases in order — corpus (fingerprint-verified against the
+journal, so manifest or generator drift fails loudly instead of mixing two
+corpora), statistics, the Figure 4 hw sweep, the Tables 3/4 portfolio
+waves, the Tables 5/6 fractional waves — and every wave goes through
+``run_batch``, which skips journalled jobs, answers what the store already
+knows, and executes only the remainder.
+
+The runner deliberately records *no* analysis results of its own: tables
+are derived later by :class:`repro.experiment.results.ExperimentResults`,
+which replays the original analysis protocols against the store.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.analysis.fractional_analysis import FRAC_METHOD
+from repro.benchmark.repository import HyperBenchRepository
+from repro.core.properties import HypergraphStatistics, compute_statistics
+from repro.engine.fingerprint import fingerprint
+from repro.engine.jobs import JobSpec, Journal
+from repro.errors import ReproError
+from repro.experiment.corpus import Manifest, build_corpus
+
+__all__ = [
+    "PHASES",
+    "ExperimentError",
+    "ExperimentPaths",
+    "ExperimentRunner",
+    "ExperimentStatus",
+    "MetaJournal",
+    "RunSummary",
+    "experiment_status",
+]
+
+#: Phase order; a phase marker in meta.jsonl means the phase fully finished.
+PHASES = ("corpus", "stats", "hw", "ghw", "frac")
+
+
+class ExperimentError(ReproError):
+    """An experiment directory is inconsistent, incomplete, or drifted."""
+
+
+@dataclass(frozen=True)
+class ExperimentPaths:
+    """The fixed layout of an experiment directory."""
+
+    root: Path
+
+    @classmethod
+    def at(cls, root: "str | Path | ExperimentPaths") -> "ExperimentPaths":
+        if isinstance(root, ExperimentPaths):
+            return root
+        return cls(Path(root))
+
+    @property
+    def manifest(self) -> Path:
+        return self.root / "manifest.json"
+
+    @property
+    def meta(self) -> Path:
+        return self.root / "meta.jsonl"
+
+    @property
+    def jobs(self) -> Path:
+        return self.root / "jobs.jsonl"
+
+    @property
+    def store(self) -> Path:
+        return self.root / "store.db"
+
+
+class MetaJournal:
+    """Append-only experiment metadata (instances, statistics, phases).
+
+    Unlike the engine's job journal this one is never compacted or
+    rewritten: a half-written tail line (the SIGKILL case) is skipped on
+    load and simply re-appended by the next run.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def load(self) -> list[dict]:
+        if not self.path.exists():
+            return []
+        records: list[dict] = []
+        for line in self.path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a crash mid-append
+            if isinstance(record, dict) and "type" in record:
+                records.append(record)
+        return records
+
+    def append(self, record: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "ab") as handle:
+            # A crash can leave a torn tail with no newline; terminate it so
+            # the new record starts on its own line (the torn fragment stays
+            # in place and is skipped by load(), like any damaged line).
+            if handle.tell() > 0:
+                with open(self.path, "rb") as peek:
+                    peek.seek(-1, 2)
+                    torn = peek.read(1) != b"\n"
+                if torn:
+                    handle.write(b"\n")
+            handle.write(json.dumps(record, sort_keys=True).encode() + b"\n")
+            handle.flush()
+
+
+@dataclass
+class RunSummary:
+    """What one :meth:`ExperimentRunner.run` call did (including replays)."""
+
+    instances: int = 0
+    waves: int = 0
+    total_jobs: int = 0
+    resumed: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+
+    def book(self, report) -> None:
+        self.waves += 1
+        self.total_jobs += report.total
+        self.resumed += report.resumed
+        self.cache_hits += report.cache_hits
+        self.executed += report.executed
+
+
+class ExperimentRunner:
+    """Drive one experiment directory to completion (idempotently).
+
+    ``engine`` is a :class:`repro.engine.DecompositionEngine` whose store
+    must be the experiment's ``store.db``; an optional ``dispatcher``
+    (:class:`repro.engine.remote.Dispatcher`) replaces its ``run_batch``
+    for multi-host execution — both share the journal contract, so a run
+    can even switch between them between interruptions.
+    """
+
+    def __init__(
+        self,
+        paths: "str | Path | ExperimentPaths",
+        engine,
+        dispatcher=None,
+        manifest: Manifest | None = None,
+    ):
+        self.paths = ExperimentPaths.at(paths)
+        self.engine = engine
+        self.dispatcher = dispatcher
+        if manifest is None:
+            if not self.paths.manifest.exists():
+                raise ExperimentError(
+                    f"no manifest at {self.paths.manifest}; pass one or run "
+                    "`repro experiment run` first"
+                )
+            manifest = Manifest.from_file(self.paths.manifest)
+        self.manifest = manifest
+
+    # ------------------------------------------------------------- plumbing
+
+    def _run_batch(self, specs: list[JobSpec], journal: Journal, summary: RunSummary):
+        if not specs:
+            return
+        runner = self.dispatcher if self.dispatcher is not None else self.engine
+        summary.book(runner.run_batch(specs, journal=journal))
+
+    # ----------------------------------------------------------------- run
+
+    def run(self) -> RunSummary:
+        """Run (or resume) the experiment; safe to call any number of times."""
+        self.paths.root.mkdir(parents=True, exist_ok=True)
+        if not self.paths.manifest.exists():
+            self.manifest.save(self.paths.manifest)
+        meta = MetaJournal(self.paths.meta)
+        records = meta.load()
+        done_phases = {r["phase"] for r in records if r.get("type") == "phase"}
+        summary = RunSummary()
+
+        repository = self._corpus_phase(meta, records, done_phases)
+        summary.instances = len(repository)
+        self._stats_phase(meta, records, done_phases, repository)
+
+        journal = Journal(self.paths.jobs)
+        hw_high = self._hw_phase(repository, journal, summary)
+        self._mark(meta, done_phases, "hw")
+        self._ghw_phase(repository, hw_high, journal, summary)
+        self._mark(meta, done_phases, "ghw")
+        self._frac_phase(repository, hw_high, journal, summary)
+        self._mark(meta, done_phases, "frac")
+        return summary
+
+    def _mark(self, meta: MetaJournal, done_phases: set, phase: str) -> None:
+        if phase not in done_phases:
+            meta.append({"type": "phase", "phase": phase})
+            done_phases.add(phase)
+
+    # -------------------------------------------------------------- phases
+
+    def _corpus_phase(
+        self, meta: MetaJournal, records: list[dict], done_phases: set
+    ) -> HyperBenchRepository:
+        repository = build_corpus(self.manifest)
+        known = {r["name"]: r for r in records if r.get("type") == "instance"}
+        for entry in repository:
+            fp = fingerprint(entry.hypergraph)
+            prior = known.get(entry.name)
+            if prior is None:
+                meta.append(
+                    {
+                        "type": "instance",
+                        "name": entry.name,
+                        "class": str(entry.benchmark_class),
+                        "family": entry.extra.get("family"),
+                        "fingerprint": fp,
+                    }
+                )
+            elif prior.get("fingerprint") != fp:
+                raise ExperimentError(
+                    f"instance {entry.name!r} drifted: journalled fingerprint "
+                    f"{prior.get('fingerprint')!r} != rebuilt {fp!r} — the "
+                    "manifest or a generator changed since the experiment "
+                    "started; use a fresh directory"
+                )
+        self._mark(meta, done_phases, "corpus")
+        return repository
+
+    def _stats_phase(
+        self,
+        meta: MetaJournal,
+        records: list[dict],
+        done_phases: set,
+        repository: HyperBenchRepository,
+    ) -> None:
+        known = {r["name"]: r for r in records if r.get("type") == "stats"}
+        for entry in repository:
+            prior = known.get(entry.name)
+            if prior is not None:
+                payload = prior.get("stats")
+                if payload is not None:
+                    entry.statistics = HypergraphStatistics(**payload)
+                continue
+            entry.statistics = compute_statistics(entry.hypergraph)
+            meta.append(
+                {
+                    "type": "stats",
+                    "name": entry.name,
+                    "stats": asdict(entry.statistics),
+                }
+            )
+        self._mark(meta, done_phases, "stats")
+
+    def _hw_phase(
+        self,
+        repository: HyperBenchRepository,
+        journal: Journal,
+        summary: RunSummary,
+    ) -> dict[str, int]:
+        """The Figure 4 k-ascent as per-k ``run_batch`` waves.
+
+        Same protocol as :func:`repro.analysis.hw_analysis.run_hw_analysis`
+        — every instance tries k = 1, 2, ... until its first "yes" — but a
+        whole k-level runs as one wave.  Which instances each wave contains
+        is derived deterministically from the previous waves' verdicts, so
+        after a crash the journal replays the finished prefix and the next
+        wave is re-derived identically.
+        """
+        timeout = self.manifest.timeout
+        pending = list(repository)
+        hw_high: dict[str, int] = {}
+        for k in range(1, self.manifest.max_k + 1):
+            if not pending:
+                break
+            specs = [
+                JobSpec.check(e.hypergraph, k, method="hd", timeout=timeout)
+                for e in pending
+            ]
+            runner = self.dispatcher if self.dispatcher is not None else self.engine
+            report = runner.run_batch(specs, journal=journal)
+            summary.book(report)
+            still = []
+            for entry, result in zip(pending, report.results):
+                if result.verdict == "yes":
+                    hw_high[entry.name] = k
+                else:
+                    still.append(entry)
+            pending = still
+        return hw_high
+
+    def _ghw_phase(
+        self,
+        repository: HyperBenchRepository,
+        hw_high: dict[str, int],
+        journal: Journal,
+        summary: RunSummary,
+    ) -> None:
+        """The Tables 3/4 races: ``portfolio(H, k-1)`` for hw-k instances."""
+        timeout = self.manifest.timeout
+        for k in self.manifest.ghw_ks:
+            if k < 2:
+                continue
+            specs = [
+                JobSpec.portfolio(e.hypergraph, k - 1, timeout=timeout)
+                for e in repository
+                if hw_high.get(e.name) == k
+            ]
+            self._run_batch(specs, journal, summary)
+
+    def _frac_phase(
+        self,
+        repository: HyperBenchRepository,
+        hw_high: dict[str, int],
+        journal: Journal,
+        summary: RunSummary,
+    ) -> None:
+        """The Table 6 searches: ``fracimprove`` at each instance's hw.
+
+        Table 5 (ImproveHD) is polynomial and deterministic, so it is not
+        journalled — the results view computes it live from the stored HDs.
+        """
+        timeout = self.manifest.effective_frac_timeout
+        specs = [
+            JobSpec.check(
+                e.hypergraph, hw_high[e.name], method=FRAC_METHOD, timeout=timeout
+            )
+            for e in repository
+            if hw_high.get(e.name) in set(self.manifest.hw_values)
+        ]
+        self._run_batch(specs, journal, summary)
+
+
+# ------------------------------------------------------------------- status
+
+
+@dataclass
+class ExperimentStatus:
+    """A cheap, read-only snapshot of an experiment directory."""
+
+    root: Path
+    exists: bool = False
+    instances: int = 0
+    phases: dict[str, bool] = field(default_factory=dict)
+    #: journalled finished jobs per spec kind
+    jobs: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return self.exists and all(self.phases.get(p, False) for p in PHASES)
+
+
+def experiment_status(paths: "str | Path | ExperimentPaths") -> ExperimentStatus:
+    """Inspect an experiment directory without opening its store."""
+    paths = ExperimentPaths.at(paths)
+    status = ExperimentStatus(root=paths.root)
+    if not paths.manifest.exists():
+        return status
+    status.exists = True
+    records = MetaJournal(paths.meta).load()
+    done = {r["phase"] for r in records if r.get("type") == "phase"}
+    status.phases = {phase: phase in done for phase in PHASES}
+    status.instances = sum(1 for r in records if r.get("type") == "instance")
+    if paths.jobs.exists():
+        for key in Journal(paths.jobs).load():
+            kind = key[0]
+            status.jobs[kind] = status.jobs.get(kind, 0) + 1
+    return status

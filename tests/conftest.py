@@ -176,6 +176,36 @@ def wait_for_leased(queue_path: Path, minimum: int = 1, timeout: float = 30.0) -
     raise TimeoutError(f"never saw {minimum} leased job(s) in {queue_path}")
 
 
+def spawn_cli(*args: str) -> subprocess.Popen:
+    """Start a ``python -m repro ...`` subprocess with the repo on the path.
+
+    Like :func:`spawn_worker` but for arbitrary CLI commands (the experiment
+    SIGKILL tests).  The caller owns the process.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *args],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def wait_for_lines(path: Path, minimum: int = 1, timeout: float = 60.0) -> int:
+    """Block until a journal file holds ≥ ``minimum`` lines (crash timing)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            lines = len(path.read_text().splitlines())
+        except OSError:
+            lines = 0
+        if lines >= minimum:
+            return lines
+        time.sleep(0.02)
+    raise TimeoutError(f"never saw {minimum} line(s) in {path}")
+
+
 @pytest.fixture
 def crashing_worker():
     """A worker launcher whose processes get SIGKILLed mid-lease.

@@ -251,16 +251,19 @@ def test_queue_invariants_hold_under_arbitrary_interleavings(ops):
     queue = JobQueue(
         clock=clock, max_attempts=max_attempts, backoff=1.0, lease_seconds=10.0
     )
-    held: dict[str, list[int]] = {"w1": [], "w2": [], "w3": []}
+    # A handle is (job_id, attempts): the attempt counter is the lease token,
+    # so a handle revoked by a sweep stops matching the row once the job is
+    # re-leased (attempts bumps) — exactly the fencing complete()/fail() use.
+    held: dict[str, list[tuple[int, int]]] = {"w1": [], "w2": [], "w3": []}
     enqueued: set[int] = set()
 
     def check_invariants() -> None:
         seen: set[int] = set()
         for jobs in held.values():
-            for job_id in jobs:
+            for job_id, token in jobs:
                 row = queue.job(job_id)
-                if row["state"] != LEASED:
-                    continue  # lease silently revoked by a sweep — allowed
+                if row["state"] != LEASED or row["attempts"] != token:
+                    continue  # lease revoked by a sweep — stale handle
                 assert job_id not in seen, "job under two live leases"
                 seen.add(job_id)
         for job_id in enqueued:
@@ -272,13 +275,13 @@ def test_queue_invariants_hold_under_arbitrary_interleavings(ops):
             enqueued.add(job.job_id)
         elif op == "lease":
             for lease in queue.lease(arg, 2):
-                held[arg].append(lease.job_id)
+                held[arg].append((lease.job_id, lease.attempts))
         elif op == "complete":
             if held[arg]:
-                queue.complete(arg, held[arg].pop(0), {"verdict": "yes"})
+                queue.complete(arg, held[arg].pop(0)[0], {"verdict": "yes"})
         elif op == "fail":
             if held[arg]:
-                queue.fail(arg, held[arg].pop(0), "injected")
+                queue.fail(arg, held[arg].pop(0)[0], "injected")
         elif op == "advance":
             clock.advance(arg)
         elif op == "sweep":
